@@ -1,0 +1,126 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation section (§5) and prints them in the shapes the paper reports.
+//
+// Usage:
+//
+//	experiments [-run all|table1|fig1|fig6|fig7|fig8|fig9] [-quick] [-duration 1s] [-users N] [-seed N]
+//
+// Full runs take a few minutes (they burn real time in the flash emulator
+// and network model); -quick shrinks every experiment to a smoke test.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/exp"
+)
+
+func main() {
+	var (
+		run      = flag.String("run", "all", "which experiment: all, table1, fig1, fig6, fig7, fig8, fig9, ablation")
+		quick    = flag.Bool("quick", false, "shrink populations and durations (smoke test)")
+		duration = flag.Duration("duration", 0, "override per-point measurement duration")
+		users    = flag.Int("users", 0, "override Retwis user population")
+		seed     = flag.Int64("seed", 1, "random seed")
+		verbose  = flag.Bool("v", false, "print per-point progress to stderr")
+		csvDir   = flag.String("csv", "", "also write each experiment's rows as CSV into this directory")
+	)
+	flag.Parse()
+
+	cfg := exp.Config{Quick: *quick, Duration: *duration, Users: *users, Seed: *seed, Verbose: *verbose}
+	ctx := context.Background()
+
+	writeCSV := func(name string, header []string, rows [][]string) error {
+		if *csvDir == "" {
+			return nil
+		}
+		return exp.WriteCSV(*csvDir, name, header, rows)
+	}
+	runners := []struct {
+		name string
+		fn   func() (string, error)
+	}{
+		{"table1", func() (string, error) {
+			rows, err := exp.RunTable1(ctx, cfg)
+			if err == nil {
+				h, rs := exp.Table1CSV(rows)
+				err = writeCSV("table1", h, rs)
+			}
+			return exp.RenderTable1(rows), err
+		}},
+		{"fig1", func() (string, error) {
+			rows, err := exp.RunFigure1(ctx, cfg)
+			if err == nil {
+				h, rs := exp.Figure1CSV(rows)
+				err = writeCSV("fig1", h, rs)
+			}
+			return exp.RenderFigure1(rows), err
+		}},
+		{"fig6", func() (string, error) {
+			rows, err := exp.RunFigure6(ctx, cfg)
+			if err == nil {
+				h, rs := exp.Figure6CSV(rows)
+				err = writeCSV("fig6", h, rs)
+			}
+			return exp.RenderFigure6(rows), err
+		}},
+		{"fig7", func() (string, error) {
+			rows, err := exp.RunFigure7(ctx, cfg)
+			if err == nil {
+				h, rs := exp.Figure7CSV(rows)
+				err = writeCSV("fig7", h, rs)
+			}
+			return exp.RenderFigure7(rows), err
+		}},
+		{"fig8", func() (string, error) {
+			rows, err := exp.RunFigure8(ctx, cfg)
+			if err == nil {
+				h, rs := exp.Figure8CSV(rows)
+				err = writeCSV("fig8", h, rs)
+			}
+			return exp.RenderFigure8(rows), err
+		}},
+		{"fig9", func() (string, error) {
+			rows, err := exp.RunFigure9(ctx, cfg)
+			if err == nil {
+				h, rs := exp.Figure9CSV(rows)
+				err = writeCSV("fig9", h, rs)
+			}
+			return exp.RenderFigure9(rows), err
+		}},
+		{"ablation", func() (string, error) {
+			rows, err := exp.RunSkewAblation(ctx, cfg)
+			if err == nil {
+				h, rs := exp.AblationCSV(rows)
+				err = writeCSV("ablation", h, rs)
+			}
+			return exp.RenderSkewAblation(rows), err
+		}},
+	}
+
+	selected := strings.ToLower(*run)
+	found := false
+	for _, r := range runners {
+		if selected != "all" && selected != r.name {
+			continue
+		}
+		found = true
+		start := time.Now()
+		out, err := r.fn()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", r.name, err)
+			os.Exit(1)
+		}
+		fmt.Println(out)
+		fmt.Printf("(%s completed in %v)\n\n", r.name, time.Since(start).Round(time.Millisecond))
+	}
+	if !found {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *run)
+		os.Exit(2)
+	}
+}

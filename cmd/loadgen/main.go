@@ -1,0 +1,159 @@
+// Command loadgen drives the Retwis benchmark (Table 2 of the paper)
+// against a semeld cluster over TCP and reports throughput, latency and
+// abort statistics — a network-deployment counterpart of cmd/experiments.
+//
+//	semeld -listen :7001 &
+//	loadgen -shards ":7001" -clients 8 -duration 10s -alpha 0.6
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/cluster"
+	"repro/internal/milana"
+	"repro/internal/retwis"
+	"repro/internal/semel"
+	"repro/internal/transport"
+)
+
+func main() {
+	var (
+		shards    = flag.String("shards", ":7001", "';'-separated shards, each a ','-separated replica list (primary first)")
+		clients   = flag.Int("clients", 8, "concurrent benchmark instances")
+		duration  = flag.Duration("duration", 10*time.Second, "measured run length")
+		users     = flag.Int("users", 1000, "Retwis user population (pre-populated)")
+		alpha     = flag.Float64("alpha", 0.6, "Zipf contention parameter")
+		readHeavy = flag.Bool("readheavy", false, "use the 75% read-only mix instead of Table 2's default")
+		seed      = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	var sets []cluster.ReplicaSet
+	for _, s := range strings.Split(*shards, ";") {
+		addrs := strings.Split(s, ",")
+		sets = append(sets, cluster.ReplicaSet{Primary: addrs[0], Backups: addrs[1:]})
+	}
+	dir, err := cluster.New(sets)
+	if err != nil {
+		log.Fatal(err)
+	}
+	src := clock.NewSystemSource()
+	ctx := context.Background()
+
+	// Populate.
+	fmt.Printf("populating %d users (%d keys)...\n", *users, 4**users)
+	popNet := transport.NewTCPClient()
+	defer popNet.Close()
+	kv := semel.NewClient(clock.NewPerfect(src, 1_000_000), popNet, dir)
+	keys := retwis.PopulationKeys(*users)
+	var wg sync.WaitGroup
+	keyCh := make(chan string, 64)
+	var popErr atomic.Value
+	for w := 0; w < 32; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := range keyCh {
+				if popErr.Load() != nil {
+					continue
+				}
+				if _, err := kv.Put(ctx, []byte(k), []byte("seed")); err != nil {
+					popErr.CompareAndSwap(nil, err)
+				}
+			}
+		}()
+	}
+	for _, k := range keys {
+		keyCh <- k
+	}
+	close(keyCh)
+	wg.Wait()
+	if err, ok := popErr.Load().(error); ok && err != nil {
+		log.Fatalf("populate: %v", err)
+	}
+
+	// Run.
+	mix := retwis.DefaultMix
+	if *readHeavy {
+		mix = retwis.ReadHeavyMix
+	}
+	fmt.Printf("running %d clients for %v (α=%.2f)...\n", *clients, *duration, *alpha)
+	runCtx, cancel := context.WithTimeout(ctx, *duration)
+	defer cancel()
+	var latSum, latN atomic.Int64
+	txcs := make([]*milana.Client, *clients)
+	start := time.Now()
+	for i := range txcs {
+		net := transport.NewTCPClient()
+		defer net.Close()
+		txcs[i] = milana.NewClient(clock.NewPerfect(src, uint32(i+1)), net, dir)
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			cl := txcs[i]
+			gen := retwis.NewGenerator(retwis.Options{
+				Users: *users, Alpha: *alpha, Mix: mix,
+				Seed: *seed + int64(i)*7919, FreshUserBase: *users + i*10_000_000,
+			})
+			decided := 0
+			for runCtx.Err() == nil {
+				spec := gen.Next()
+				t0 := time.Now()
+				for {
+					t := cl.Begin()
+					err := retwis.Execute(runCtx, t, spec)
+					if err == nil {
+						err = t.Commit(runCtx)
+					}
+					if err == nil {
+						break
+					}
+					t.Abort()
+					if !errors.Is(err, milana.ErrAborted) || runCtx.Err() != nil {
+						return
+					}
+				}
+				latSum.Add(int64(time.Since(t0)))
+				latN.Add(1)
+				if decided++; decided%500 == 0 {
+					cl.BroadcastWatermark(runCtx)
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var total milana.Stats
+	for _, cl := range txcs {
+		st := cl.Stats()
+		total.Committed += st.Committed
+		total.Aborted += st.Aborted
+		total.LocalValidated += st.LocalValidated
+		total.ReadOnly += st.ReadOnly
+	}
+	fmt.Printf("\nelapsed:          %v\n", elapsed.Round(time.Millisecond))
+	fmt.Printf("committed:        %d (%.0f txn/s)\n", total.Committed, float64(total.Committed)/elapsed.Seconds())
+	fmt.Printf("aborted:          %d (%.2f%% abort rate)\n", total.Aborted,
+		100*float64(total.Aborted)/float64(max64(1, total.Committed+total.Aborted)))
+	fmt.Printf("read-only:        %d (%d validated locally, zero round trips)\n", total.ReadOnly, total.LocalValidated)
+	if n := latN.Load(); n > 0 {
+		fmt.Printf("avg txn latency:  %v\n", time.Duration(latSum.Load()/n).Round(time.Microsecond))
+	}
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

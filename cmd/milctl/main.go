@@ -1,0 +1,155 @@
+// Command milctl is a command-line client for semeld servers.
+//
+//	milctl -shards ":7001,:7002,:7003" get mykey
+//	milctl -shards ":7001,:7002,:7003" put mykey myvalue
+//	milctl -shards ":7001,:7002,:7003" del mykey
+//	milctl -shards ":7001,:7002,:7003" txn get a put b 2 get c
+//
+// The txn subcommand executes its operation list inside one MILANA
+// transaction: "get <key>" reads, "put <key> <value>" writes; the
+// transaction commits at the end (read-only transactions validate locally).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/cluster"
+	"repro/internal/milana"
+	"repro/internal/semel"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+func main() {
+	var (
+		shards  = flag.String("shards", ":7001", "';'-separated shards, each a ','-separated replica list (primary first)")
+		timeout = flag.Duration("timeout", 5*time.Second, "per-command timeout")
+		id      = flag.Uint("id", 1, "client id (must be unique per concurrent client)")
+	)
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: milctl [flags] get|put|del|txn|stats ...")
+		os.Exit(2)
+	}
+
+	var sets []cluster.ReplicaSet
+	for _, s := range strings.Split(*shards, ";") {
+		addrs := strings.Split(s, ",")
+		sets = append(sets, cluster.ReplicaSet{Primary: addrs[0], Backups: addrs[1:]})
+	}
+	dir, err := cluster.New(sets)
+	if err != nil {
+		log.Fatal(err)
+	}
+	net := transport.NewTCPClient()
+	defer net.Close()
+	clk := clock.NewPerfect(clock.NewSystemSource(), uint32(*id))
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+
+	switch args[0] {
+	case "get":
+		requireArgs(args, 2)
+		cl := semel.NewClient(clk, net, dir)
+		val, ver, found, err := cl.Get(ctx, []byte(args[1]))
+		exitOn(err)
+		if !found {
+			fmt.Println("(not found)")
+			return
+		}
+		fmt.Printf("%s\t(version %v)\n", val, ver)
+	case "put":
+		requireArgs(args, 3)
+		cl := semel.NewClient(clk, net, dir)
+		ver, err := cl.Put(ctx, []byte(args[1]), []byte(args[2]))
+		exitOn(err)
+		fmt.Printf("ok (version %v)\n", ver)
+	case "del":
+		requireArgs(args, 2)
+		cl := semel.NewClient(clk, net, dir)
+		exitOn(cl.Delete(ctx, []byte(args[1])))
+		fmt.Println("ok")
+	case "txn":
+		cl := milana.NewClient(clk, net, dir)
+		err := cl.RunTransaction(ctx, func(t *milana.Txn) error {
+			ops := args[1:]
+			for len(ops) > 0 {
+				switch ops[0] {
+				case "get":
+					if len(ops) < 2 {
+						return fmt.Errorf("txn get needs a key")
+					}
+					val, found, err := t.Get(ctx, []byte(ops[1]))
+					if err != nil {
+						return err
+					}
+					if found {
+						fmt.Printf("%s = %s\n", ops[1], val)
+					} else {
+						fmt.Printf("%s = (not found)\n", ops[1])
+					}
+					ops = ops[2:]
+				case "put":
+					if len(ops) < 3 {
+						return fmt.Errorf("txn put needs key and value")
+					}
+					if err := t.Put([]byte(ops[1]), []byte(ops[2])); err != nil {
+						return err
+					}
+					ops = ops[3:]
+				default:
+					return fmt.Errorf("unknown txn op %q", ops[0])
+				}
+			}
+			return nil
+		})
+		exitOn(err)
+		fmt.Println("committed")
+	case "stats":
+		for i := 0; i < dir.NumShards(); i++ {
+			rs, err := dir.Shard(cluster.ShardID(i))
+			exitOn(err)
+			for _, addr := range rs.Replicas() {
+				resp, err := net.Call(ctx, addr, wire.StatsRequest{})
+				if err != nil {
+					fmt.Printf("%-20s unreachable: %v\n", addr, err)
+					continue
+				}
+				st, ok := resp.(wire.StatsResponse)
+				if !ok {
+					continue
+				}
+				role := "backup"
+				if st.Primary {
+					role = "primary"
+				}
+				fmt.Printf("%-20s shard %d %-7s gets=%d puts=%d dels=%d prepares=%d commits=%d aborts=%d repl=%d wm=%v\n",
+					addr, st.Shard, role, st.Gets, st.Puts, st.Deletes, st.Prepares, st.Commits, st.Aborts, st.ReplOps, st.Watermark)
+			}
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown command %q\n", args[0])
+		os.Exit(2)
+	}
+}
+
+func requireArgs(args []string, n int) {
+	if len(args) < n {
+		fmt.Fprintf(os.Stderr, "%s: missing arguments\n", args[0])
+		os.Exit(2)
+	}
+}
+
+func exitOn(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,107 @@
+// Command semeld runs one SEMEL/MILANA storage replica over TCP.
+//
+// A three-replica shard on one machine:
+//
+//	semeld -listen :7001 -shard 0 -replica 0 -peers :7001,:7002,:7003 &
+//	semeld -listen :7002 -shard 0 -replica 1 -peers :7001,:7002,:7003 &
+//	semeld -listen :7003 -shard 0 -replica 2 -peers :7001,:7002,:7003 &
+//
+// Replica 0 of each shard starts as primary. The shard map is static: every
+// replica must be started with the same -shards description, formatted as
+// semicolon-separated shards, each a comma-separated replica address list
+// (primary first). When -peers is given, a single shard is assumed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"repro/internal/clock"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/semel"
+	"repro/internal/storage"
+	"repro/internal/transport"
+)
+
+func main() {
+	var (
+		listen  = flag.String("listen", ":7001", "address to listen on")
+		shard   = flag.Int("shard", 0, "shard id this replica serves")
+		replica = flag.Int("replica", 0, "replica index within the shard (0 = initial primary)")
+		peers   = flag.String("peers", "", "comma-separated replica addresses of this shard, primary first")
+		shards  = flag.String("shards", "", "full shard map: ';'-separated shards, each a ','-separated address list")
+		backend = flag.String("backend", core.BackendDRAM, "storage backend: dram|mftl|vftl|sftl")
+	)
+	flag.Parse()
+
+	var sets []cluster.ReplicaSet
+	switch {
+	case *shards != "":
+		for _, s := range strings.Split(*shards, ";") {
+			addrs := strings.Split(s, ",")
+			if len(addrs) == 0 || addrs[0] == "" {
+				log.Fatalf("bad -shards entry %q", s)
+			}
+			sets = append(sets, cluster.ReplicaSet{Primary: addrs[0], Backups: addrs[1:]})
+		}
+	case *peers != "":
+		addrs := strings.Split(*peers, ",")
+		sets = []cluster.ReplicaSet{{Primary: addrs[0], Backups: addrs[1:]}}
+	default:
+		sets = []cluster.ReplicaSet{{Primary: *listen}}
+	}
+	dir, err := cluster.New(sets)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	be, err := buildBackend(*backend)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rs, err := dir.Shard(cluster.ShardID(*shard))
+	if err != nil {
+		log.Fatal(err)
+	}
+	replicas := rs.Replicas()
+	if *replica < 0 || *replica >= len(replicas) {
+		log.Fatalf("replica index %d out of range: shard %d has %d replicas", *replica, *shard, len(replicas))
+	}
+	addr := replicas[*replica]
+
+	srv, err := semel.NewServer(semel.ServerOptions{
+		Addr:    addr,
+		Shard:   cluster.ShardID(*shard),
+		Primary: *replica == 0,
+		Backend: be,
+		Net:     transport.NewTCPClient(),
+		Dir:     dir,
+		Clock:   clock.NewPerfect(clock.NewSystemSource(), uint32(1<<20+*shard*100+*replica)),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	tcp, err := transport.NewTCPServer(*listen, srv)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("semeld: shard %d replica %d (%s) serving on %s, backend %s\n",
+		*shard, *replica, map[bool]string{true: "primary", false: "backup"}[*replica == 0], tcp.Addr(), *backend)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	srv.Close()
+	_ = tcp.Close()
+}
+
+func buildBackend(kind string) (storage.Backend, error) {
+	be, _, err := core.NewBackend(core.BackendOptions{Kind: kind, RealFlashTiming: true})
+	return be, err
+}

@@ -1,0 +1,223 @@
+package centiman
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strconv"
+	"sync"
+	"testing"
+
+	"repro/internal/clock"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/wire"
+)
+
+func ts(t int64) clock.Timestamp { return clock.Timestamp{Ticks: t, Client: 1} }
+
+func TestValidatorRules(t *testing.T) {
+	v := NewValidator()
+	ok := func(r ValidateRequest) bool { return v.validate(r).OK }
+
+	// First writer at ts 100 validates.
+	if !ok(ValidateRequest{CommitTs: ts(100), WriteKeys: [][]byte{[]byte("k")}}) {
+		t.Fatal("first write rejected")
+	}
+	// Reader who read version 100 validates; reader of an older version aborts.
+	if !ok(ValidateRequest{CommitTs: ts(200), ReadSet: wire100("k", 100)}) {
+		t.Fatal("current read rejected")
+	}
+	if ok(ValidateRequest{CommitTs: ts(200), ReadSet: wire100("k", 50)}) {
+		t.Fatal("stale read accepted")
+	}
+	// Writer with commitTs below the recorded write aborts.
+	if ok(ValidateRequest{CommitTs: ts(90), WriteKeys: [][]byte{[]byte("k")}}) {
+		t.Fatal("stale write accepted")
+	}
+	if !ok(ValidateRequest{CommitTs: ts(300), WriteKeys: [][]byte{[]byte("k")}}) {
+		t.Fatal("fresh write rejected")
+	}
+}
+
+func TestBoardWatermark(t *testing.T) {
+	b := NewBoard()
+	if !b.Watermark().IsZero() {
+		t.Fatal("fresh board watermark not zero")
+	}
+	b.Post(1, ts(100))
+	b.Post(2, ts(50))
+	if got := b.Watermark(); got != ts(50) {
+		t.Fatalf("watermark = %v", got)
+	}
+	b.Post(2, ts(40)) // stale post ignored
+	if got := b.Watermark(); got != ts(50) {
+		t.Fatalf("watermark regressed: %v", got)
+	}
+	b.Post(2, ts(200))
+	if got := b.Watermark(); got != ts(100) {
+		t.Fatalf("watermark = %v", got)
+	}
+}
+
+// testDeployment builds a Centiman deployment: SEMEL storage (1 replica per
+// shard, per §5.3 "We do not use replication") plus one validator per shard.
+func testDeployment(t *testing.T, shards int) (*core.Cluster, *Board, func(cluster.ShardID) string) {
+	t.Helper()
+	c, err := core.NewCluster(core.ClusterOptions{Shards: shards, Replicas: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	for s := 0; s < shards; s++ {
+		c.Bus.Register(fmt.Sprintf("validator/%d", s), NewValidator())
+	}
+	vaddr := func(s cluster.ShardID) string { return fmt.Sprintf("validator/%d", s) }
+	return c, NewBoard(), vaddr
+}
+
+func (c *Client) forTest(every int) *Client { c.DisseminateEvery = every; return c }
+
+func TestClientCommitReadBack(t *testing.T) {
+	c, board, vaddr := testDeployment(t, 2)
+	ctx := context.Background()
+	cl := NewClient(clock.NewPerfect(c.Source, 1), c.Bus, c.Dir, board, vaddr).forTest(1)
+
+	if err := cl.RunTransaction(ctx, func(tx *Txn) error {
+		if err := tx.Put([]byte("a"), []byte("1")); err != nil {
+			return err
+		}
+		return tx.Put([]byte("b"), []byte("2"))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var got string
+	if err := cl.RunTransaction(ctx, func(tx *Txn) error {
+		v, found, err := tx.Get(ctx, []byte("a"))
+		if err != nil {
+			return err
+		}
+		if !found {
+			return errors.New("missing")
+		}
+		got = string(v)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got != "1" {
+		t.Fatalf("read back %q", got)
+	}
+	st := cl.Stats()
+	if st.Committed != 2 || st.ReadOnly != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestLocalValidationRequiresWatermark(t *testing.T) {
+	c, board, vaddr := testDeployment(t, 1)
+	ctx := context.Background()
+	// Default dissemination period (1,000 txns): the watermark stays at
+	// Zero for this short test unless posted manually.
+	writer := NewClient(clock.NewPerfect(c.Source, 1), c.Bus, c.Dir, board, vaddr)
+	reader := NewClient(clock.NewPerfect(c.Source, 2), c.Bus, c.Dir, board, vaddr)
+
+	if err := writer.RunTransaction(ctx, func(tx *Txn) error {
+		return tx.Put([]byte("k"), []byte("v"))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Watermark is still below the write: the read-only txn must go remote.
+	if err := reader.RunTransaction(ctx, func(tx *Txn) error {
+		_, _, err := tx.Get(ctx, []byte("k"))
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	st := reader.Stats()
+	if st.LocalValidated != 0 || st.ReadOnlyRemotely != 1 {
+		t.Fatalf("watermark-lagging read validated locally: %+v", st)
+	}
+	// Advance the watermark past the version, then the same read-only txn
+	// validates locally.
+	board.Post(1, writer.clk.Now())
+	board.Post(2, reader.clk.Now())
+	if err := reader.RunTransaction(ctx, func(tx *Txn) error {
+		_, _, err := tx.Get(ctx, []byte("k"))
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	st = reader.Stats()
+	if st.LocalValidated != 1 {
+		t.Fatalf("read below watermark did not validate locally: %+v", st)
+	}
+}
+
+func TestConflictingWritersOneAborts(t *testing.T) {
+	c, board, vaddr := testDeployment(t, 1)
+	ctx := context.Background()
+	a := NewClient(clock.NewPerfect(c.Source, 1), c.Bus, c.Dir, board, vaddr)
+	b := NewClient(clock.NewPerfect(c.Source, 2), c.Bus, c.Dir, board, vaddr)
+	ta, tb := a.Begin(), b.Begin()
+	if _, _, err := ta.Get(ctx, []byte("k")); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := tb.Get(ctx, []byte("k")); err != nil {
+		t.Fatal(err)
+	}
+	_ = ta.Put([]byte("k"), []byte("a"))
+	_ = tb.Put([]byte("k"), []byte("b"))
+	errA, errB := ta.Commit(ctx), tb.Commit(ctx)
+	if (errA == nil) == (errB == nil) {
+		t.Fatalf("exactly one must win: %v / %v", errA, errB)
+	}
+}
+
+func TestConcurrentIncrementsSerializable(t *testing.T) {
+	c, board, vaddr := testDeployment(t, 2)
+	ctx := context.Background()
+	const clients, per = 4, 10
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			cl := NewClient(clock.NewPerfect(c.Source, uint32(i+1)), c.Bus, c.Dir, board, vaddr)
+			for j := 0; j < per; j++ {
+				err := cl.RunTransaction(ctx, func(tx *Txn) error {
+					raw, found, err := tx.Get(ctx, []byte("n"))
+					if err != nil {
+						return err
+					}
+					v := 0
+					if found {
+						v, _ = strconv.Atoi(string(raw))
+					}
+					return tx.Put([]byte("n"), []byte(strconv.Itoa(v+1)))
+				})
+				if err != nil {
+					t.Errorf("client %d: %v", i, err)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	cl := NewClient(clock.NewPerfect(c.Source, 99), c.Bus, c.Dir, board, vaddr)
+	var raw []byte
+	if err := cl.RunTransaction(ctx, func(tx *Txn) error {
+		var err error
+		raw, _, err = tx.Get(ctx, []byte("n"))
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if string(raw) != strconv.Itoa(clients*per) {
+		t.Fatalf("counter = %s, want %d", raw, clients*per)
+	}
+}
+
+func wire100(key string, ver int64) []wire.ReadKey {
+	return []wire.ReadKey{{Key: []byte(key), Version: ts(ver)}}
+}

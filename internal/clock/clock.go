@@ -1,0 +1,112 @@
+package clock
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock is a client's view of current time. Every SEMEL client stamps its
+// operations with values read from its Clock; SEMEL/MILANA require these
+// values to be monotonically increasing per client (§3.1: "Since NTP/PTP
+// clocks are monotonic, no client issues a new operation with a timestamp
+// below the watermark").
+type Clock interface {
+	// Now returns the client's current view of time. Successive calls
+	// return strictly increasing timestamps.
+	Now() Timestamp
+	// Client returns the client ID embedded in produced timestamps.
+	Client() uint32
+}
+
+// Perfect is a Clock that tracks its Source exactly (zero skew). It is the
+// clock used for single-node experiments, which the paper runs "on a single
+// VM ... to eliminate clock skew" (§5.2).
+type Perfect struct {
+	mu     sync.Mutex
+	src    Source
+	client uint32
+	last   int64
+}
+
+// NewPerfect returns a perfectly synchronized clock for the given client.
+func NewPerfect(src Source, client uint32) *Perfect {
+	return &Perfect{src: src, client: client}
+}
+
+// Now returns the source time, made strictly monotonic.
+func (p *Perfect) Now() Timestamp {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := p.src.Now()
+	if n <= p.last {
+		n = p.last + 1
+	}
+	p.last = n
+	return Timestamp{Ticks: n, Client: p.client}
+}
+
+// Client returns the client ID.
+func (p *Perfect) Client() uint32 { return p.client }
+
+// Skewed is a Clock that reads a Source and perturbs it with an offset that
+// evolves with a constant drift rate. A Synchronizer (or a direct call to
+// Discipline) periodically re-disciplines the offset, emulating a PTP or NTP
+// daemon. Skewed clocks are strictly monotonic even across backward
+// discipline steps: corrections that would move time backwards are absorbed
+// by holding the output at last+1 until true time catches up, the same
+// behaviour as a slewing clock daemon.
+type Skewed struct {
+	mu       sync.Mutex
+	src      Source
+	client   uint32
+	offset   int64   // current offset in ns at time base
+	base     int64   // source time at which offset was last set
+	driftPPM float64 // parts-per-million drift of the local oscillator
+	last     int64
+}
+
+// NewSkewed returns a clock for client that currently leads (positive
+// offset) or lags (negative offset) the source by offset.
+func NewSkewed(src Source, client uint32, offset time.Duration, driftPPM float64) *Skewed {
+	return &Skewed{src: src, client: client, offset: int64(offset), base: src.Now(), driftPPM: driftPPM}
+}
+
+// Now returns the skewed, strictly monotonic client time.
+func (s *Skewed) Now() Timestamp {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Timestamp{Ticks: s.rawLocked(), Client: s.client}
+}
+
+func (s *Skewed) rawLocked() int64 {
+	t := s.src.Now()
+	n := t + s.offset + int64(float64(t-s.base)*s.driftPPM/1e6)
+	if n <= s.last {
+		n = s.last + 1
+	}
+	s.last = n
+	return n
+}
+
+// Client returns the client ID.
+func (s *Skewed) Client() uint32 { return s.client }
+
+// Offset returns the clock's current total offset from the source,
+// including accumulated drift.
+func (s *Skewed) Offset() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t := s.src.Now()
+	return time.Duration(s.offset + int64(float64(t-s.base)*s.driftPPM/1e6))
+}
+
+// Discipline re-synchronizes the clock, leaving a residual offset of
+// residual relative to true time (the residual is the error a sync protocol
+// could not remove). The correction is applied immediately; monotonicity is
+// preserved by the slewing behaviour of Now.
+func (s *Skewed) Discipline(residual time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.offset = int64(residual)
+	s.base = s.src.Now()
+}

@@ -1,0 +1,126 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func threeShards() []ReplicaSet {
+	var sets []ReplicaSet
+	for s := 0; s < 3; s++ {
+		sets = append(sets, ReplicaSet{
+			Primary: fmt.Sprintf("s%d/r0", s),
+			Backups: []string{fmt.Sprintf("s%d/r1", s), fmt.Sprintf("s%d/r2", s)},
+		})
+	}
+	return sets
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil); err == nil {
+		t.Fatal("empty shard list accepted")
+	}
+	if _, err := New([]ReplicaSet{{}}); err == nil {
+		t.Fatal("shard without primary accepted")
+	}
+}
+
+func TestReplicaSetHelpers(t *testing.T) {
+	rs := ReplicaSet{Primary: "p", Backups: []string{"b1", "b2"}}
+	reps := rs.Replicas()
+	if len(reps) != 3 || reps[0] != "p" || reps[2] != "b2" {
+		t.Fatalf("replicas = %v", reps)
+	}
+	if rs.F() != 1 {
+		t.Fatalf("F = %d", rs.F())
+	}
+	if (ReplicaSet{Primary: "p"}).F() != 0 {
+		t.Fatal("single replica must tolerate 0 failures")
+	}
+}
+
+func TestShardForDeterministicAndTotal(t *testing.T) {
+	d, err := New(threeShards())
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make(map[ShardID]int)
+	for i := 0; i < 3000; i++ {
+		key := []byte(fmt.Sprintf("key-%d", i))
+		a := d.ShardFor(key)
+		b := d.ShardFor(key)
+		if a != b {
+			t.Fatalf("non-deterministic mapping for %s: %d then %d", key, a, b)
+		}
+		if int(a) < 0 || int(a) >= 3 {
+			t.Fatalf("shard %d out of range", a)
+		}
+		counts[a]++
+	}
+	// Consistent hashing with 64 vnodes per shard should spread keys
+	// roughly evenly: no shard should be emptier than half its share.
+	for id, n := range counts {
+		if n < 3000/3/2 {
+			t.Fatalf("shard %d got only %d of 3000 keys", id, n)
+		}
+	}
+}
+
+func TestShardLookup(t *testing.T) {
+	d, _ := New(threeShards())
+	if d.NumShards() != 3 {
+		t.Fatalf("NumShards = %d", d.NumShards())
+	}
+	rs, err := d.Shard(1)
+	if err != nil || rs.Primary != "s1/r0" {
+		t.Fatalf("Shard(1) = %+v, %v", rs, err)
+	}
+	if _, err := d.Shard(99); err == nil {
+		t.Fatal("bad shard id accepted")
+	}
+	p, err := d.Primary(2)
+	if err != nil || p != "s2/r0" {
+		t.Fatalf("Primary(2) = %q, %v", p, err)
+	}
+	// Returned sets are copies.
+	rs.Backups[0] = "mutated"
+	rs2, _ := d.Shard(1)
+	if rs2.Backups[0] == "mutated" {
+		t.Fatal("Shard returns aliased state")
+	}
+}
+
+func TestFailover(t *testing.T) {
+	d, _ := New(threeShards())
+	e0 := d.Epoch()
+	promoted, err := d.Failover(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if promoted != "s0/r1" {
+		t.Fatalf("promoted %q", promoted)
+	}
+	if d.Epoch() != e0+1 {
+		t.Fatal("epoch did not advance")
+	}
+	rs, _ := d.Shard(0)
+	if rs.Primary != "s0/r1" || len(rs.Backups) != 1 || rs.Backups[0] != "s0/r2" {
+		t.Fatalf("post-failover set = %+v", rs)
+	}
+	// Second failover exhausts backups eventually.
+	if _, err := d.Failover(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Failover(0); err == nil {
+		t.Fatal("failover with no backups succeeded")
+	}
+	if _, err := d.Failover(99); err == nil {
+		t.Fatal("failover of unknown shard succeeded")
+	}
+	// Failover must not change key → shard mapping (only the replica set).
+	key := []byte("stable-key")
+	before := d.ShardFor(key)
+	if after := d.ShardFor(key); after != before {
+		t.Fatal("failover moved keys between shards")
+	}
+}

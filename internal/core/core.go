@@ -1,0 +1,332 @@
+// Package core is the public facade of the SEMEL/MILANA reproduction: one
+// call builds a complete sharded, replicated cluster — storage servers with
+// the backend of your choice (DRAM, unified multi-version flash, split
+// KV-over-FTL, or single-version flash), an in-process network with
+// data-center latencies, per-client precision clocks disciplined by a
+// synchronization profile (PTP, NTP, ...), and client libraries for both
+// the plain key-value API (§3) and serializable transactions (§4).
+//
+// Typical use:
+//
+//	c, _ := core.NewCluster(core.ClusterOptions{Shards: 3, Replicas: 3})
+//	defer c.Close()
+//	txc := c.NewTxnClient(1)
+//	_ = txc.RunTransaction(ctx, func(t *milana.Txn) error { ... })
+package core
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/cluster"
+	"repro/internal/flash"
+	"repro/internal/ftl"
+	"repro/internal/kvlayer"
+	"repro/internal/milana"
+	"repro/internal/mvftl"
+	"repro/internal/semel"
+	"repro/internal/storage"
+	"repro/internal/transport"
+)
+
+// Backend kinds accepted by ClusterOptions.
+const (
+	BackendDRAM = "dram" // in-memory persistent-memory model
+	BackendMFTL = "mftl" // unified multi-version FTL (SEMEL SDF)
+	BackendVFTL = "vftl" // split multi-version KV over a generic FTL
+	BackendSFTL = "sftl" // single-version generic FTL
+)
+
+// ClusterOptions configures NewCluster. The zero value means: 1 shard,
+// 3 replicas, DRAM backend, zero network latency, perfect clocks.
+type ClusterOptions struct {
+	// Shards is the number of key-space shards (default 1).
+	Shards int
+	// Replicas is the replication factor 2f+1 per shard (default 3).
+	Replicas int
+	// Backend picks the storage backend (default BackendDRAM).
+	Backend string
+	// Geometry sizes the emulated flash devices (flash backends only).
+	Geometry flash.Geometry
+	// Timing sets flash latencies; zero means flash.DefaultTiming.
+	Timing flash.Timing
+	// RealFlashTiming enables real-time sleeps in the flash emulator;
+	// false runs the devices at memory speed (functionally identical).
+	RealFlashTiming bool
+	// PackTimeout is the FTL packing delay (0 = 1 ms, <0 = disabled).
+	PackTimeout time.Duration
+	// Latency is the network latency model (zero = instant).
+	Latency transport.LatencyModel
+	// ClockProfile disciplines client clocks (zero value = perfect).
+	ClockProfile clock.Profile
+	// LeaseDuration configures primary read leases (0 = 2 s, <0 = off).
+	LeaseDuration time.Duration
+	// PreparedTimeout bounds in-doubt transactions (0 = 5 s).
+	PreparedTimeout time.Duration
+	// AntiEntropyInterval is the backup catch-up pull period
+	// (0 = 1 s, <0 = off).
+	AntiEntropyInterval time.Duration
+	// Seed makes latency jitter and clock skew reproducible.
+	Seed int64
+}
+
+// Cluster is an embedded SEMEL/MILANA deployment.
+type Cluster struct {
+	opt     ClusterOptions
+	Bus     *transport.Bus
+	Dir     *cluster.Directory
+	Source  clock.Source
+	servers map[string]*semel.Server
+	devices map[string]*flash.Device
+
+	mu     sync.Mutex
+	rng    *rand.Rand
+	clocks []*clock.Skewed
+}
+
+// Addr names replica r of shard s.
+func Addr(shard, replica int) string { return fmt.Sprintf("shard%d/r%d", shard, replica) }
+
+// NewCluster builds and starts an embedded cluster.
+func NewCluster(opt ClusterOptions) (*Cluster, error) {
+	if opt.Shards <= 0 {
+		opt.Shards = 1
+	}
+	if opt.Replicas <= 0 {
+		opt.Replicas = 3
+	}
+	if opt.Replicas%2 == 0 {
+		return nil, fmt.Errorf("core: replicas must be odd (2f+1), got %d", opt.Replicas)
+	}
+	if opt.Backend == "" {
+		opt.Backend = BackendDRAM
+	}
+	if opt.Geometry == (flash.Geometry{}) {
+		opt.Geometry = flash.Geometry{Channels: 4, BlocksPerChannel: 32, PagesPerBlock: 16, PageSize: 1024}
+	}
+	if opt.Timing == (flash.Timing{}) {
+		opt.Timing = flash.DefaultTiming
+	}
+	if opt.ClockProfile.Name == "" {
+		opt.ClockProfile = clock.PerfectProfile
+	}
+
+	c := &Cluster{
+		opt:     opt,
+		Bus:     transport.NewBus(opt.Latency, opt.Seed),
+		Source:  clock.NewSystemSource(),
+		servers: make(map[string]*semel.Server),
+		devices: make(map[string]*flash.Device),
+		rng:     rand.New(rand.NewSource(opt.Seed + 1)),
+	}
+
+	shards := make([]cluster.ReplicaSet, opt.Shards)
+	for s := 0; s < opt.Shards; s++ {
+		rs := cluster.ReplicaSet{Primary: Addr(s, 0)}
+		for r := 1; r < opt.Replicas; r++ {
+			rs.Backups = append(rs.Backups, Addr(s, r))
+		}
+		shards[s] = rs
+	}
+	dir, err := cluster.New(shards)
+	if err != nil {
+		return nil, err
+	}
+	c.Dir = dir
+
+	serverID := uint32(1 << 20) // server clock IDs far above client IDs
+	for s := 0; s < opt.Shards; s++ {
+		for r := 0; r < opt.Replicas; r++ {
+			addr := Addr(s, r)
+			backend, dev, err := c.newBackend()
+			if err != nil {
+				c.Close()
+				return nil, err
+			}
+			if dev != nil {
+				c.devices[addr] = dev
+			}
+			srv, err := semel.NewServer(semel.ServerOptions{
+				Addr:                addr,
+				Shard:               cluster.ShardID(s),
+				Primary:             r == 0,
+				Backend:             backend,
+				Net:                 c.Bus,
+				Dir:                 dir,
+				Clock:               clock.NewPerfect(c.Source, serverID),
+				LeaseDuration:       opt.LeaseDuration,
+				PreparedTimeout:     opt.PreparedTimeout,
+				AntiEntropyInterval: opt.AntiEntropyInterval,
+			})
+			if err != nil {
+				c.Close()
+				return nil, err
+			}
+			serverID++
+			c.servers[addr] = srv
+			c.Bus.Register(addr, srv)
+		}
+	}
+	return c, nil
+}
+
+// newBackend builds one replica's storage backend.
+func (c *Cluster) newBackend() (storage.Backend, *flash.Device, error) {
+	return NewBackend(BackendOptions{
+		Kind:            c.opt.Backend,
+		Geometry:        c.opt.Geometry,
+		Timing:          c.opt.Timing,
+		RealFlashTiming: c.opt.RealFlashTiming,
+		PackTimeout:     c.opt.PackTimeout,
+	})
+}
+
+// BackendOptions configures NewBackend.
+type BackendOptions struct {
+	// Kind selects the backend (BackendDRAM, BackendMFTL, ...).
+	Kind string
+	// Geometry and Timing size the emulated flash device (flash kinds).
+	Geometry flash.Geometry
+	Timing   flash.Timing
+	// RealFlashTiming enables real-time device sleeps.
+	RealFlashTiming bool
+	// PackTimeout is the FTL packing delay (0 = 1 ms, <0 = disabled).
+	PackTimeout time.Duration
+}
+
+// NewBackend builds one storage backend of the requested kind, returning
+// the emulated device behind it (nil for DRAM).
+func NewBackend(opt BackendOptions) (storage.Backend, *flash.Device, error) {
+	if opt.Geometry == (flash.Geometry{}) {
+		opt.Geometry = flash.Geometry{Channels: 4, BlocksPerChannel: 32, PagesPerBlock: 16, PageSize: 1024}
+	}
+	if opt.Timing == (flash.Timing{}) {
+		opt.Timing = flash.DefaultTiming
+	}
+	switch opt.Kind {
+	case "", BackendDRAM:
+		return storage.NewDRAM(), nil, nil
+	case BackendMFTL, BackendVFTL, BackendSFTL:
+		var sleeper flash.Sleeper = flash.NopSleeper{}
+		if opt.RealFlashTiming {
+			sleeper = flash.RealSleeper{}
+		}
+		dev, err := flash.NewDevice(flash.Options{Geometry: opt.Geometry, Timing: opt.Timing, Sleeper: sleeper})
+		if err != nil {
+			return nil, nil, err
+		}
+		switch opt.Kind {
+		case BackendMFTL:
+			st, err := mvftl.New(dev, mvftl.Options{PackTimeout: opt.PackTimeout})
+			return st, dev, err
+		case BackendVFTL:
+			f, err := ftl.New(dev, ftl.Options{})
+			if err != nil {
+				return nil, nil, err
+			}
+			st, err := kvlayer.New(f, kvlayer.Options{PackTimeout: opt.PackTimeout})
+			return st, dev, err
+		default:
+			f, err := ftl.New(dev, ftl.Options{})
+			if err != nil {
+				return nil, nil, err
+			}
+			return storage.NewSingleVersion(f), dev, nil
+		}
+	default:
+		return nil, nil, fmt.Errorf("core: unknown backend %q", opt.Kind)
+	}
+}
+
+// clientClock builds a clock for client id, skewed per the cluster's
+// synchronization profile.
+func (c *Cluster) clientClock(id uint32) clock.Clock {
+	if c.opt.ClockProfile.MeanAbsOffset == 0 {
+		return clock.NewPerfect(c.Source, id)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	sk := c.opt.ClockProfile.NewDisciplinedClock(c.Source, id, c.rng)
+	c.clocks = append(c.clocks, sk)
+	return sk
+}
+
+// StartSynchronizer runs the cluster's clock-synchronization daemons over
+// every skewed client clock created so far. Call after creating clients;
+// returns a stop function (no-op when clocks are perfect).
+func (c *Cluster) StartSynchronizer() func() {
+	c.mu.Lock()
+	clocks := append([]*clock.Skewed(nil), c.clocks...)
+	c.mu.Unlock()
+	if len(clocks) == 0 {
+		return func() {}
+	}
+	s := clock.NewSynchronizer(c.opt.ClockProfile, c.opt.Seed+99, clocks...)
+	s.Start()
+	return s.Stop
+}
+
+// ClientClock builds a client clock disciplined per the cluster's
+// synchronization profile (for baselines that bring their own client).
+func (c *Cluster) ClientClock(id uint32) clock.Clock { return c.clientClock(id) }
+
+// NewSemelClient builds a plain key-value client.
+func (c *Cluster) NewSemelClient(id uint32) *semel.Client {
+	return semel.NewClient(c.clientClock(id), c.Bus, c.Dir)
+}
+
+// NewTxnClient builds a transaction client.
+func (c *Cluster) NewTxnClient(id uint32) *milana.Client {
+	return milana.NewClient(c.clientClock(id), c.Bus, c.Dir)
+}
+
+// Server returns the replica at addr (tests and experiment drivers).
+func (c *Cluster) Server(addr string) *semel.Server { return c.servers[addr] }
+
+// Device returns the flash device backing addr, if any.
+func (c *Cluster) Device(addr string) *flash.Device { return c.devices[addr] }
+
+// Backend returns the storage backend of the replica at addr.
+func (c *Cluster) Backend(addr string) storage.Backend {
+	if s := c.servers[addr]; s != nil {
+		return s.Backend()
+	}
+	return nil
+}
+
+// KillPrimary crashes the current primary of a shard (fail-stop) and
+// promotes the first backup: the directory is updated, the new primary
+// pulls state from the surviving replicas, merges it (Algorithm 2), waits
+// out the old read lease, and starts serving. It returns the new primary's
+// address.
+func (c *Cluster) KillPrimary(ctx context.Context, shard cluster.ShardID) (string, error) {
+	old, err := c.Dir.Primary(shard)
+	if err != nil {
+		return "", err
+	}
+	c.Bus.SetDown(old, true)
+	promoted, err := c.Dir.Failover(shard)
+	if err != nil {
+		return "", err
+	}
+	srv := c.servers[promoted]
+	if srv == nil {
+		return "", fmt.Errorf("core: promoted server %q not found", promoted)
+	}
+	if err := srv.Promote(ctx); err != nil {
+		return "", err
+	}
+	return promoted, nil
+}
+
+// Close shuts down every server and the bus.
+func (c *Cluster) Close() {
+	for _, s := range c.servers {
+		s.Close()
+	}
+	c.Bus.Close()
+}

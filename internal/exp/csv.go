@@ -1,0 +1,113 @@
+package exp
+
+import (
+	"encoding/csv"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"time"
+)
+
+// WriteCSV writes one experiment's rows as a CSV file under dir, for
+// plotting. The filename is <name>.csv; existing files are replaced.
+func WriteCSV(dir, name string, header []string, rows [][]string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, name+".csv"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	if err := w.Write(header); err != nil {
+		return err
+	}
+	if err := w.WriteAll(rows); err != nil {
+		return err
+	}
+	w.Flush()
+	return w.Error()
+}
+
+func ftoa(f float64) string { return strconv.FormatFloat(f, 'f', 4, 64) }
+func dtoa(d time.Duration) string {
+	return strconv.FormatFloat(float64(d)/float64(time.Microsecond), 'f', 1, 64)
+}
+
+// Table1CSV converts Table 1 rows for WriteCSV.
+func Table1CSV(rows []Table1Row) ([]string, [][]string) {
+	header := []string{"get_pct", "store", "kreq_per_sec", "avg_get_us", "avg_put_us", "gc_relocated"}
+	var out [][]string
+	for _, r := range rows {
+		out = append(out, []string{
+			strconv.Itoa(r.GetPct), r.Store, ftoa(r.KReqPerSec),
+			dtoa(r.AvgGetLatency), dtoa(r.AvgPutLatency), strconv.FormatInt(r.Relocated, 10),
+		})
+	}
+	return header, out
+}
+
+// Figure1CSV converts Figure 1 rows.
+func Figure1CSV(rows []Fig1Row) ([]string, [][]string) {
+	header := []string{"epsilon_us", "rejection_rate", "avg_success_latency_us"}
+	var out [][]string
+	for _, r := range rows {
+		out = append(out, []string{dtoa(r.Epsilon), ftoa(r.RejectionRate), dtoa(r.AvgSuccessLatency)})
+	}
+	return header, out
+}
+
+// Figure6CSV converts Figure 6 rows.
+func Figure6CSV(rows []Fig6Row) ([]string, [][]string) {
+	header := []string{"backend", "alpha", "clients", "abort_rate"}
+	var out [][]string
+	for _, r := range rows {
+		out = append(out, []string{r.Backend, ftoa(r.Alpha), strconv.Itoa(r.Clients), ftoa(r.AbortRate)})
+	}
+	return header, out
+}
+
+// Figure7CSV converts Figure 7 rows.
+func Figure7CSV(rows []Fig7Row) ([]string, [][]string) {
+	header := []string{"clock", "backend", "alpha", "abort_rate"}
+	var out [][]string
+	for _, r := range rows {
+		out = append(out, []string{r.Profile, r.Backend, ftoa(r.Alpha), ftoa(r.AbortRate)})
+	}
+	return header, out
+}
+
+// Figure8CSV converts Figure 8 rows.
+func Figure8CSV(rows []Fig8Row) ([]string, [][]string) {
+	header := []string{"backend", "local_validation", "clients", "txn_per_sec", "avg_latency_us"}
+	var out [][]string
+	for _, r := range rows {
+		out = append(out, []string{
+			r.Backend, fmt.Sprintf("%v", r.LocalValidation), strconv.Itoa(r.Clients),
+			ftoa(r.ThroughputTPS), dtoa(r.AvgLatency),
+		})
+	}
+	return header, out
+}
+
+// Figure9CSV converts Figure 9 rows.
+func Figure9CSV(rows []Fig9Row) ([]string, [][]string) {
+	header := []string{"system", "alpha", "txn_per_sec", "abort_rate", "ro_local_pct"}
+	var out [][]string
+	for _, r := range rows {
+		out = append(out, []string{r.System, ftoa(r.Alpha), ftoa(r.ThroughputTPS), ftoa(r.AbortRate), ftoa(r.LocalValidatedPct)})
+	}
+	return header, out
+}
+
+// AblationCSV converts ablation rows.
+func AblationCSV(rows []AblationRow) ([]string, [][]string) {
+	header := []string{"clock", "mean_skew_us", "abort_rate", "txn_per_sec", "skew_abort_pct"}
+	var out [][]string
+	for _, r := range rows {
+		out = append(out, []string{r.Profile, dtoa(r.MeanSkew), ftoa(r.AbortRate), ftoa(r.ThroughputTPS), ftoa(r.SkewAbortPct)})
+	}
+	return header, out
+}

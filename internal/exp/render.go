@@ -1,0 +1,112 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/wire"
+)
+
+func us(d time.Duration) string {
+	return fmt.Sprintf("%.1f", float64(d)/float64(time.Microsecond))
+}
+
+// RenderTable1 prints rows in the layout of the paper's Table 1.
+func RenderTable1(rows []Table1Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 1: Single SSD Multi-version FTL Performance\n")
+	fmt.Fprintf(&b, "%-6s | %-12s %-12s | %-11s %-11s | %-11s %-11s\n",
+		"Get %", "VFTL kreq/s", "MFTL kreq/s", "VFTL get µs", "MFTL get µs", "VFTL put µs", "MFTL put µs")
+	byPct := map[int]map[string]Table1Row{}
+	order := []int{}
+	for _, r := range rows {
+		if byPct[r.GetPct] == nil {
+			byPct[r.GetPct] = map[string]Table1Row{}
+			order = append(order, r.GetPct)
+		}
+		byPct[r.GetPct][r.Store] = r
+	}
+	for _, pct := range order {
+		v, m := byPct[pct]["VFTL"], byPct[pct]["MFTL"]
+		fmt.Fprintf(&b, "%-6d | %-12.1f %-12.1f | %-11s %-11s | %-11s %-11s\n",
+			pct, v.KReqPerSec, m.KReqPerSec,
+			us(v.AvgGetLatency), us(m.AvgGetLatency),
+			us(v.AvgPutLatency), us(m.AvgPutLatency))
+	}
+	return b.String()
+}
+
+// RenderFigure1 prints the clock-skew penalty sweep.
+func RenderFigure1(rows []Fig1Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 1: Impact of clock skew on a lagging writer\n")
+	fmt.Fprintf(&b, "%-12s %-16s %-20s\n", "epsilon", "rejection rate", "avg success latency")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-12v %-16.3f %-20v\n", r.Epsilon, r.RejectionRate, r.AvgSuccessLatency)
+	}
+	return b.String()
+}
+
+// RenderFigure6 prints abort rates versus client count.
+func RenderFigure6(rows []Fig6Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 6: Transaction abort rate vs number of clients (single node, no skew)\n")
+	fmt.Fprintf(&b, "%-8s %-6s %-8s %-10s\n", "backend", "alpha", "clients", "abort%")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-8s %-6.1f %-8d %-10.2f\n", r.Backend, r.Alpha, r.Clients, 100*r.AbortRate)
+	}
+	return b.String()
+}
+
+// RenderFigure7 prints PTP vs NTP abort rates with the Algorithm 1 branch
+// breakdown ("late-*" are the clock-skew-sensitive branches).
+func RenderFigure7(rows []Fig7Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 7: PTP vs NTP — MILANA transaction abort rates\n")
+	fmt.Fprintf(&b, "%-8s %-8s %-6s %-8s | %-9s %-9s %-9s %-9s %-9s\n",
+		"clock", "backend", "alpha", "abort%", "rd-prep", "rd-stale", "wr-prep", "late-rd", "late-wr")
+	for _, r := range rows {
+		total := int64(0)
+		for _, n := range r.AbortsByReason {
+			total += n
+		}
+		pct := func(reason wire.AbortReason) float64 {
+			if total == 0 {
+				return 0
+			}
+			return 100 * float64(r.AbortsByReason[reason]) / float64(total)
+		}
+		fmt.Fprintf(&b, "%-8s %-8s %-6.1f %-8.2f | %-9.1f %-9.1f %-9.1f %-9.1f %-9.1f\n",
+			r.Profile, r.Backend, r.Alpha, 100*r.AbortRate,
+			pct(wire.AbortReadPrepared), pct(wire.AbortReadStale), pct(wire.AbortWritePrepared),
+			pct(wire.AbortLateWriteRead), pct(wire.AbortLateWrite))
+	}
+	return b.String()
+}
+
+// RenderFigure8 prints the latency-vs-throughput series.
+func RenderFigure8(rows []Fig8Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 8: Retwis transaction latency vs throughput (75%% read-only)\n")
+	fmt.Fprintf(&b, "%-8s %-6s %-8s %-14s %-14s\n", "backend", "LV", "clients", "txn/s", "avg latency")
+	for _, r := range rows {
+		lv := "off"
+		if r.LocalValidation {
+			lv = "on"
+		}
+		fmt.Fprintf(&b, "%-8s %-6s %-8d %-14.0f %-14v\n", r.Backend, lv, r.Clients, r.ThroughputTPS, r.AvgLatency)
+	}
+	return b.String()
+}
+
+// RenderFigure9 prints the MILANA vs Centiman comparison.
+func RenderFigure9(rows []Fig9Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 9: Local validation — MILANA vs Centiman (75%% read-only)\n")
+	fmt.Fprintf(&b, "%-10s %-6s %-12s %-10s %-14s\n", "system", "alpha", "txn/s", "abort%", "RO local-val%")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-10s %-6.1f %-12.0f %-10.2f %-14.1f\n", r.System, r.Alpha, r.ThroughputTPS, 100*r.AbortRate, r.LocalValidatedPct)
+	}
+	return b.String()
+}

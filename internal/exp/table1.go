@@ -1,0 +1,233 @@
+package exp
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/flash"
+	"repro/internal/ftl"
+	"repro/internal/kvlayer"
+	"repro/internal/mvftl"
+	"repro/internal/storage"
+)
+
+// Table1Row is one cell group of Table 1: throughput and average latencies
+// of a single emulated SSD under a given GET percentage.
+type Table1Row struct {
+	GetPct        int
+	Store         string // "VFTL" or "MFTL"
+	KReqPerSec    float64
+	AvgGetLatency time.Duration
+	AvgPutLatency time.Duration
+	// Relocated counts records the store's own GC moved ("remapped
+	// data" — the paper reports VFTL remaps ~15% more at 25% GET).
+	Relocated int64
+}
+
+// table1Store is the store surface the microbenchmark needs.
+type table1Store interface {
+	storage.Backend
+	PruneAll()
+}
+
+// RunTable1 reproduces Table 1: a single-SSD KV microbenchmark comparing
+// the split multi-version layer (VFTL) against the unified multi-version
+// FTL (MFTL) at GET ratios 100/75/50/25, with 512-byte
+// ⟨key,value,version⟩ tuples and GC active.
+func RunTable1(ctx context.Context, cfg Config) ([]Table1Row, error) {
+	geo := flash.Geometry{Channels: 8, BlocksPerChannel: 32, PagesPerBlock: 32, PageSize: 4096}
+	keys := cfg.users(4000, 300)
+	duration := cfg.duration(3*time.Second, 60*time.Millisecond)
+	workers := 64
+	var sleeper flash.Sleeper = flash.RealSleeper{}
+	packTimeout := cfg.dilate(time.Millisecond)
+	timing := cfg.flashTiming()
+	if cfg.Quick {
+		geo = flash.Geometry{Channels: 4, BlocksPerChannel: 16, PagesPerBlock: 16, PageSize: 4096}
+		workers = 8
+		sleeper = flash.NopSleeper{}
+		packTimeout = 100 * time.Microsecond
+	}
+
+	var rows []Table1Row
+	for _, getPct := range []int{100, 75, 50, 25} {
+		for _, kind := range []string{"VFTL", "MFTL"} {
+			row, err := runTable1Point(ctx, kind, geo, timing, sleeper, packTimeout, keys, workers, getPct, duration, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("table1 %s@%d%%: %w", kind, getPct, err)
+			}
+			cfg.progress("table1 %s get%%=%d: %.1f kreq/s get=%v put=%v", kind, getPct, row.KReqPerSec, row.AvgGetLatency, row.AvgPutLatency)
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+func newTable1Store(kind string, geo flash.Geometry, timing flash.Timing, sleeper flash.Sleeper, packTimeout time.Duration) (table1Store, func() int64, error) {
+	dev, err := flash.NewDevice(flash.Options{Geometry: geo, Timing: timing, Sleeper: sleeper})
+	if err != nil {
+		return nil, nil, err
+	}
+	switch kind {
+	case "MFTL":
+		s, err := mvftl.New(dev, mvftl.Options{PackTimeout: packTimeout})
+		if err != nil {
+			return nil, nil, err
+		}
+		return s, func() int64 { return s.Stats().GCRelocated }, nil
+	case "VFTL":
+		f, err := ftl.New(dev, ftl.Options{})
+		if err != nil {
+			return nil, nil, err
+		}
+		s, err := kvlayer.New(f, kvlayer.Options{PackTimeout: packTimeout})
+		if err != nil {
+			return nil, nil, err
+		}
+		// VFTL remaps at two levels: its own repacking plus the FTL's
+		// block relocation underneath.
+		return s, func() int64 { return s.Stats().GCRelocated + f.Stats().GCRelocated }, nil
+	default:
+		return nil, nil, fmt.Errorf("unknown store %q", kind)
+	}
+}
+
+func runTable1Point(ctx context.Context, kind string, geo flash.Geometry, timing flash.Timing, sleeper flash.Sleeper, packTimeout time.Duration, keys, workers, getPct int, duration time.Duration, cfg Config) (Table1Row, error) {
+	seed := cfg.Seed
+	// The retained-version window: generous at full scale, tight in quick
+	// mode where the un-throttled put rate would otherwise outgrow the
+	// shrunken device.
+	window := cfg.dilate(50 * time.Millisecond)
+	if _, quick := sleeper.(flash.NopSleeper); quick {
+		window = 0
+	}
+	st, relocated, err := newTable1Store(kind, geo, timing, sleeper, packTimeout)
+	if err != nil {
+		return Table1Row{}, err
+	}
+	src := clock.NewSystemSource()
+	clk := clock.NewPerfect(src, 1)
+
+	// The paper's tuples are 512 bytes: 16-byte key + value sized so the
+	// encoded record is exactly 512 (8 per 4 KB page).
+	valSize := 512 - 24 - 16
+	key := func(i int) []byte { return []byte(fmt.Sprintf("k%015d", i)) }
+	val := make([]byte, valSize)
+
+	// Populate.
+	var wg sync.WaitGroup
+	idxCh := make(chan int, workers)
+	var popErr atomic.Value
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idxCh {
+				if err := st.Put(key(i), val, clk.Now()); err != nil {
+					popErr.CompareAndSwap(nil, err)
+					return
+				}
+			}
+		}()
+	}
+	for i := 0; i < keys; i++ {
+		idxCh <- i
+	}
+	close(idxCh)
+	wg.Wait()
+	if err, ok := popErr.Load().(error); ok && err != nil {
+		return Table1Row{}, err
+	}
+	st.Flush()
+	relocatedBase := relocated()
+
+	// Measured run: closed loop, GC active via a trailing watermark.
+	var (
+		gets, puts         atomic.Int64
+		getNs, putNs       atomic.Int64
+		runErr             atomic.Value
+		stop               = make(chan struct{})
+		watermarkStop      = make(chan struct{})
+		watermarkStoppedWg sync.WaitGroup
+	)
+	watermarkStoppedWg.Add(1)
+	go func() { // trailing watermark keeps a ~50 ms version window
+		defer watermarkStoppedWg.Done()
+		t := time.NewTicker(5 * time.Millisecond)
+		defer t.Stop()
+		for {
+			select {
+			case <-watermarkStop:
+				return
+			case <-t.C:
+				st.SetWatermark(clk.Now().Add(-window))
+				st.PruneAll()
+			}
+		}
+	}()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(seed + int64(w)))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				k := key(r.Intn(keys))
+				if r.Intn(100) < getPct {
+					t0 := time.Now()
+					if _, _, _, err := st.Get(k, clk.Now()); err != nil {
+						runErr.CompareAndSwap(nil, err)
+						return
+					}
+					getNs.Add(int64(time.Since(t0)))
+					gets.Add(1)
+				} else {
+					t0 := time.Now()
+					if err := st.Put(k, val, clk.Now()); err != nil {
+						runErr.CompareAndSwap(nil, err)
+						return
+					}
+					putNs.Add(int64(time.Since(t0)))
+					puts.Add(1)
+				}
+			}
+		}(w)
+	}
+	start := time.Now()
+	timer := time.NewTimer(duration)
+	select {
+	case <-timer.C:
+	case <-ctx.Done():
+	}
+	close(stop)
+	wg.Wait()
+	close(watermarkStop)
+	watermarkStoppedWg.Wait()
+	elapsed := time.Since(start)
+	if err, ok := runErr.Load().(error); ok && err != nil {
+		return Table1Row{}, err
+	}
+
+	row := Table1Row{
+		GetPct:     getPct,
+		Store:      kind,
+		KReqPerSec: float64(gets.Load()+puts.Load()) / elapsed.Seconds() / 1000,
+		Relocated:  relocated() - relocatedBase,
+	}
+	if n := gets.Load(); n > 0 {
+		row.AvgGetLatency = time.Duration(getNs.Load() / n)
+	}
+	if n := puts.Load(); n > 0 {
+		row.AvgPutLatency = time.Duration(putNs.Load() / n)
+	}
+	return row, nil
+}

@@ -1,0 +1,333 @@
+// Package flash emulates a NAND flash device of the kind exposed by the
+// Open-Channel SSD framework the paper builds on (§2.2, §5). The emulator
+// enforces the physical constraints an FTL must respect:
+//
+//   - the page is the unit of read and program,
+//   - a page can be programmed only once after an erase (erase-before-write),
+//   - pages within a block must be programmed sequentially,
+//   - erase happens at block granularity and wears the block,
+//
+// and it models timing: page read / page program / block erase latencies
+// (defaults 50 µs / 100 µs / 1 ms per §5), a bounded hardware queue, and
+// per-channel serialization so that operations on distinct channels proceed
+// in parallel, as on a real SSD.
+package flash
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Geometry describes the physical layout of the device.
+type Geometry struct {
+	// Channels is the number of independent flash channels; operations on
+	// different channels proceed in parallel.
+	Channels int
+	// BlocksPerChannel is the number of erase blocks per channel.
+	BlocksPerChannel int
+	// PagesPerBlock is the number of pages per erase block (paper: 32).
+	PagesPerBlock int
+	// PageSize is the page size in bytes (paper: 4096).
+	PageSize int
+}
+
+// DefaultGeometry mirrors the emulated SSD in §5 scaled to test size: 4 KB
+// pages, 32 pages per block.
+var DefaultGeometry = Geometry{Channels: 8, BlocksPerChannel: 64, PagesPerBlock: 32, PageSize: 4096}
+
+// Blocks returns the total number of erase blocks on the device.
+func (g Geometry) Blocks() int { return g.Channels * g.BlocksPerChannel }
+
+// Pages returns the total number of pages on the device.
+func (g Geometry) Pages() int { return g.Blocks() * g.PagesPerBlock }
+
+// Capacity returns the raw capacity in bytes.
+func (g Geometry) Capacity() int64 { return int64(g.Pages()) * int64(g.PageSize) }
+
+func (g Geometry) validate() error {
+	if g.Channels <= 0 || g.BlocksPerChannel <= 0 || g.PagesPerBlock <= 0 || g.PageSize <= 0 {
+		return fmt.Errorf("flash: invalid geometry %+v", g)
+	}
+	return nil
+}
+
+// Timing models operation latencies. A TimeScale of 0 is treated as 1.
+// Benchmarks may scale latencies up (steadier sleeps) or tests may use a
+// NopSleeper to run at memory speed while preserving all functional
+// behaviour.
+type Timing struct {
+	PageRead   time.Duration
+	PageWrite  time.Duration
+	BlockErase time.Duration
+	TimeScale  float64
+}
+
+// DefaultTiming is the paper's emulated SSD: 50 µs read, 100 µs program,
+// 1 ms erase.
+var DefaultTiming = Timing{PageRead: 50 * time.Microsecond, PageWrite: 100 * time.Microsecond, BlockErase: time.Millisecond, TimeScale: 1}
+
+func (t Timing) scaled(d time.Duration) time.Duration {
+	if t.TimeScale == 0 || t.TimeScale == 1 {
+		return d
+	}
+	return time.Duration(float64(d) * t.TimeScale)
+}
+
+// Sleeper abstracts blocking for a simulated latency, so tests can run
+// instantly and benchmarks can burn real time.
+type Sleeper interface {
+	Sleep(d time.Duration)
+}
+
+// RealSleeper blocks with time.Sleep.
+type RealSleeper struct{}
+
+// Sleep blocks for d.
+func (RealSleeper) Sleep(d time.Duration) { time.Sleep(d) }
+
+// NopSleeper never blocks. Functional behaviour (states, constraints,
+// counters) is unchanged.
+type NopSleeper struct{}
+
+// Sleep returns immediately.
+func (NopSleeper) Sleep(time.Duration) {}
+
+// PageAddr names a physical page: a global block index and a page offset
+// within the block. The channel is Block modulo the channel count, i.e.
+// consecutive blocks stripe across channels.
+type PageAddr struct {
+	Block int
+	Page  int
+}
+
+// String renders the address as "b<block>/p<page>".
+func (a PageAddr) String() string { return fmt.Sprintf("b%d/p%d", a.Block, a.Page) }
+
+// Typed errors returned by device operations.
+var (
+	ErrOutOfRange       = errors.New("flash: address out of range")
+	ErrReadErased       = errors.New("flash: read of erased page")
+	ErrProgramTwice     = errors.New("flash: program of already-programmed page (erase-before-write)")
+	ErrProgramSequence  = errors.New("flash: pages must be programmed sequentially within a block")
+	ErrOversizedProgram = errors.New("flash: program data exceeds page size")
+	ErrClosed           = errors.New("flash: device closed")
+)
+
+// Stats are cumulative operation counters.
+type Stats struct {
+	Reads    int64
+	Programs int64
+	Erases   int64
+}
+
+type block struct {
+	pages    [][]byte // nil entry = erased
+	nextPage int      // next programmable page (sequential programming)
+	wear     int64    // erase count
+}
+
+// Device is an emulated NAND flash device. It is safe for concurrent use;
+// the hardware queue depth bounds in-flight operations and each channel
+// serializes its own operations.
+type Device struct {
+	geo     Geometry
+	timing  Timing
+	sleeper Sleeper
+	queue   chan struct{}
+	chans   []sync.Mutex
+	mu      sync.Mutex // guards blocks' metadata and data
+	blocks  []block
+	closed  atomic.Bool
+
+	reads    atomic.Int64
+	programs atomic.Int64
+	erases   atomic.Int64
+}
+
+// Options configures NewDevice.
+type Options struct {
+	Geometry   Geometry
+	Timing     Timing
+	Sleeper    Sleeper // nil means RealSleeper
+	QueueDepth int     // 0 means 128, per §5
+}
+
+// NewDevice creates a fully erased device.
+func NewDevice(opt Options) (*Device, error) {
+	if opt.Geometry == (Geometry{}) {
+		opt.Geometry = DefaultGeometry
+	}
+	if err := opt.Geometry.validate(); err != nil {
+		return nil, err
+	}
+	if opt.Timing == (Timing{}) {
+		opt.Timing = DefaultTiming
+	}
+	if opt.Sleeper == nil {
+		opt.Sleeper = RealSleeper{}
+	}
+	if opt.QueueDepth <= 0 {
+		opt.QueueDepth = 128
+	}
+	d := &Device{
+		geo:     opt.Geometry,
+		timing:  opt.Timing,
+		sleeper: opt.Sleeper,
+		queue:   make(chan struct{}, opt.QueueDepth),
+		chans:   make([]sync.Mutex, opt.Geometry.Channels),
+		blocks:  make([]block, opt.Geometry.Blocks()),
+	}
+	for i := range d.blocks {
+		d.blocks[i].pages = make([][]byte, opt.Geometry.PagesPerBlock)
+	}
+	return d, nil
+}
+
+// Geometry returns the device geometry.
+func (d *Device) Geometry() Geometry { return d.geo }
+
+// Stats returns a snapshot of the operation counters.
+func (d *Device) Stats() Stats {
+	return Stats{Reads: d.reads.Load(), Programs: d.programs.Load(), Erases: d.erases.Load()}
+}
+
+// Close marks the device closed; subsequent operations fail with ErrClosed.
+// Data is retained so a "reopened" device can be scanned for recovery.
+func (d *Device) Close() { d.closed.Store(true) }
+
+// Reopen clears the closed flag, emulating power-cycling the device.
+func (d *Device) Reopen() { d.closed.Store(false) }
+
+func (d *Device) checkAddr(a PageAddr) error {
+	if a.Block < 0 || a.Block >= d.geo.Blocks() || a.Page < 0 || a.Page >= d.geo.PagesPerBlock {
+		return fmt.Errorf("%w: %v", ErrOutOfRange, a)
+	}
+	return nil
+}
+
+// occupy models the hardware queue and the channel bus: it admits the
+// operation, holds the channel for the operation latency, and releases.
+func (d *Device) occupy(channel int, lat time.Duration) {
+	d.queue <- struct{}{}
+	d.chans[channel].Lock()
+	d.sleeper.Sleep(d.timing.scaled(lat))
+	d.chans[channel].Unlock()
+	<-d.queue
+}
+
+// ReadPage returns a copy of the page's contents. Reading an erased page is
+// an FTL bug and returns ErrReadErased.
+func (d *Device) ReadPage(a PageAddr) ([]byte, error) {
+	if d.closed.Load() {
+		return nil, ErrClosed
+	}
+	if err := d.checkAddr(a); err != nil {
+		return nil, err
+	}
+	d.mu.Lock()
+	data := d.blocks[a.Block].pages[a.Page]
+	d.mu.Unlock()
+	if data == nil {
+		return nil, fmt.Errorf("%w: %v", ErrReadErased, a)
+	}
+	d.occupy(a.Block%d.geo.Channels, d.timing.PageRead)
+	d.reads.Add(1)
+	out := make([]byte, len(data))
+	copy(out, data)
+	return out, nil
+}
+
+// ProgramPage writes data (at most one page) to an erased page. Pages
+// within a block must be programmed in order.
+func (d *Device) ProgramPage(a PageAddr, data []byte) error {
+	if d.closed.Load() {
+		return ErrClosed
+	}
+	if err := d.checkAddr(a); err != nil {
+		return err
+	}
+	if len(data) > d.geo.PageSize {
+		return fmt.Errorf("%w: %d > %d", ErrOversizedProgram, len(data), d.geo.PageSize)
+	}
+	d.mu.Lock()
+	b := &d.blocks[a.Block]
+	switch {
+	case b.pages[a.Page] != nil:
+		d.mu.Unlock()
+		return fmt.Errorf("%w: %v", ErrProgramTwice, a)
+	case a.Page != b.nextPage:
+		d.mu.Unlock()
+		return fmt.Errorf("%w: %v (next programmable page is %d)", ErrProgramSequence, a, b.nextPage)
+	}
+	stored := make([]byte, len(data))
+	copy(stored, data)
+	b.pages[a.Page] = stored
+	b.nextPage++
+	d.mu.Unlock()
+	d.occupy(a.Block%d.geo.Channels, d.timing.PageWrite)
+	d.programs.Add(1)
+	return nil
+}
+
+// EraseBlock erases every page in the block and increments its wear count.
+func (d *Device) EraseBlock(blockIdx int) error {
+	if d.closed.Load() {
+		return ErrClosed
+	}
+	if blockIdx < 0 || blockIdx >= d.geo.Blocks() {
+		return fmt.Errorf("%w: block %d", ErrOutOfRange, blockIdx)
+	}
+	d.mu.Lock()
+	b := &d.blocks[blockIdx]
+	for i := range b.pages {
+		b.pages[i] = nil
+	}
+	b.nextPage = 0
+	b.wear++
+	d.mu.Unlock()
+	d.occupy(blockIdx%d.geo.Channels, d.timing.BlockErase)
+	d.erases.Add(1)
+	return nil
+}
+
+// PageState reports whether a page currently holds data, without timing cost
+// (used by FTL recovery scans and tests).
+func (d *Device) PageState(a PageAddr) (programmed bool, err error) {
+	if err := d.checkAddr(a); err != nil {
+		return false, err
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.blocks[a.Block].pages[a.Page] != nil, nil
+}
+
+// Wear returns the erase count of a block.
+func (d *Device) Wear(blockIdx int) (int64, error) {
+	if blockIdx < 0 || blockIdx >= d.geo.Blocks() {
+		return 0, fmt.Errorf("%w: block %d", ErrOutOfRange, blockIdx)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.blocks[blockIdx].wear, nil
+}
+
+// WearSpread returns the minimum and maximum per-block erase counts, used to
+// assess wear-leveling quality.
+func (d *Device) WearSpread() (minWear, maxWear int64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	minWear = int64(1<<62 - 1)
+	for i := range d.blocks {
+		w := d.blocks[i].wear
+		if w < minWear {
+			minWear = w
+		}
+		if w > maxWear {
+			maxWear = w
+		}
+	}
+	return minWear, maxWear
+}

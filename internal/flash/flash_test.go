@@ -1,0 +1,283 @@
+package flash
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func testDevice(t *testing.T) *Device {
+	t.Helper()
+	d, err := NewDevice(Options{
+		Geometry: Geometry{Channels: 2, BlocksPerChannel: 4, PagesPerBlock: 4, PageSize: 64},
+		Sleeper:  NopSleeper{},
+	})
+	if err != nil {
+		t.Fatalf("NewDevice: %v", err)
+	}
+	return d
+}
+
+func TestGeometryDerived(t *testing.T) {
+	g := Geometry{Channels: 2, BlocksPerChannel: 4, PagesPerBlock: 8, PageSize: 512}
+	if g.Blocks() != 8 || g.Pages() != 64 || g.Capacity() != 64*512 {
+		t.Fatalf("derived geometry wrong: %d %d %d", g.Blocks(), g.Pages(), g.Capacity())
+	}
+}
+
+func TestNewDeviceRejectsBadGeometry(t *testing.T) {
+	if _, err := NewDevice(Options{Geometry: Geometry{Channels: -1, BlocksPerChannel: 1, PagesPerBlock: 1, PageSize: 1}}); err == nil {
+		t.Fatal("negative channels accepted")
+	}
+}
+
+func TestProgramReadRoundTrip(t *testing.T) {
+	d := testDevice(t)
+	data := []byte("hello flash")
+	if err := d.ProgramPage(PageAddr{Block: 0, Page: 0}, data); err != nil {
+		t.Fatalf("program: %v", err)
+	}
+	got, err := d.ReadPage(PageAddr{Block: 0, Page: 0})
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatalf("got %q want %q", got, data)
+	}
+	// Returned slice is a copy: mutating it must not affect the media.
+	got[0] = 'X'
+	again, _ := d.ReadPage(PageAddr{Block: 0, Page: 0})
+	if !bytes.Equal(again, data) {
+		t.Fatal("ReadPage aliases device memory")
+	}
+	// Input slice is copied too.
+	data[0] = 'Y'
+	again, _ = d.ReadPage(PageAddr{Block: 0, Page: 0})
+	if again[0] != 'h' {
+		t.Fatal("ProgramPage aliases caller memory")
+	}
+}
+
+func TestEraseBeforeWrite(t *testing.T) {
+	d := testDevice(t)
+	a := PageAddr{Block: 1, Page: 0}
+	if err := d.ProgramPage(a, []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.ProgramPage(a, []byte("v2")); !errors.Is(err, ErrProgramTwice) {
+		t.Fatalf("overwrite allowed: %v", err)
+	}
+	if err := d.EraseBlock(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.ReadPage(a); !errors.Is(err, ErrReadErased) {
+		t.Fatalf("read after erase: %v", err)
+	}
+	if err := d.ProgramPage(a, []byte("v2")); err != nil {
+		t.Fatalf("program after erase: %v", err)
+	}
+}
+
+func TestSequentialProgramming(t *testing.T) {
+	d := testDevice(t)
+	if err := d.ProgramPage(PageAddr{Block: 0, Page: 2}, []byte("skip")); !errors.Is(err, ErrProgramSequence) {
+		t.Fatalf("out-of-order program allowed: %v", err)
+	}
+	for p := 0; p < 4; p++ {
+		if err := d.ProgramPage(PageAddr{Block: 0, Page: p}, []byte{byte(p)}); err != nil {
+			t.Fatalf("page %d: %v", p, err)
+		}
+	}
+}
+
+func TestBoundsAndOversize(t *testing.T) {
+	d := testDevice(t)
+	if _, err := d.ReadPage(PageAddr{Block: 99, Page: 0}); !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("bad block read: %v", err)
+	}
+	if err := d.ProgramPage(PageAddr{Block: 0, Page: 99}, nil); !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("bad page program: %v", err)
+	}
+	if err := d.EraseBlock(-1); !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("bad erase: %v", err)
+	}
+	big := make([]byte, 65)
+	if err := d.ProgramPage(PageAddr{Block: 0, Page: 0}, big); !errors.Is(err, ErrOversizedProgram) {
+		t.Fatalf("oversize program: %v", err)
+	}
+}
+
+func TestStatsAndWear(t *testing.T) {
+	d := testDevice(t)
+	_ = d.ProgramPage(PageAddr{Block: 0, Page: 0}, []byte("x"))
+	_, _ = d.ReadPage(PageAddr{Block: 0, Page: 0})
+	_ = d.EraseBlock(0)
+	s := d.Stats()
+	if s.Programs != 1 || s.Reads != 1 || s.Erases != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+	w, err := d.Wear(0)
+	if err != nil || w != 1 {
+		t.Fatalf("wear = %d, %v", w, err)
+	}
+	minW, maxW := d.WearSpread()
+	if minW != 0 || maxW != 1 {
+		t.Fatalf("wear spread = %d..%d", minW, maxW)
+	}
+}
+
+func TestCloseReopen(t *testing.T) {
+	d := testDevice(t)
+	if err := d.ProgramPage(PageAddr{Block: 0, Page: 0}, []byte("persist")); err != nil {
+		t.Fatal(err)
+	}
+	d.Close()
+	if _, err := d.ReadPage(PageAddr{Block: 0, Page: 0}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("read on closed: %v", err)
+	}
+	if err := d.ProgramPage(PageAddr{Block: 0, Page: 1}, nil); !errors.Is(err, ErrClosed) {
+		t.Fatalf("program on closed: %v", err)
+	}
+	if err := d.EraseBlock(0); !errors.Is(err, ErrClosed) {
+		t.Fatalf("erase on closed: %v", err)
+	}
+	d.Reopen()
+	got, err := d.ReadPage(PageAddr{Block: 0, Page: 0})
+	if err != nil || !bytes.Equal(got, []byte("persist")) {
+		t.Fatalf("data lost across power cycle: %q %v", got, err)
+	}
+}
+
+func TestPageState(t *testing.T) {
+	d := testDevice(t)
+	if ok, _ := d.PageState(PageAddr{Block: 0, Page: 0}); ok {
+		t.Fatal("fresh page reported programmed")
+	}
+	_ = d.ProgramPage(PageAddr{Block: 0, Page: 0}, []byte("x"))
+	if ok, _ := d.PageState(PageAddr{Block: 0, Page: 0}); !ok {
+		t.Fatal("programmed page reported erased")
+	}
+	if _, err := d.PageState(PageAddr{Block: 0, Page: 999}); err == nil {
+		t.Fatal("bad addr accepted")
+	}
+}
+
+func TestTimingScale(t *testing.T) {
+	tm := Timing{PageRead: 100 * time.Nanosecond, TimeScale: 2.5}
+	if got := tm.scaled(tm.PageRead); got != 250*time.Nanosecond {
+		t.Fatalf("scaled = %v", got)
+	}
+	tm.TimeScale = 0
+	if got := tm.scaled(tm.PageRead); got != 100*time.Nanosecond {
+		t.Fatalf("scale 0 must mean 1, got %v", got)
+	}
+}
+
+func TestRealSleeperSleeps(t *testing.T) {
+	start := time.Now()
+	RealSleeper{}.Sleep(5 * time.Millisecond)
+	if elapsed := time.Since(start); elapsed < 4*time.Millisecond {
+		t.Fatalf("slept only %v", elapsed)
+	}
+	NopSleeper{}.Sleep(time.Hour) // must return immediately
+}
+
+func TestConcurrentOperations(t *testing.T) {
+	d, err := NewDevice(Options{
+		Geometry:   Geometry{Channels: 4, BlocksPerChannel: 8, PagesPerBlock: 16, PageSize: 64},
+		Sleeper:    NopSleeper{},
+		QueueDepth: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for b := 0; b < d.Geometry().Blocks(); b++ {
+		wg.Add(1)
+		go func(b int) {
+			defer wg.Done()
+			for p := 0; p < d.Geometry().PagesPerBlock; p++ {
+				if err := d.ProgramPage(PageAddr{Block: b, Page: p}, []byte{byte(b), byte(p)}); err != nil {
+					t.Errorf("program b%d/p%d: %v", b, p, err)
+					return
+				}
+			}
+			for p := 0; p < d.Geometry().PagesPerBlock; p++ {
+				got, err := d.ReadPage(PageAddr{Block: b, Page: p})
+				if err != nil || !bytes.Equal(got, []byte{byte(b), byte(p)}) {
+					t.Errorf("read b%d/p%d: %q %v", b, p, got, err)
+					return
+				}
+			}
+		}(b)
+	}
+	wg.Wait()
+	s := d.Stats()
+	want := int64(d.Geometry().Pages())
+	if s.Programs != want || s.Reads != want {
+		t.Fatalf("stats = %+v, want %d each", s, want)
+	}
+}
+
+// Property: any sequence of (program-next, erase) operations keeps the
+// device consistent — reads return exactly the last programmed data and
+// erased pages never return data.
+func TestDeviceConsistencyProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		d, err := NewDevice(Options{
+			Geometry: Geometry{Channels: 1, BlocksPerChannel: 2, PagesPerBlock: 4, PageSize: 16},
+			Sleeper:  NopSleeper{},
+		})
+		if err != nil {
+			return false
+		}
+		type shadowPage struct {
+			data []byte
+			ok   bool
+		}
+		shadow := make(map[PageAddr]shadowPage)
+		next := map[int]int{0: 0, 1: 0}
+		for i := 0; i < 200; i++ {
+			b := r.Intn(2)
+			switch r.Intn(3) {
+			case 0: // program next page if space
+				if next[b] < 4 {
+					a := PageAddr{Block: b, Page: next[b]}
+					data := []byte{byte(r.Intn(256)), byte(i)}
+					if err := d.ProgramPage(a, data); err != nil {
+						return false
+					}
+					shadow[a] = shadowPage{data: data, ok: true}
+					next[b]++
+				}
+			case 1: // erase
+				if err := d.EraseBlock(b); err != nil {
+					return false
+				}
+				for p := 0; p < 4; p++ {
+					shadow[PageAddr{Block: b, Page: p}] = shadowPage{}
+				}
+				next[b] = 0
+			case 2: // verify random page
+				a := PageAddr{Block: b, Page: r.Intn(4)}
+				got, err := d.ReadPage(a)
+				want := shadow[a]
+				if want.ok != (err == nil) {
+					return false
+				}
+				if want.ok && !bytes.Equal(got, want.data) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,237 @@
+package ftl
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/flash"
+)
+
+func testFTL(t *testing.T, geo flash.Geometry) *FTL {
+	t.Helper()
+	dev, err := flash.NewDevice(flash.Options{Geometry: geo, Sleeper: flash.NopSleeper{}})
+	if err != nil {
+		t.Fatalf("device: %v", err)
+	}
+	f, err := New(dev, Options{})
+	if err != nil {
+		t.Fatalf("ftl: %v", err)
+	}
+	return f
+}
+
+var smallGeo = flash.Geometry{Channels: 2, BlocksPerChannel: 8, PagesPerBlock: 4, PageSize: 64}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	f := testFTL(t, smallGeo)
+	for lba := 0; lba < 8; lba++ {
+		if err := f.WriteLBA(lba, []byte(fmt.Sprintf("value-%d", lba))); err != nil {
+			t.Fatalf("write %d: %v", lba, err)
+		}
+	}
+	for lba := 0; lba < 8; lba++ {
+		got, err := f.ReadLBA(lba)
+		if err != nil {
+			t.Fatalf("read %d: %v", lba, err)
+		}
+		if want := fmt.Sprintf("value-%d", lba); !bytes.HasPrefix(got, []byte(want)) {
+			t.Fatalf("lba %d = %q want prefix %q", lba, got, want)
+		}
+	}
+}
+
+func TestOverwriteReturnsNewest(t *testing.T) {
+	f := testFTL(t, smallGeo)
+	for i := 0; i < 10; i++ {
+		if err := f.WriteLBA(3, []byte(fmt.Sprintf("gen-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := f.ReadLBA(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(got, []byte("gen-9")) {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestUnmappedAndBounds(t *testing.T) {
+	f := testFTL(t, smallGeo)
+	if _, err := f.ReadLBA(0); !errors.Is(err, ErrUnmapped) {
+		t.Fatalf("unmapped read: %v", err)
+	}
+	if _, err := f.ReadLBA(-1); !errors.Is(err, ErrBadLBA) {
+		t.Fatalf("negative: %v", err)
+	}
+	if _, err := f.ReadLBA(f.NumLBAs()); !errors.Is(err, ErrBadLBA) {
+		t.Fatalf("past end: %v", err)
+	}
+	if err := f.WriteLBA(f.NumLBAs(), nil); !errors.Is(err, ErrBadLBA) {
+		t.Fatalf("bad write: %v", err)
+	}
+	if err := f.WriteLBA(0, make([]byte, 65)); !errors.Is(err, ErrBadSize) {
+		t.Fatalf("oversize write: %v", err)
+	}
+	if err := f.TrimLBA(-1); !errors.Is(err, ErrBadLBA) {
+		t.Fatalf("bad trim: %v", err)
+	}
+}
+
+func TestTrim(t *testing.T) {
+	f := testFTL(t, smallGeo)
+	if err := f.WriteLBA(0, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.TrimLBA(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.ReadLBA(0); !errors.Is(err, ErrUnmapped) {
+		t.Fatalf("read after trim: %v", err)
+	}
+	// Trimming an unmapped LBA is a no-op.
+	if err := f.TrimLBA(0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOverProvisioningSizing(t *testing.T) {
+	f := testFTL(t, smallGeo)
+	if f.NumLBAs() >= smallGeo.Pages() {
+		t.Fatalf("no over-provisioning: %d LBAs, %d pages", f.NumLBAs(), smallGeo.Pages())
+	}
+	if f.PageSize() != smallGeo.PageSize {
+		t.Fatalf("page size = %d", f.PageSize())
+	}
+	dev, _ := flash.NewDevice(flash.Options{Geometry: smallGeo, Sleeper: flash.NopSleeper{}})
+	if _, err := New(dev, Options{OverProvision: 0.95}); err == nil {
+		t.Fatal("accepted absurd over-provisioning")
+	}
+	tiny := flash.Geometry{Channels: 4, BlocksPerChannel: 1, PagesPerBlock: 4, PageSize: 64}
+	dev2, _ := flash.NewDevice(flash.Options{Geometry: tiny, Sleeper: flash.NopSleeper{}})
+	if _, err := New(dev2, Options{}); err == nil {
+		t.Fatal("accepted geometry with no spare blocks")
+	}
+}
+
+// Writing far more data than raw capacity forces continuous GC; the FTL must
+// keep functioning and keep all live data intact.
+func TestGarbageCollectionUnderChurn(t *testing.T) {
+	f := testFTL(t, smallGeo)
+	n := f.NumLBAs()
+	gen := make([]int, n)
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < n*20; i++ {
+		lba := r.Intn(n)
+		gen[lba]++
+		if err := f.WriteLBA(lba, []byte(fmt.Sprintf("%d:%d", lba, gen[lba]))); err != nil {
+			t.Fatalf("write %d (iter %d): %v", lba, i, err)
+		}
+	}
+	for lba := 0; lba < n; lba++ {
+		if gen[lba] == 0 {
+			continue
+		}
+		got, err := f.ReadLBA(lba)
+		if err != nil {
+			t.Fatalf("read %d: %v", lba, err)
+		}
+		if want := fmt.Sprintf("%d:%d", lba, gen[lba]); !bytes.HasPrefix(got, []byte(want)) {
+			t.Fatalf("lba %d = %q want %q", lba, got, want)
+		}
+	}
+	if f.Stats().GCErased == 0 {
+		t.Fatal("churn did not trigger GC")
+	}
+	if f.Stats().GCRelocated == 0 {
+		t.Fatal("GC never relocated valid data")
+	}
+}
+
+func TestStatsCount(t *testing.T) {
+	f := testFTL(t, smallGeo)
+	_ = f.WriteLBA(0, []byte("a"))
+	_, _ = f.ReadLBA(0)
+	s := f.Stats()
+	if s.HostWrites != 1 || s.HostReads != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestConcurrentWritersReaders(t *testing.T) {
+	f := testFTL(t, flash.Geometry{Channels: 4, BlocksPerChannel: 8, PagesPerBlock: 8, PageSize: 64})
+	n := f.NumLBAs()
+	var wg sync.WaitGroup
+	workers := 8
+	perWorker := n / workers
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			lo := w * perWorker
+			r := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < 300; i++ {
+				lba := lo + r.Intn(perWorker)
+				if r.Intn(2) == 0 {
+					if err := f.WriteLBA(lba, []byte(fmt.Sprintf("w%d-%d", w, i))); err != nil {
+						t.Errorf("write: %v", err)
+						return
+					}
+				} else {
+					if _, err := f.ReadLBA(lba); err != nil && !errors.Is(err, ErrUnmapped) {
+						t.Errorf("read: %v", err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// Wear leveling: erase counts across blocks should stay within a reasonable
+// spread even under heavy single-LBA churn.
+func TestWearLeveling(t *testing.T) {
+	dev, _ := flash.NewDevice(flash.Options{Geometry: smallGeo, Sleeper: flash.NopSleeper{}})
+	f, _ := New(dev, Options{})
+	for i := 0; i < 3000; i++ {
+		if err := f.WriteLBA(i%4, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	minW, maxW := dev.WearSpread()
+	if maxW == 0 {
+		t.Fatal("no erases happened")
+	}
+	if maxW-minW > maxW/2+8 {
+		t.Fatalf("wear spread too wide: min %d max %d", minW, maxW)
+	}
+}
+
+func TestFreeBlocksDecreasesThenRecovers(t *testing.T) {
+	f := testFTL(t, smallGeo)
+	before := f.FreeBlocks()
+	for i := 0; i < f.NumLBAs(); i++ {
+		if err := f.WriteLBA(i, []byte{1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if f.FreeBlocks() >= before {
+		t.Fatal("free pool did not shrink")
+	}
+	// Overwrite everything twice more: GC must keep the pool above zero.
+	for round := 0; round < 2; round++ {
+		for i := 0; i < f.NumLBAs(); i++ {
+			if err := f.WriteLBA(i, []byte{byte(round + 2)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if f.FreeBlocks() == 0 {
+		t.Fatal("free pool exhausted despite GC")
+	}
+}

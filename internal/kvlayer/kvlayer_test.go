@@ -1,0 +1,212 @@
+package kvlayer
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/clock"
+	"repro/internal/flash"
+	"repro/internal/ftl"
+)
+
+func ts(t int64) clock.Timestamp { return clock.Timestamp{Ticks: t, Client: 1} }
+
+var smallGeo = flash.Geometry{Channels: 2, BlocksPerChannel: 12, PagesPerBlock: 4, PageSize: 256}
+
+func testStore(t *testing.T, geo flash.Geometry) (*Store, *ftl.FTL) {
+	t.Helper()
+	dev, err := flash.NewDevice(flash.Options{Geometry: geo, Sleeper: flash.NopSleeper{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := ftl.New(dev, ftl.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(f, Options{PackTimeout: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, f
+}
+
+func TestPutGetSnapshot(t *testing.T) {
+	s, _ := testStore(t, smallGeo)
+	for i := int64(1); i <= 4; i++ {
+		if err := s.Put([]byte("k"), []byte(fmt.Sprintf("v%d", i)), ts(i*10)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	val, ver, found, err := s.Get([]byte("k"), ts(25))
+	if err != nil || !found || string(val) != "v2" || ver != ts(20) {
+		t.Fatalf("get@25 = %q @ %v (%v, %v)", val, ver, found, err)
+	}
+	val, _, _, _ = s.Latest([]byte("k"))
+	if string(val) != "v4" {
+		t.Fatalf("latest = %q", val)
+	}
+	if _, _, found, _ := s.Get([]byte("k"), ts(5)); found {
+		t.Fatal("found version before first write")
+	}
+	if n := s.VersionCount([]byte("k")); n != 4 {
+		t.Fatalf("versions = %d", n)
+	}
+}
+
+func TestEmptyKeyRejected(t *testing.T) {
+	s, _ := testStore(t, smallGeo)
+	if err := s.Put(nil, []byte("v"), ts(1)); !errors.Is(err, ErrEmpty) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestDuplicateTimestampIdempotent(t *testing.T) {
+	s, _ := testStore(t, smallGeo)
+	_ = s.Put([]byte("k"), []byte("first"), ts(10))
+	_ = s.Put([]byte("k"), []byte("dup"), ts(10))
+	if n := s.VersionCount([]byte("k")); n != 1 {
+		t.Fatalf("versions = %d", n)
+	}
+	val, _, _, _ := s.Latest([]byte("k"))
+	if string(val) != "first" {
+		t.Fatalf("dup overwrote: %q", val)
+	}
+}
+
+func TestDeleteTombstone(t *testing.T) {
+	s, _ := testStore(t, smallGeo)
+	_ = s.Put([]byte("k"), []byte("v1"), ts(10))
+	if err := s.Delete([]byte("k"), ts(20)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, found, _ := s.Latest([]byte("k")); found {
+		t.Fatal("deleted key visible")
+	}
+	val, _, found, _ := s.Get([]byte("k"), ts(15))
+	if !found || string(val) != "v1" {
+		t.Fatalf("pre-delete snapshot = %q %v", val, found)
+	}
+	if ver, tomb, found := s.LatestVersion([]byte("k")); !found || !tomb || ver != ts(20) {
+		t.Fatalf("LatestVersion = %v %v %v", ver, tomb, found)
+	}
+}
+
+func TestWatermarkPruning(t *testing.T) {
+	s, _ := testStore(t, smallGeo)
+	for i := int64(1); i <= 5; i++ {
+		_ = s.Put([]byte("k"), []byte(fmt.Sprintf("v%d", i)), ts(i*10))
+	}
+	s.SetWatermark(ts(35))
+	s.PruneAll()
+	if n := s.VersionCount([]byte("k")); n != 3 {
+		t.Fatalf("after prune: %d versions", n)
+	}
+	val, _, found, _ := s.Get([]byte("k"), ts(35))
+	if !found || string(val) != "v3" {
+		t.Fatalf("watermark snapshot = %q %v", val, found)
+	}
+	_ = s.Put([]byte("d"), []byte("x"), ts(40))
+	_ = s.Delete([]byte("d"), ts(50))
+	s.SetWatermark(ts(60))
+	s.PruneAll()
+	if n := s.VersionCount([]byte("d")); n != 0 {
+		t.Fatalf("deleted key survived: %d", n)
+	}
+}
+
+// Heavy churn must trigger BOTH garbage collectors: this layer's repacking
+// and the FTL's block relocation below it.
+func TestDoubleGarbageCollection(t *testing.T) {
+	s, f := testStore(t, smallGeo)
+	keys := 6
+	latest := make([]int64, keys)
+	for i := 1; i <= 400; i++ {
+		k := i % keys
+		tick := int64(i * 10)
+		latest[k] = tick
+		if err := s.Put([]byte(fmt.Sprintf("key-%d", k)), []byte(fmt.Sprintf("val-%d", i)), ts(tick)); err != nil {
+			t.Fatalf("put %d: %v", i, err)
+		}
+		s.SetWatermark(ts(tick - 100))
+	}
+	s.Flush()
+	for k := 0; k < keys; k++ {
+		_, ver, found, err := s.Latest([]byte(fmt.Sprintf("key-%d", k)))
+		if err != nil || !found || ver != ts(latest[k]) {
+			t.Fatalf("key-%d: ver=%v found=%v err=%v want %v", k, ver, found, err, ts(latest[k]))
+		}
+	}
+	if s.Stats().GCTrimmed == 0 {
+		t.Fatal("KV-layer GC never ran")
+	}
+	if f.Stats().GCErased == 0 {
+		t.Fatal("FTL-layer GC never ran (double GC not exercised)")
+	}
+}
+
+func TestConcurrentMixedWorkload(t *testing.T) {
+	s, _ := testStore(t, flash.Geometry{Channels: 4, BlocksPerChannel: 12, PagesPerBlock: 8, PageSize: 512})
+	var wg sync.WaitGroup
+	var tickMu sync.Mutex
+	next := int64(0)
+	nextTick := func() int64 { tickMu.Lock(); defer tickMu.Unlock(); next++; return next }
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < 120; i++ {
+				k := []byte(fmt.Sprintf("key-%d", r.Intn(16)))
+				if r.Intn(3) == 0 {
+					if _, _, _, err := s.Latest(k); err != nil {
+						t.Errorf("get: %v", err)
+						return
+					}
+				} else {
+					tick := nextTick()
+					if err := s.Put(k, bytes.Repeat([]byte{byte(w)}, 24), clock.Timestamp{Ticks: tick, Client: uint32(w)}); err != nil {
+						t.Errorf("put: %v", err)
+						return
+					}
+					s.SetWatermark(clock.Timestamp{Ticks: tick - 150})
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if s.Stats().Puts == 0 {
+		t.Fatal("no puts")
+	}
+}
+
+func TestOutOfOrderInsertion(t *testing.T) {
+	s, _ := testStore(t, smallGeo)
+	for _, tick := range []int64{30, 10, 50, 20, 40} {
+		if err := s.Put([]byte("k"), []byte(fmt.Sprintf("v%d", tick)), ts(tick)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	val, ver, found, _ := s.Get([]byte("k"), ts(35))
+	if !found || string(val) != "v30" || ver != ts(30) {
+		t.Fatalf("get@35 = %q @ %v", val, ver)
+	}
+}
+
+func TestFreeLBAsRecover(t *testing.T) {
+	s, _ := testStore(t, smallGeo)
+	before := s.FreeLBAs()
+	for i := 0; i < 30; i++ {
+		_ = s.Put([]byte(fmt.Sprintf("k%d", i%3)), []byte("v"), ts(int64(i+1)))
+		s.SetWatermark(ts(int64(i - 5)))
+	}
+	if s.FreeLBAs() >= before {
+		t.Fatal("free pool never shrank")
+	}
+	if s.FreeLBAs() == 0 {
+		t.Fatal("free pool exhausted")
+	}
+}

@@ -1,0 +1,54 @@
+package milana
+
+import (
+	"sync"
+
+	"repro/internal/clock"
+)
+
+// valueCache is the client-side inter-transaction cache of §4.3's
+// caching/local-validation tradeoff: a transaction declared read-write in
+// advance may satisfy reads from this cache, but must then validate
+// remotely (the cached versions may be stale; Algorithm 1's read-set check
+// catches that at the primary).
+type valueCache struct {
+	mu sync.Mutex
+	m  map[string]cacheEntry
+}
+
+type cacheEntry struct {
+	val   []byte
+	ver   clock.Timestamp
+	found bool
+}
+
+func newValueCache() *valueCache { return &valueCache{m: make(map[string]cacheEntry)} }
+
+func (c *valueCache) get(key string) (cacheEntry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.m[key]
+	return e, ok
+}
+
+// store keeps the youngest version observed for a key.
+func (c *valueCache) store(key string, e cacheEntry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if cur, ok := c.m[key]; ok && e.ver.Before(cur.ver) {
+		return
+	}
+	c.m[key] = e
+}
+
+func (c *valueCache) invalidate(key string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.m, key)
+}
+
+func (c *valueCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}

@@ -1,0 +1,563 @@
+package milana
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/clock"
+	"repro/internal/cluster"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// ErrAborted is returned when a transaction fails validation (a
+// serializability conflict) and must be retried by the application.
+var ErrAborted = errors.New("milana: transaction aborted")
+
+// ErrTxnDone guards against reusing a finished transaction.
+var ErrTxnDone = errors.New("milana: transaction already committed or aborted")
+
+// Stats counts a client's transaction outcomes.
+type Stats struct {
+	Committed      int64
+	Aborted        int64
+	LocalValidated int64 // read-only transactions committed without any RPC
+	ReadOnly       int64
+	CacheHits      int64 // reads served from the inter-transaction cache
+	NearestReads   int64 // reads served by a non-primary replica
+	// AbortsByReason classifies aborts by the Algorithm 1 branch that
+	// fired (local-validation failures count as AbortReadPrepared).
+	AbortsByReason [wire.NumAbortReasons]int64
+}
+
+// Client is the MILANA application library (§4.1). Each transaction
+// executes on a single client: the client issues reads and buffered writes,
+// assigns the begin and commit timestamps from its precision clock, and
+// coordinates two-phase commit.
+type Client struct {
+	clk clock.Clock
+	net transport.Client
+	dir *cluster.Directory
+
+	// LocalValidation enables client-local validation of read-only
+	// transactions (§4.3). Disabling it forces read-only transactions
+	// through server-side 2PC validation — the "w/o LV" configurations
+	// of Figure 8.
+	LocalValidation bool
+	// SyncDecisions makes Commit wait for phase-two acknowledgements
+	// instead of notifying primaries asynchronously (used by tests that
+	// need determinism; the paper's client notifies asynchronously).
+	SyncDecisions bool
+	// ReadNearest sends transactional reads to a random replica instead
+	// of the primary (§4.6's relaxation for read-write transactions).
+	// Reads answered by a backup carry no prepared bit, so a transaction
+	// that used one cannot validate locally and always runs 2PC.
+	ReadNearest bool
+	// CacheReads enables the inter-transaction value cache (§4.3's
+	// tradeoff): transactions declared read-write in advance (see
+	// BeginReadWrite) may read from the cache, and must then validate
+	// remotely.
+	CacheReads bool
+
+	cache *valueCache
+
+	seq atomic.Uint64
+
+	mu          sync.Mutex
+	lastDecided clock.Timestamp
+
+	committed      atomic.Int64
+	aborted        atomic.Int64
+	localValidated atomic.Int64
+	readOnly       atomic.Int64
+	cacheHits      atomic.Int64
+	nearestReads   atomic.Int64
+	abortReasons   [wire.NumAbortReasons]atomic.Int64
+}
+
+// NewClient builds a transaction client. Local validation is on by
+// default, as in the paper.
+//
+// The client's watermark contribution starts at its creation time: until
+// its first transaction decides, it reports "everything before I existed",
+// which keeps the garbage collector from reclaiming versions an early
+// long-running transaction may still need (§4.4 requires every client to
+// hold the watermark down, including ones that have decided nothing yet).
+func NewClient(clk clock.Clock, net transport.Client, dir *cluster.Directory) *Client {
+	c := &Client{clk: clk, net: net, dir: dir, LocalValidation: true, cache: newValueCache()}
+	c.lastDecided = clk.Now()
+	return c
+}
+
+// ID returns the client's ID.
+func (c *Client) ID() uint32 { return c.clk.Client() }
+
+// Stats returns a snapshot of the outcome counters.
+func (c *Client) Stats() Stats {
+	st := Stats{
+		Committed:      c.committed.Load(),
+		Aborted:        c.aborted.Load(),
+		LocalValidated: c.localValidated.Load(),
+		ReadOnly:       c.readOnly.Load(),
+		CacheHits:      c.cacheHits.Load(),
+		NearestReads:   c.nearestReads.Load(),
+	}
+	for i := range st.AbortsByReason {
+		st.AbortsByReason[i] = c.abortReasons[i].Load()
+	}
+	return st
+}
+
+// LastDecided returns the timestamp of this client's most recently decided
+// transaction — the value it broadcasts for watermarking (§4.4).
+func (c *Client) LastDecided() clock.Timestamp {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lastDecided
+}
+
+func (c *Client) noteDecided(ts clock.Timestamp) {
+	c.mu.Lock()
+	if ts.After(c.lastDecided) {
+		c.lastDecided = ts
+	}
+	c.mu.Unlock()
+}
+
+// BroadcastWatermark reports the client's last decided timestamp to every
+// replica of every shard.
+func (c *Client) BroadcastWatermark(ctx context.Context) {
+	ts := c.LastDecided()
+	if ts.IsZero() {
+		return
+	}
+	msg := wire.WatermarkBroadcast{Client: c.ID(), Ts: ts}
+	for i := 0; i < c.dir.NumShards(); i++ {
+		rs, err := c.dir.Shard(cluster.ShardID(i))
+		if err != nil {
+			continue
+		}
+		for _, addr := range rs.Replicas() {
+			_, _ = c.net.Call(ctx, addr, msg)
+		}
+	}
+}
+
+type readInfo struct {
+	val      []byte
+	ver      clock.Timestamp
+	found    bool
+	prepared bool
+	shard    int
+}
+
+// Txn is one optimistic transaction: reads from a consistent snapshot at
+// ts_begin, writes buffered at the client until commit (§4.1).
+type Txn struct {
+	c     *Client
+	id    wire.TxnID
+	begin clock.Timestamp
+	reads map[string]readInfo
+	write map[string][]byte
+	done  bool
+	// declaredRW marks a transaction declared read-write in advance
+	// (BeginReadWrite), making it eligible for cached reads.
+	declaredRW bool
+	// nonLocal forces remote validation: some read bypassed the primary
+	// (cache or backup replica), so the prepared bits are unreliable.
+	nonLocal bool
+	// cachedKeys are reads served from the cache, invalidated on abort.
+	cachedKeys []string
+}
+
+// Begin starts a transaction at the client's current time.
+func (c *Client) Begin() *Txn {
+	return &Txn{
+		c:     c,
+		id:    wire.TxnID{Client: c.ID(), Seq: c.seq.Add(1)},
+		begin: c.clk.Now(),
+		reads: make(map[string]readInfo),
+		write: make(map[string][]byte),
+	}
+}
+
+// BeginReadWrite starts a transaction declared read-write in advance. Such
+// a transaction may serve reads from the inter-transaction cache when
+// Client.CacheReads is on — and must then validate remotely (§4.3).
+func (c *Client) BeginReadWrite() *Txn {
+	t := c.Begin()
+	t.declaredRW = true
+	return t
+}
+
+// ID returns the transaction's identifier.
+func (t *Txn) ID() wire.TxnID { return t.id }
+
+// BeginTs returns ts_begin.
+func (t *Txn) BeginTs() clock.Timestamp { return t.begin }
+
+// Get returns the value of key as of ts_begin. Reads of keys in the write
+// or read set are served from the client cache (§4.1).
+func (t *Txn) Get(ctx context.Context, key []byte) (val []byte, found bool, err error) {
+	if t.done {
+		return nil, false, ErrTxnDone
+	}
+	k := string(key)
+	if v, ok := t.write[k]; ok {
+		if v == nil {
+			return nil, false, nil // transaction-local delete
+		}
+		return append([]byte(nil), v...), true, nil
+	}
+	if ri, ok := t.reads[k]; ok {
+		return append([]byte(nil), ri.val...), ri.found, nil
+	}
+	shard := t.c.dir.ShardFor(key)
+	if t.c.CacheReads && t.declaredRW {
+		if e, ok := t.c.cache.get(k); ok {
+			t.c.cacheHits.Add(1)
+			t.nonLocal = true
+			t.cachedKeys = append(t.cachedKeys, k)
+			t.reads[k] = readInfo{val: e.val, ver: e.ver, found: e.found, shard: int(shard)}
+			return append([]byte(nil), e.val...), e.found, nil
+		}
+	}
+	addr, anyReplica, err := t.c.readTarget(shard)
+	if err != nil {
+		return nil, false, err
+	}
+	resp, err := t.c.net.Call(ctx, addr, wire.GetRequest{Key: key, At: t.begin, AnyReplica: anyReplica})
+	if err != nil {
+		return nil, false, err
+	}
+	if anyReplica {
+		t.c.nearestReads.Add(1)
+		t.nonLocal = true
+	}
+	g, ok := resp.(wire.GetResponse)
+	if !ok {
+		return nil, false, fmt.Errorf("milana: unexpected response %T", resp)
+	}
+	if g.SnapshotMiss {
+		// The snapshot at ts_begin is gone (single-version storage):
+		// the transaction cannot read consistently and must abort.
+		t.finish(false)
+		return nil, false, ErrAborted
+	}
+	t.reads[k] = readInfo{val: g.Val, ver: g.Version, found: g.Found, prepared: g.PreparedAtOrBefore, shard: int(shard)}
+	if t.c.CacheReads {
+		t.c.cache.store(k, cacheEntry{val: append([]byte(nil), g.Val...), ver: g.Version, found: g.Found})
+	}
+	return append([]byte(nil), g.Val...), g.Found, nil
+}
+
+// readTarget picks the replica a read goes to: the primary normally, or a
+// uniformly random replica of the shard under ReadNearest. Reads the
+// primary happens to serve keep their full validation metadata.
+func (c *Client) readTarget(shard cluster.ShardID) (addr string, anyReplica bool, err error) {
+	if !c.ReadNearest {
+		addr, err = c.dir.Primary(shard)
+		return addr, false, err
+	}
+	rs, err := c.dir.Shard(shard)
+	if err != nil {
+		return "", false, err
+	}
+	replicas := rs.Replicas()
+	pick := replicas[int(c.seq.Add(1))%len(replicas)]
+	return pick, pick != rs.Primary, nil
+}
+
+// Put buffers a write; it becomes visible only if the transaction commits.
+func (t *Txn) Put(key, val []byte) error {
+	if t.done {
+		return ErrTxnDone
+	}
+	t.write[string(key)] = append([]byte(nil), val...)
+	return nil
+}
+
+// ReadOnly reports whether the transaction has buffered no writes.
+func (t *Txn) ReadOnly() bool { return len(t.write) == 0 }
+
+// Abort discards the transaction's read and write sets.
+func (t *Txn) Abort() {
+	if !t.done {
+		t.finish(false)
+	}
+}
+
+func (t *Txn) finish(committed bool) {
+	t.done = true
+	if committed {
+		t.c.committed.Add(1)
+	} else {
+		t.c.aborted.Add(1)
+	}
+	if t.ReadOnly() {
+		t.c.readOnly.Add(1)
+	}
+}
+
+// Commit validates and commits the transaction. Read-only transactions
+// validate locally when enabled (§4.3): the transaction read a consistent
+// snapshot at ts_begin iff no key in its read set had a prepared version at
+// or before ts_begin. Read-write transactions run client-coordinated 2PC
+// (§4.2).
+func (t *Txn) Commit(ctx context.Context) error {
+	if t.done {
+		return ErrTxnDone
+	}
+	if t.ReadOnly() && t.c.LocalValidation && !t.nonLocal {
+		for _, ri := range t.reads {
+			if ri.prepared {
+				t.c.abortReasons[wire.AbortReadPrepared].Add(1)
+				t.finish(false)
+				return fmt.Errorf("%w: read a key with a prepared version", ErrAborted)
+			}
+		}
+		t.c.localValidated.Add(1)
+		t.c.noteDecided(t.begin)
+		t.finish(true)
+		return nil
+	}
+	return t.commit2PC(ctx)
+}
+
+// commit2PC runs two-phase commit with the client as coordinator.
+func (t *Txn) commit2PC(ctx context.Context) error {
+	commitTs := t.c.clk.Now()
+
+	type shardSets struct {
+		reads  []wire.ReadKey
+		writes []wire.KV
+	}
+	byShard := make(map[int]*shardSets)
+	sets := func(shard int) *shardSets {
+		ss := byShard[shard]
+		if ss == nil {
+			ss = &shardSets{}
+			byShard[shard] = ss
+		}
+		return ss
+	}
+	for k, ri := range t.reads {
+		ss := sets(ri.shard)
+		ss.reads = append(ss.reads, wire.ReadKey{Key: []byte(k), Version: ri.ver})
+	}
+	for k, v := range t.write {
+		shard := int(t.c.dir.ShardFor([]byte(k)))
+		ss := sets(shard)
+		ss.writes = append(ss.writes, wire.KV{Key: []byte(k), Val: v})
+	}
+	participants := make([]int, 0, len(byShard))
+	for shard := range byShard {
+		participants = append(participants, shard)
+	}
+	sort.Ints(participants)
+
+	// Phase one: prepare at every participant primary, in parallel.
+	type vote struct {
+		ok   bool
+		code wire.AbortReason
+		err  error
+	}
+	votes := make(chan vote, len(participants))
+	for _, shard := range participants {
+		shard := shard
+		ss := byShard[shard]
+		go func() {
+			addr, err := t.c.dir.Primary(cluster.ShardID(shard))
+			if err != nil {
+				votes <- vote{err: err}
+				return
+			}
+			req := wire.PrepareRequest{
+				ID:           t.id,
+				CommitTs:     commitTs,
+				ReadSet:      ss.reads,
+				WriteSet:     ss.writes,
+				Participants: participants,
+			}
+			resp, err := t.c.net.Call(ctx, addr, req)
+			if err != nil {
+				votes <- vote{err: err}
+				return
+			}
+			p, ok := resp.(wire.PrepareResponse)
+			if !ok {
+				votes <- vote{err: fmt.Errorf("milana: unexpected response %T", resp)}
+				return
+			}
+			votes <- vote{ok: p.OK, code: p.Code}
+		}()
+	}
+	commit := true
+	explicitAbort := false
+	var firstErr error
+	reason := wire.AbortNone
+	for range participants {
+		v := <-votes
+		if v.err != nil && firstErr == nil {
+			firstErr = v.err
+		}
+		if v.err != nil || !v.ok {
+			commit = false
+			if v.err == nil {
+				explicitAbort = true // a participant voted ABORT
+			}
+			if v.code != wire.AbortNone && reason == wire.AbortNone {
+				reason = v.code
+			}
+		}
+	}
+	if !commit {
+		if reason == wire.AbortNone {
+			reason = wire.AbortOther
+		}
+		t.c.abortReasons[reason].Add(1)
+	}
+
+	// A single-participant prepare whose outcome we never learned
+	// (transport error, not an ABORT vote) must be left in doubt: §4.5's
+	// recovery rule auto-commits prepared single-shard transactions, so
+	// issuing an abort here could contradict a commit the participant
+	// (or its successor after failover) already performed. The outcome
+	// is reported as unknown; the transaction is NOT retried as a
+	// conflict abort.
+	if !commit && !explicitAbort && len(participants) == 1 {
+		t.finish(false)
+		return fmt.Errorf("milana: transaction %v outcome unknown: %w", t.id, firstErr)
+	}
+
+	// Phase two: report the outcome, then notify participants — by
+	// default asynchronously (§4.2: "reports the outcome to the
+	// application and then asynchronously notifies all primaries").
+	notify := func() {
+		dctx := ctx
+		if !t.c.SyncDecisions {
+			dctx = context.Background()
+		}
+		for _, shard := range participants {
+			addr, err := t.c.dir.Primary(cluster.ShardID(shard))
+			if err != nil {
+				continue
+			}
+			_, _ = t.c.net.Call(dctx, addr, wire.DecisionRequest{ID: t.id, Commit: commit})
+		}
+	}
+	if t.c.SyncDecisions {
+		notify()
+	} else {
+		go notify()
+	}
+
+	t.c.noteDecided(commitTs)
+	t.finish(commit)
+	if !commit {
+		// Cached reads may have been the stale culprits; drop them so
+		// the retry re-reads fresh versions.
+		for _, k := range t.cachedKeys {
+			t.c.cache.invalidate(k)
+		}
+		if firstErr != nil {
+			return fmt.Errorf("%w: %v", ErrAborted, firstErr)
+		}
+		return ErrAborted
+	}
+	// Committed writes refresh the cache.
+	if t.c.CacheReads {
+		for k, v := range t.write {
+			t.c.cache.store(k, cacheEntry{val: append([]byte(nil), v...), ver: commitTs, found: true})
+		}
+	}
+	return nil
+}
+
+// RunTransaction executes fn inside a transaction, retrying on conflict
+// aborts until ctx expires — the Retwis clients of §5.2 retry immediately
+// with the same keys.
+func (c *Client) RunTransaction(ctx context.Context, fn func(t *Txn) error) error {
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		t := c.Begin()
+		err := fn(t)
+		if err == nil {
+			err = t.Commit(ctx)
+		}
+		if err == nil {
+			return nil
+		}
+		t.Abort()
+		if !errors.Is(err, ErrAborted) {
+			return err
+		}
+	}
+}
+
+// GetMany reads several keys of the transaction's snapshot with one round
+// trip per shard instead of one per key — the natural way to issue a
+// Retwis Get-Timeline (§5.2) or any other fan-out read. Results are keyed
+// by the input key strings; missing keys are absent. Cached and
+// already-read keys are served locally; the rest are fetched batched and
+// join the read set exactly as Get would record them.
+func (t *Txn) GetMany(ctx context.Context, keys [][]byte) (map[string][]byte, error) {
+	if t.done {
+		return nil, ErrTxnDone
+	}
+	out := make(map[string][]byte, len(keys))
+	byShard := make(map[cluster.ShardID][][]byte)
+	for _, key := range keys {
+		k := string(key)
+		if v, ok := t.write[k]; ok {
+			if v != nil {
+				out[k] = append([]byte(nil), v...)
+			}
+			continue
+		}
+		if ri, ok := t.reads[k]; ok {
+			if ri.found {
+				out[k] = append([]byte(nil), ri.val...)
+			}
+			continue
+		}
+		shard := t.c.dir.ShardFor(key)
+		byShard[shard] = append(byShard[shard], key)
+	}
+	for shard, shardKeys := range byShard {
+		addr, anyReplica, err := t.c.readTarget(shard)
+		if err != nil {
+			return nil, err
+		}
+		resp, err := t.c.net.Call(ctx, addr, wire.MultiGetRequest{Keys: shardKeys, At: t.begin, AnyReplica: anyReplica})
+		if err != nil {
+			return nil, err
+		}
+		mg, ok := resp.(wire.MultiGetResponse)
+		if !ok || len(mg.Items) != len(shardKeys) {
+			return nil, fmt.Errorf("milana: malformed multi-get response %T", resp)
+		}
+		if anyReplica {
+			t.c.nearestReads.Add(int64(len(shardKeys)))
+			t.nonLocal = true
+		}
+		for i, g := range mg.Items {
+			if g.SnapshotMiss {
+				t.finish(false)
+				return nil, ErrAborted
+			}
+			k := string(shardKeys[i])
+			t.reads[k] = readInfo{val: g.Val, ver: g.Version, found: g.Found, prepared: g.PreparedAtOrBefore, shard: int(shard)}
+			if g.Found {
+				out[k] = append([]byte(nil), g.Val...)
+			}
+		}
+	}
+	return out, nil
+}

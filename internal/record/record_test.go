@@ -1,0 +1,256 @@
+package record
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/clock"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	r := Record{
+		Key:       []byte("user:42"),
+		Val:       []byte("payload"),
+		Ts:        clock.Timestamp{Ticks: 123456, Client: 9},
+		Tombstone: true,
+	}
+	enc := r.Encode(nil)
+	if len(enc) != r.EncodedSize() {
+		t.Fatalf("size %d want %d", len(enc), r.EncodedSize())
+	}
+	got, n, err := Decode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(enc) {
+		t.Fatalf("consumed %d want %d", n, len(enc))
+	}
+	if !bytes.Equal(got.Key, r.Key) || !bytes.Equal(got.Val, r.Val) || got.Ts != r.Ts || got.Tombstone != r.Tombstone {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	prop := func(key []byte, val []byte, ticks int64, client uint32, tomb bool) bool {
+		if len(key) == 0 || len(key) > 1<<16-1 {
+			return true
+		}
+		r := Record{Key: key, Val: val, Ts: clock.Timestamp{Ticks: ticks, Client: client}, Tombstone: tomb}
+		got, n, err := Decode(r.Encode(nil))
+		return err == nil && n == r.EncodedSize() &&
+			bytes.Equal(got.Key, key) && bytes.Equal(got.Val, val) &&
+			got.Ts.Ticks == ticks && got.Ts.Client == client && got.Tombstone == tomb
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeCorrupt(t *testing.T) {
+	r := Record{Key: []byte("k"), Val: []byte("v"), Ts: clock.Timestamp{Ticks: 1}}
+	enc := r.Encode(nil)
+	cases := map[string][]byte{
+		"short":      enc[:HeaderSize-1],
+		"bad magic":  append([]byte{0x00}, enc[1:]...),
+		"truncated":  enc[:len(enc)-1],
+		"bad crc":    append(append([]byte{}, enc[:len(enc)-1]...), enc[len(enc)-1]^0xFF),
+		"zero key":   Record{Key: nil, Val: []byte("v")}.Encode(nil),
+		"empty page": nil,
+	}
+	for name, buf := range cases {
+		if _, _, err := Decode(buf); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("%s: err = %v, want ErrCorrupt", name, err)
+		}
+	}
+}
+
+func TestDecodePage(t *testing.T) {
+	var page []byte
+	for i := 0; i < 5; i++ {
+		page = Record{Key: []byte{byte('a' + i)}, Val: []byte{byte(i)}, Ts: clock.Timestamp{Ticks: int64(i + 1)}}.Encode(page)
+	}
+	// Simulate an unwritten page tail.
+	page = append(page, make([]byte, 100)...)
+	recs := DecodePage(page)
+	if len(recs) != 5 {
+		t.Fatalf("decoded %d records, want 5", len(recs))
+	}
+	for i, pr := range recs {
+		if pr.Rec.Ts.Ticks != int64(i+1) {
+			t.Fatalf("record %d ts = %d", i, pr.Rec.Ts.Ticks)
+		}
+		if pr.Len != pr.Rec.EncodedSize() {
+			t.Fatalf("record %d len = %d", i, pr.Len)
+		}
+	}
+	if DecodePage(nil) != nil {
+		t.Fatal("empty page should decode to nil")
+	}
+}
+
+func TestPackerFillsPage(t *testing.T) {
+	const pageSize = 256
+	var (
+		mu      sync.Mutex
+		flushes [][]*Pending
+	)
+	p := NewPacker(pageSize, time.Hour, func(page []byte, batch []*Pending) error {
+		if len(page) > pageSize {
+			t.Errorf("overfull page: %d", len(page))
+		}
+		got := DecodePage(page)
+		if len(got) != len(batch) {
+			t.Errorf("page has %d records, batch %d", len(got), len(batch))
+		}
+		mu.Lock()
+		flushes = append(flushes, batch)
+		mu.Unlock()
+		return nil
+	})
+	rec := Record{Key: []byte("0123456789abcdef"), Val: make([]byte, 64-HeaderSize-16), Ts: clock.Timestamp{Ticks: 1}}
+	if rec.EncodedSize() != 64 {
+		t.Fatalf("test record size = %d, want 64", rec.EncodedSize())
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ { // exactly two pages worth
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := p.Put(rec, false); err != nil {
+				t.Errorf("put: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	total := 0
+	for _, b := range flushes {
+		if len(b) > 4 {
+			t.Fatalf("batch of %d records exceeds page capacity 4", len(b))
+		}
+		total += len(b)
+	}
+	if total != 8 {
+		t.Fatalf("flushed %d records, want 8", total)
+	}
+}
+
+func TestPackerTimeoutFlush(t *testing.T) {
+	flushed := make(chan int, 1)
+	p := NewPacker(4096, 5*time.Millisecond, func(page []byte, batch []*Pending) error {
+		flushed <- len(batch)
+		return nil
+	})
+	start := time.Now()
+	err := p.Put(Record{Key: []byte("k"), Val: []byte("v"), Ts: clock.Timestamp{Ticks: 1}}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 4*time.Millisecond {
+		t.Fatalf("put returned after %v; packing delay not applied", elapsed)
+	}
+	if n := <-flushed; n != 1 {
+		t.Fatalf("batch size %d", n)
+	}
+}
+
+func TestPackerNoBatching(t *testing.T) {
+	n := 0
+	p := NewPacker(4096, 0, func(page []byte, batch []*Pending) error {
+		n++
+		return nil
+	})
+	for i := 0; i < 3; i++ {
+		if err := p.Put(Record{Key: []byte("k"), Ts: clock.Timestamp{Ticks: int64(i)}}, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n != 3 {
+		t.Fatalf("flushes = %d, want 3 (no batching)", n)
+	}
+}
+
+func TestPackerFlushErrorPropagates(t *testing.T) {
+	boom := errors.New("boom")
+	p := NewPacker(4096, 0, func(page []byte, batch []*Pending) error { return boom })
+	if err := p.Put(Record{Key: []byte("k")}, false); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestPackerRejectsOversized(t *testing.T) {
+	p := NewPacker(64, 0, func(page []byte, batch []*Pending) error { return nil })
+	err := p.Put(Record{Key: []byte("k"), Val: make([]byte, 128)}, false)
+	if !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestPackerExplicitFlush(t *testing.T) {
+	flushed := make(chan int, 1)
+	p := NewPacker(1<<20, time.Hour, func(page []byte, batch []*Pending) error {
+		flushed <- len(batch)
+		return nil
+	})
+	done := make(chan error, 1)
+	go func() { done <- p.Put(Record{Key: []byte("k")}, false) }()
+	// Wait for the record to be buffered, then force it out.
+	deadline := time.After(2 * time.Second)
+	for {
+		p.Flush()
+		select {
+		case n := <-flushed:
+			if n != 1 {
+				t.Fatalf("batch = %d", n)
+			}
+			if err := <-done; err != nil {
+				t.Fatal(err)
+			}
+			return
+		case <-deadline:
+			t.Fatal("flush never happened")
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+}
+
+func TestPackerConcurrentStress(t *testing.T) {
+	var mu sync.Mutex
+	seen := map[string]bool{}
+	p := NewPacker(512, 200*time.Microsecond, func(page []byte, batch []*Pending) error {
+		mu.Lock()
+		defer mu.Unlock()
+		for _, pl := range DecodePage(page) {
+			seen[fmt.Sprintf("%s@%d", pl.Rec.Key, pl.Rec.Ts.Ticks)] = true
+		}
+		return nil
+	})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				rec := Record{Key: []byte(fmt.Sprintf("w%d-i%d", w, i)), Val: make([]byte, 32), Ts: clock.Timestamp{Ticks: int64(w*1000 + i)}}
+				if err := p.Put(rec, false); err != nil {
+					t.Errorf("put: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	p.Flush()
+	mu.Lock()
+	defer mu.Unlock()
+	if len(seen) != 8*50 {
+		t.Fatalf("saw %d unique records, want %d", len(seen), 8*50)
+	}
+}

@@ -1,0 +1,175 @@
+package retwis
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestMixFrequencies(t *testing.T) {
+	g := NewGenerator(Options{Users: 1000, Seed: 1})
+	counts := map[Kind]int{}
+	const n = 20000
+	for i := 0; i < n; i++ {
+		counts[g.Next().Kind]++
+	}
+	check := func(kind Kind, pct int) {
+		t.Helper()
+		got := float64(counts[kind]) / n * 100
+		if math.Abs(got-float64(pct)) > 2 {
+			t.Errorf("%v: %.1f%%, want ≈%d%%", kind, got, pct)
+		}
+	}
+	check(AddUser, DefaultMix.AddUser)
+	check(FollowUser, DefaultMix.FollowUser)
+	check(PostTweet, DefaultMix.PostTweet)
+	check(GetTimeline, DefaultMix.GetTimeline)
+}
+
+func TestTable2Shapes(t *testing.T) {
+	g := NewGenerator(Options{Users: 100, Seed: 2})
+	for i := 0; i < 2000; i++ {
+		s := g.Next()
+		switch s.Kind {
+		case AddUser:
+			if len(s.Reads) != 1 || len(s.Writes) != 2 {
+				t.Fatalf("AddUser: %d gets %d puts, want 1/2", len(s.Reads), len(s.Writes))
+			}
+		case FollowUser:
+			if len(s.Reads) != 2 || len(s.Writes) != 2 {
+				t.Fatalf("FollowUser: %d gets %d puts, want 2/2", len(s.Reads), len(s.Writes))
+			}
+		case PostTweet:
+			if len(s.Reads) != 3 || len(s.Writes) != 5 {
+				t.Fatalf("PostTweet: %d gets %d puts, want 3/5", len(s.Reads), len(s.Writes))
+			}
+		case GetTimeline:
+			if len(s.Reads) < 1 || len(s.Reads) > 10 || len(s.Writes) != 0 {
+				t.Fatalf("GetTimeline: %d gets %d puts, want 1-10/0", len(s.Reads), len(s.Writes))
+			}
+			if !s.ReadOnly() {
+				t.Fatal("GetTimeline not read-only")
+			}
+		}
+	}
+}
+
+func TestGetTimelineLengthUniform(t *testing.T) {
+	g := NewGenerator(Options{Users: 100, Seed: 3, Mix: Mix{GetTimeline: 100}})
+	counts := make([]int, 11)
+	const n = 20000
+	for i := 0; i < n; i++ {
+		counts[len(g.Next().Reads)]++
+	}
+	for l := 1; l <= 10; l++ {
+		got := float64(counts[l]) / n
+		if math.Abs(got-0.1) > 0.02 {
+			t.Errorf("timeline length %d: frequency %.3f, want ≈0.1", l, got)
+		}
+	}
+}
+
+func TestZipfContention(t *testing.T) {
+	// Higher α must concentrate accesses: the hottest user's share grows.
+	share := func(alpha float64) float64 {
+		z := newZipf(1000, alpha)
+		r := rand.New(rand.NewSource(7))
+		hot := 0
+		const n = 50000
+		for i := 0; i < n; i++ {
+			if z.sample(r) == 0 {
+				hot++
+			}
+		}
+		return float64(hot) / n
+	}
+	s4, s8 := share(0.4), share(0.8)
+	if !(s8 > 2*s4) {
+		t.Fatalf("α=0.8 hot share %.4f not ≫ α=0.4 share %.4f", s8, s4)
+	}
+	// Uniform when alpha = 0 (generator path).
+	g := NewGenerator(Options{Users: 10, Alpha: 0, Seed: 1, Mix: Mix{GetTimeline: 100}})
+	seen := map[string]bool{}
+	for i := 0; i < 2000; i++ {
+		for _, k := range g.Next().Reads {
+			seen[k] = true
+		}
+	}
+	if len(seen) != 10 {
+		t.Fatalf("uniform sampling hit %d/10 users", len(seen))
+	}
+}
+
+func TestAddUserCreatesFreshUsers(t *testing.T) {
+	g := NewGenerator(Options{Users: 50, Seed: 4, Mix: Mix{AddUser: 100}})
+	seen := map[string]bool{}
+	for i := 0; i < 100; i++ {
+		s := g.Next()
+		k := s.Writes[0].Key
+		if seen[k] {
+			t.Fatalf("AddUser reused id %s", k)
+		}
+		seen[k] = true
+		if !strings.HasPrefix(k, "user:") {
+			t.Fatalf("unexpected key %s", k)
+		}
+	}
+}
+
+func TestDeterministicStreams(t *testing.T) {
+	a := NewGenerator(Options{Users: 100, Alpha: 0.6, Seed: 42})
+	b := NewGenerator(Options{Users: 100, Alpha: 0.6, Seed: 42})
+	for i := 0; i < 500; i++ {
+		sa, sb := a.Next(), b.Next()
+		if sa.Kind != sb.Kind || len(sa.Reads) != len(sb.Reads) || len(sa.Writes) != len(sb.Writes) {
+			t.Fatalf("streams diverge at %d", i)
+		}
+		for j := range sa.Reads {
+			if sa.Reads[j] != sb.Reads[j] {
+				t.Fatalf("read keys diverge at %d", i)
+			}
+		}
+	}
+}
+
+type fakeTxn struct {
+	gets []string
+	puts []string
+}
+
+func (f *fakeTxn) Get(ctx context.Context, key []byte) ([]byte, bool, error) {
+	f.gets = append(f.gets, string(key))
+	return nil, false, nil
+}
+
+func (f *fakeTxn) Put(key, val []byte) error {
+	f.puts = append(f.puts, string(key))
+	return nil
+}
+
+func TestExecuteIssuesSpec(t *testing.T) {
+	spec := TxnSpec{
+		Kind:   FollowUser,
+		Reads:  []string{"user:1", "user:2"},
+		Writes: []KV{{Key: "following:1"}, {Key: "followers:2"}},
+	}
+	ft := &fakeTxn{}
+	if err := Execute(context.Background(), ft, spec); err != nil {
+		t.Fatal(err)
+	}
+	if len(ft.gets) != 2 || len(ft.puts) != 2 || ft.gets[0] != "user:1" || ft.puts[1] != "followers:2" {
+		t.Fatalf("execute issued %v / %v", ft.gets, ft.puts)
+	}
+}
+
+func TestPopulationKeys(t *testing.T) {
+	keys := PopulationKeys(3)
+	if len(keys) != 12 {
+		t.Fatalf("%d keys, want 12", len(keys))
+	}
+	if keys[0] != "user:0" || keys[11] != "timeline:2" {
+		t.Fatalf("unexpected ordering: %v", keys)
+	}
+}

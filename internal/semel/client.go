@@ -1,0 +1,197 @@
+package semel
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/clock"
+	"repro/internal/cluster"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// ErrRejected is returned when a write loses the timestamp race: a version
+// with a later timestamp already exists (§3.3). Clients with lagging clocks
+// see this more often — the skew cost the paper quantifies.
+var ErrRejected = errors.New("semel: write rejected (a newer version exists)")
+
+// Client is the SEMEL application library (§3): it timestamps every
+// operation with the client's precision clock and routes it to the primary
+// of the key's shard.
+type Client struct {
+	clk clock.Clock
+	net transport.Client
+	dir *cluster.Directory
+	// retries bounds retransmissions of a timed-out or misrouted request.
+	retries int
+}
+
+// NewClient builds a SEMEL client. The clock's client ID becomes part of
+// every version this client writes.
+func NewClient(clk clock.Clock, net transport.Client, dir *cluster.Directory) *Client {
+	return &Client{clk: clk, net: net, dir: dir, retries: 3}
+}
+
+// ID returns the client's ID.
+func (c *Client) ID() uint32 { return c.clk.Client() }
+
+// Clock returns the client's clock.
+func (c *Client) Clock() clock.Clock { return c.clk }
+
+func (c *Client) primaryFor(key []byte) (string, error) {
+	return c.dir.Primary(c.dir.ShardFor(key))
+}
+
+// call retries through directory refreshes so a request survives a
+// failover that happens mid-flight.
+func (c *Client) call(ctx context.Context, key []byte, req any) (any, error) {
+	var lastErr error
+	for attempt := 0; attempt <= c.retries; attempt++ {
+		addr, err := c.primaryFor(key)
+		if err != nil {
+			return nil, err
+		}
+		resp, err := c.net.Call(ctx, addr, req)
+		if err == nil {
+			return resp, nil
+		}
+		lastErr = err
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+	}
+	return nil, lastErr
+}
+
+// Get returns the youngest version of key with timestamp ≤ the client's
+// current time.
+func (c *Client) Get(ctx context.Context, key []byte) (val []byte, ver clock.Timestamp, found bool, err error) {
+	return c.GetAt(ctx, key, c.clk.Now())
+}
+
+// GetAt returns the youngest version of key with timestamp ≤ at (snapshot
+// read in the past, §3.3 — higher concurrency, not linearizable).
+func (c *Client) GetAt(ctx context.Context, key []byte, at clock.Timestamp) ([]byte, clock.Timestamp, bool, error) {
+	resp, err := c.call(ctx, key, wire.GetRequest{Key: key, At: at})
+	if err != nil {
+		return nil, clock.Timestamp{}, false, err
+	}
+	g, ok := resp.(wire.GetResponse)
+	if !ok {
+		return nil, clock.Timestamp{}, false, fmt.Errorf("semel: unexpected response %T", resp)
+	}
+	if g.SnapshotMiss {
+		return nil, clock.Timestamp{}, false, fmt.Errorf("%w at %v", ErrSnapshotMiss, at)
+	}
+	return g.Val, g.Version, g.Found, nil
+}
+
+// ErrSnapshotMiss is returned by GetAt when the requested snapshot has been
+// superseded on a single-version backend.
+var ErrSnapshotMiss = errors.New("semel: snapshot no longer available")
+
+// Put creates a new version of key stamped with the client's current time
+// and returns the version stamp. The same version is retransmitted on
+// retries, so the write is at-most-once.
+func (c *Client) Put(ctx context.Context, key, val []byte) (clock.Timestamp, error) {
+	ver := c.clk.Now()
+	resp, err := c.call(ctx, key, wire.PutRequest{Key: key, Val: val, Version: ver})
+	if err != nil {
+		return clock.Timestamp{}, err
+	}
+	p, ok := resp.(wire.PutResponse)
+	if !ok {
+		return clock.Timestamp{}, fmt.Errorf("semel: unexpected response %T", resp)
+	}
+	if p.Rejected {
+		return clock.Timestamp{}, ErrRejected
+	}
+	return ver, nil
+}
+
+// Delete writes a tombstone over all versions of key.
+func (c *Client) Delete(ctx context.Context, key []byte) error {
+	ver := c.clk.Now()
+	resp, err := c.call(ctx, key, wire.DeleteRequest{Key: key, Version: ver})
+	if err != nil {
+		return err
+	}
+	d, ok := resp.(wire.DeleteResponse)
+	if !ok {
+		return fmt.Errorf("semel: unexpected response %T", resp)
+	}
+	if d.Rejected {
+		return ErrRejected
+	}
+	return nil
+}
+
+// BroadcastWatermark reports ts as this client's latest acknowledged
+// operation to every replica of every shard (§3.1). Failed deliveries are
+// ignored; watermarks are monotone and a later broadcast catches up.
+func (c *Client) BroadcastWatermark(ctx context.Context, ts clock.Timestamp) {
+	msg := wire.WatermarkBroadcast{Client: c.ID(), Ts: ts}
+	for i := 0; i < c.dir.NumShards(); i++ {
+		rs, err := c.dir.Shard(cluster.ShardID(i))
+		if err != nil {
+			continue
+		}
+		for _, addr := range rs.Replicas() {
+			_, _ = c.net.Call(ctx, addr, msg)
+		}
+	}
+}
+
+// MultiGet reads several keys in one round trip per shard, all at the same
+// snapshot timestamp. Results are keyed by the input key strings; missing
+// keys are absent from the map.
+func (c *Client) MultiGet(ctx context.Context, keys [][]byte) (map[string][]byte, error) {
+	at := c.clk.Now()
+	byShard := make(map[cluster.ShardID][][]byte)
+	for _, k := range keys {
+		s := c.dir.ShardFor(k)
+		byShard[s] = append(byShard[s], k)
+	}
+	out := make(map[string][]byte, len(keys))
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	errs := make(chan error, len(byShard))
+	for shard, shardKeys := range byShard {
+		wg.Add(1)
+		go func(shard cluster.ShardID, shardKeys [][]byte) {
+			defer wg.Done()
+			addr, err := c.dir.Primary(shard)
+			if err != nil {
+				errs <- err
+				return
+			}
+			resp, err := c.net.Call(ctx, addr, wire.MultiGetRequest{Keys: shardKeys, At: at})
+			if err != nil {
+				errs <- err
+				return
+			}
+			mg, ok := resp.(wire.MultiGetResponse)
+			if !ok || len(mg.Items) != len(shardKeys) {
+				errs <- fmt.Errorf("semel: malformed multi-get response %T", resp)
+				return
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			for i, item := range mg.Items {
+				if item.Found {
+					out[string(shardKeys[i])] = item.Val
+				}
+			}
+		}(shard, shardKeys)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

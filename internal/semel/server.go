@@ -1,0 +1,707 @@
+// Package semel implements the replicated multi-version key-value store of
+// §3: storage servers holding one shard replica each, a client library that
+// timestamps every operation with precision time, lightweight primary/backup
+// *inconsistent* replication (§3.2 — a write commits as soon as a majority
+// of replicas hold it, in any order, because ordering is explicit in the
+// version stamps), linearizable single-key RPC (§3.3 — stale writes are
+// rejected, retransmissions are idempotent), and watermark-driven garbage
+// collection (§3.1).
+//
+// Each Server embeds a milana.Manager so the same process also serves the
+// transaction protocol of §4.
+package semel
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/cluster"
+	"repro/internal/milana"
+	"repro/internal/storage"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// ErrNotPrimary is returned when a client operation reaches a backup or a
+// deposed primary.
+var ErrNotPrimary = errors.New("semel: not the primary for this shard")
+
+// ErrLeaseExpired is returned when a primary cannot prove it is still the
+// unique reader-serving replica (§4.5 leases).
+var ErrLeaseExpired = errors.New("semel: primary lease expired")
+
+// replicationSendTimeout bounds background replication deliveries that
+// continue after the synchronous f-ack wait has been satisfied.
+const replicationSendTimeout = 30 * time.Second
+
+// ServerOptions configures a Server.
+type ServerOptions struct {
+	// Addr is this replica's transport address.
+	Addr string
+	// Shard is the shard this replica belongs to.
+	Shard cluster.ShardID
+	// Primary marks the initial role.
+	Primary bool
+	// Backend is the replica's durable store.
+	Backend storage.Backend
+	// Net reaches the other replicas.
+	Net transport.Client
+	// Dir is the shard directory.
+	Dir *cluster.Directory
+	// Clock is the server's local clock (used for leases and recovery
+	// waits, never for data versioning — versions are client-stamped).
+	Clock clock.Clock
+	// LeaseDuration is the read-lease length; 0 means 2 s. Negative
+	// disables lease enforcement (useful for microbenchmarks).
+	LeaseDuration time.Duration
+	// PreparedTimeout is how long a transaction may stay prepared before
+	// the backup coordinator terminates it; 0 means 5 s.
+	PreparedTimeout time.Duration
+	// AntiEntropyInterval is how often a backup pulls versions it may
+	// have missed (a crashed or partitioned backup misses replicated
+	// writes; inconsistent replication only guarantees f+1 copies).
+	// 0 means 1 s; negative disables.
+	AntiEntropyInterval time.Duration
+}
+
+// serverStats holds the replica's operation counters (see wire.StatsResponse).
+type serverStats struct {
+	gets, puts, deletes, prepares, commits, aborts, replOps atomic.Int64
+}
+
+// Server is one shard replica.
+type Server struct {
+	opt   ServerOptions
+	mgr   *milana.Manager
+	wm    *clock.WatermarkTracker
+	stats serverStats
+
+	mu          sync.Mutex
+	primary     bool
+	leaseUntil  clock.Timestamp // as primary: may serve reads until then
+	granted     clock.Timestamp // as backup: lease granted to the primary
+	stopRenewal chan struct{}
+	wg          sync.WaitGroup
+	closed      bool
+}
+
+// NewServer builds (but does not register) a replica server.
+func NewServer(opt ServerOptions) (*Server, error) {
+	if opt.Backend == nil || opt.Net == nil || opt.Dir == nil || opt.Clock == nil {
+		return nil, fmt.Errorf("semel: incomplete server options")
+	}
+	if opt.LeaseDuration == 0 {
+		opt.LeaseDuration = 2 * time.Second
+	}
+	if opt.PreparedTimeout == 0 {
+		opt.PreparedTimeout = 5 * time.Second
+	}
+	if opt.AntiEntropyInterval == 0 {
+		opt.AntiEntropyInterval = time.Second
+	}
+	s := &Server{opt: opt, wm: clock.NewWatermarkTracker(), stopRenewal: make(chan struct{})}
+	s.mgr = milana.NewManager(s)
+	s.primary = opt.Primary
+	if opt.Primary && opt.LeaseDuration > 0 {
+		// A fresh primary may serve immediately; renewal keeps it alive.
+		s.leaseUntil = opt.Clock.Now().Add(opt.LeaseDuration)
+	}
+	s.startLoops()
+	return s, nil
+}
+
+// Addr returns the server's transport address.
+func (s *Server) Addr() string { return s.opt.Addr }
+
+// Manager exposes the transaction module (tests and recovery drivers).
+func (s *Server) Manager() *milana.Manager { return s.mgr }
+
+// IsPrimary reports the replica's current role.
+func (s *Server) IsPrimary() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.primary
+}
+
+// Close stops background loops.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	close(s.stopRenewal)
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// startLoops launches lease renewal, the prepared-transaction sweeper and
+// anti-entropy.
+func (s *Server) startLoops() {
+	if s.opt.LeaseDuration > 0 {
+		s.wg.Add(1)
+		go s.renewalLoop()
+	}
+	s.wg.Add(1)
+	go s.sweeperLoop()
+	if s.opt.AntiEntropyInterval > 0 {
+		s.wg.Add(1)
+		go s.antiEntropyLoop()
+	}
+}
+
+// antiEntropyLoop runs on backups: it periodically pulls the versions and
+// transaction records it may have missed while down or partitioned.
+// Inconsistent replication only waits for f of 2f backups, so a slow or
+// crashed backup can permanently lack acknowledged writes; this loop
+// restores the §3.2 assumption that a majority of replicas hold every
+// acknowledged update *and* stragglers converge.
+func (s *Server) antiEntropyLoop() {
+	defer s.wg.Done()
+	t := time.NewTicker(s.opt.AntiEntropyInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stopRenewal:
+			return
+		case <-t.C:
+			if !s.IsPrimary() {
+				s.antiEntropyOnce()
+			}
+		}
+	}
+}
+
+// antiEntropyOnce pulls from the current primary everything above the local
+// watermark and applies it idempotently. The watermark is the only safe low
+// bound: no client ever issues a new operation below it (§3.1/§4.4), while
+// a max-seen-version cursor could skip lower-timestamped writes that are
+// still in flight under inconsistent replication.
+func (s *Server) antiEntropyOnce() {
+	primary, err := s.opt.Dir.Primary(s.opt.Shard)
+	if err != nil || primary == s.opt.Addr {
+		return
+	}
+	since := s.wm.Watermark()
+	ctx, cancel := context.WithTimeout(context.Background(), s.opt.AntiEntropyInterval)
+	defer cancel()
+	resp, err := s.opt.Net.Call(ctx, primary, wire.RecoveryPullRequest{Since: since})
+	if err != nil {
+		return
+	}
+	pull, ok := resp.(wire.RecoveryPullResponse)
+	if !ok {
+		return
+	}
+	for _, op := range pull.Data {
+		if op.Tombstone {
+			_ = s.opt.Backend.Delete(op.Key, op.Version)
+		} else {
+			_ = s.opt.Backend.Put(op.Key, op.Val, op.Version)
+		}
+	}
+	// Only in-doubt (prepared) records matter here: committed data
+	// already arrived through the version dump above, and replaying the
+	// primary's entire decided-transaction history every tick would be
+	// quadratic busywork.
+	for _, rec := range pull.Txns {
+		if rec.Status == wire.StatusPrepared {
+			_ = s.mgr.HandleReplicatePrepare(rec)
+		}
+	}
+}
+
+func (s *Server) renewalLoop() {
+	defer s.wg.Done()
+	t := time.NewTicker(s.opt.LeaseDuration / 4)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stopRenewal:
+			return
+		case <-t.C:
+			if s.IsPrimary() {
+				s.renewLease()
+			}
+		}
+	}
+}
+
+// renewLease obtains a fresh read lease from a majority of the replica
+// group (§4.5). A deposed primary cannot renew: it is no longer in the
+// directory's group, and backups only grant leases to the replica the
+// directory names primary.
+func (s *Server) renewLease() {
+	rs, err := s.opt.Dir.Shard(s.opt.Shard)
+	if err != nil || rs.Primary != s.opt.Addr {
+		return // not the primary anymore; the lease runs out
+	}
+	need := rs.F() // majority of the original group, counting ourselves
+	expiry := s.opt.Clock.Now().Add(s.opt.LeaseDuration)
+	if need > 0 {
+		ctx, cancel := context.WithTimeout(context.Background(), s.opt.LeaseDuration/2)
+		defer cancel()
+		grants := make(chan bool, len(rs.Backups))
+		for _, peer := range rs.Backups {
+			go func(peer string) {
+				resp, err := s.opt.Net.Call(ctx, peer, wire.LeaseRequest{Primary: s.opt.Addr, Expiry: expiry})
+				lr, ok := resp.(wire.LeaseResponse)
+				grants <- err == nil && ok && lr.Granted
+			}(peer)
+		}
+		got := 0
+		for range rs.Backups {
+			if <-grants {
+				got++
+			}
+			if got >= need {
+				break
+			}
+		}
+		if got < need {
+			return // keep the old lease; reads stop when it runs out
+		}
+	}
+	s.mu.Lock()
+	if expiry.After(s.leaseUntil) {
+		s.leaseUntil = expiry
+	}
+	s.mu.Unlock()
+}
+
+func (s *Server) sweeperLoop() {
+	defer s.wg.Done()
+	t := time.NewTicker(s.opt.PreparedTimeout / 2)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stopRenewal:
+			return
+		case <-t.C:
+			if s.IsPrimary() {
+				ctx, cancel := context.WithTimeout(context.Background(), s.opt.PreparedTimeout)
+				s.mgr.SweepPrepared(ctx, s.opt.PreparedTimeout)
+				cancel()
+			}
+		}
+	}
+}
+
+// ---- milana.Host ----
+
+// Backend returns the replica's durable store.
+func (s *Server) Backend() storage.Backend { return s.opt.Backend }
+
+// ShardID returns the shard this replica serves.
+func (s *Server) ShardID() int { return int(s.opt.Shard) }
+
+// CallPrimary reaches the current primary of another shard.
+func (s *Server) CallPrimary(ctx context.Context, shard int, req any) (any, error) {
+	addr, err := s.opt.Dir.Primary(cluster.ShardID(shard))
+	if err != nil {
+		return nil, err
+	}
+	return s.opt.Net.Call(ctx, addr, req)
+}
+
+// ReplicateToBackups delivers msg to this shard's backups and returns once
+// f of the 2f backups acknowledged — the relaxed majority rule of §3.2 and
+// Figure 5. Remaining deliveries continue in the background.
+func (s *Server) ReplicateToBackups(ctx context.Context, msg any) error {
+	rs, err := s.opt.Dir.Shard(s.opt.Shard)
+	if err != nil {
+		return err
+	}
+	var peers []string
+	for _, a := range rs.Replicas() {
+		if a != s.opt.Addr {
+			peers = append(peers, a)
+		}
+	}
+	need := rs.F()
+	if need > len(peers) {
+		need = len(peers)
+	}
+	if need == 0 {
+		return nil
+	}
+	// The sends are durability traffic and must outlive the caller: a
+	// client that cancels its context right after its call returns would
+	// otherwise silently kill the delivery to the remaining backups,
+	// leaving them permanently short of acknowledged operations. Only the
+	// *wait* below honours the caller's context.
+	sendCtx, cancelSends := context.WithTimeout(context.Background(), replicationSendTimeout)
+	env := wire.Replicated{Epoch: rs.Epoch, Msg: msg}
+	acks := make(chan error, len(peers))
+	var sends sync.WaitGroup
+	for _, p := range peers {
+		sends.Add(1)
+		go func(p string) {
+			defer sends.Done()
+			_, err := s.opt.Net.Call(sendCtx, p, env)
+			acks <- err
+		}(p)
+	}
+	go func() {
+		sends.Wait()
+		cancelSends()
+	}()
+	got, failed := 0, 0
+	for got < need {
+		select {
+		case err := <-acks:
+			if err == nil {
+				got++
+			} else {
+				failed++
+				if failed > len(peers)-need {
+					return fmt.Errorf("semel: replication quorum lost (%d/%d failed)", failed, len(peers))
+				}
+			}
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	return nil
+}
+
+// ---- RPC dispatch ----
+
+// Serve handles one request; it implements transport.Handler.
+func (s *Server) Serve(ctx context.Context, req any) (any, error) {
+	switch r := req.(type) {
+	case wire.Replicated:
+		// Fence replication from a deposed regime (§4.5 in spirit): a
+		// late delivery sent before a failover must not retroactively
+		// change state the new primary has already served reads and
+		// validations from. The operation itself is preserved by the
+		// recovery merge / anti-entropy, which run under the new epoch.
+		if rs, err := s.opt.Dir.Shard(s.opt.Shard); err == nil && r.Epoch < rs.Epoch {
+			return nil, fmt.Errorf("semel: stale replication epoch %d < %d", r.Epoch, rs.Epoch)
+		}
+		return s.Serve(ctx, r.Msg)
+	case wire.GetRequest:
+		s.stats.gets.Add(1)
+		return s.handleGet(r)
+	case wire.MultiGetRequest:
+		s.stats.gets.Add(int64(len(r.Keys)))
+		resp := wire.MultiGetResponse{Items: make([]wire.GetResponse, len(r.Keys))}
+		for i, key := range r.Keys {
+			item, err := s.handleGet(wire.GetRequest{Key: key, At: r.At, AnyReplica: r.AnyReplica})
+			if err != nil {
+				return nil, err
+			}
+			resp.Items[i] = item
+		}
+		return resp, nil
+	case wire.PutRequest:
+		s.stats.puts.Add(1)
+		return s.handlePut(ctx, r)
+	case wire.DeleteRequest:
+		s.stats.deletes.Add(1)
+		return s.handleDelete(ctx, r)
+	case wire.ReplicateData:
+		s.stats.replOps.Add(int64(len(r.Ops)))
+		return s.handleReplicateData(r)
+	case wire.WatermarkBroadcast:
+		return s.handleWatermark(r)
+	case wire.PrepareRequest:
+		if !s.IsPrimary() {
+			return nil, ErrNotPrimary
+		}
+		s.stats.prepares.Add(1)
+		resp, err := s.mgr.Prepare(ctx, r)
+		if err == nil && !resp.OK {
+			s.stats.aborts.Add(1)
+		}
+		return resp, err
+	case wire.DecisionRequest:
+		if r.Commit {
+			s.stats.commits.Add(1)
+		} else {
+			s.stats.aborts.Add(1)
+		}
+		return s.mgr.Decision(ctx, r)
+	case wire.StatusRequest:
+		// Only a serving primary may answer CTP status queries: a
+		// freshly designated primary that has not finished its recovery
+		// merge would answer Unknown for transactions it personally
+		// missed, and CTP rule 2 would then abort a transaction another
+		// shard already committed.
+		if !s.IsPrimary() {
+			return nil, ErrNotPrimary
+		}
+		return wire.StatusResponse{Status: s.mgr.Status(r.ID)}, nil
+	case wire.ReplicatePrepare:
+		if err := s.mgr.HandleReplicatePrepare(r.Record); err != nil {
+			return nil, err
+		}
+		return wire.Ack{}, nil
+	case wire.ReplicateDecision:
+		if err := s.mgr.HandleReplicateDecision(r.ID, r.Commit); err != nil {
+			return nil, err
+		}
+		return wire.Ack{}, nil
+	case wire.LeaseRequest:
+		return s.handleLease(r)
+	case wire.StatsRequest:
+		return wire.StatsResponse{
+			Addr:      s.opt.Addr,
+			Shard:     int(s.opt.Shard),
+			Primary:   s.IsPrimary(),
+			Gets:      s.stats.gets.Load(),
+			Puts:      s.stats.puts.Load(),
+			Deletes:   s.stats.deletes.Load(),
+			Prepares:  s.stats.prepares.Load(),
+			Commits:   s.stats.commits.Load(),
+			Aborts:    s.stats.aborts.Load(),
+			ReplOps:   s.stats.replOps.Load(),
+			Watermark: s.wm.Watermark(),
+		}, nil
+	case wire.RecoveryPullRequest:
+		return s.handleRecoveryPull(r)
+	case wire.PromoteRequest:
+		if err := s.Promote(ctx); err != nil {
+			return nil, err
+		}
+		return wire.PromoteResponse{}, nil
+	default:
+		return nil, fmt.Errorf("semel: unknown request type %T", req)
+	}
+}
+
+var _ transport.Handler = (*Server)(nil)
+
+// checkPrimaryLease verifies this replica may serve reads.
+func (s *Server) checkPrimaryLease() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.primary {
+		return ErrNotPrimary
+	}
+	if s.opt.LeaseDuration > 0 && s.opt.Clock.Now().After(s.leaseUntil) {
+		return ErrLeaseExpired
+	}
+	return nil
+}
+
+// handleGet serves a snapshot read at r.At and piggybacks the prepared bit
+// (§4.3). Reads execute only on a lease-holding primary (§3.3, §4.5) —
+// unless the client opted into nearest-replica reads (§4.6), in which case
+// any replica answers from its backend, possibly slightly stale, and the
+// transaction must validate at the primary.
+func (s *Server) handleGet(r wire.GetRequest) (wire.GetResponse, error) {
+	if err := s.checkPrimaryLease(); err != nil {
+		if !r.AnyReplica {
+			return wire.GetResponse{}, err
+		}
+		val, ver, found, gerr := s.opt.Backend.Get(r.Key, r.At)
+		if errors.Is(gerr, storage.ErrSnapshotUnavailable) {
+			return wire.GetResponse{SnapshotMiss: true}, nil
+		}
+		if gerr != nil {
+			return wire.GetResponse{}, gerr
+		}
+		return wire.GetResponse{Val: val, Version: ver, Found: found}, nil
+	}
+	prepared := s.mgr.OnGet(r.Key, r.At)
+	val, ver, found, err := s.opt.Backend.Get(r.Key, r.At)
+	if errors.Is(err, storage.ErrSnapshotUnavailable) {
+		return wire.GetResponse{SnapshotMiss: true}, nil
+	}
+	if err != nil {
+		return wire.GetResponse{}, err
+	}
+	return wire.GetResponse{Val: val, Version: ver, Found: found, PreparedAtOrBefore: prepared}, nil
+}
+
+// handlePut is the linearizable single-key write of §3.3: writes with
+// timestamps at or below the current version are rejected (at-most-once),
+// except that an exact duplicate of the current version is acknowledged as
+// the repeat of our earlier response (idempotence).
+func (s *Server) handlePut(ctx context.Context, r wire.PutRequest) (wire.PutResponse, error) {
+	return s.writeVersion(ctx, r.Key, r.Val, r.Version, false)
+}
+
+func (s *Server) handleDelete(ctx context.Context, r wire.DeleteRequest) (wire.DeleteResponse, error) {
+	resp, err := s.writeVersion(ctx, r.Key, nil, r.Version, true)
+	return wire.DeleteResponse{Rejected: resp.Rejected}, err
+}
+
+func (s *Server) writeVersion(ctx context.Context, key, val []byte, ver clock.Timestamp, tombstone bool) (wire.PutResponse, error) {
+	if !s.IsPrimary() {
+		return wire.PutResponse{}, ErrNotPrimary
+	}
+	latest := s.mgr.LatestCommitted(key)
+	if ver == latest {
+		return wire.PutResponse{}, nil // retransmission of the accepted write
+	}
+	if ver.Before(latest) {
+		return wire.PutResponse{Rejected: true}, nil
+	}
+	var err error
+	if tombstone {
+		err = s.opt.Backend.Delete(key, ver)
+	} else {
+		err = s.opt.Backend.Put(key, val, ver)
+	}
+	if err != nil {
+		return wire.PutResponse{}, err
+	}
+	op := wire.DataOp{Key: key, Val: val, Version: ver, Tombstone: tombstone}
+	if err := s.ReplicateToBackups(ctx, wire.ReplicateData{Ops: []wire.DataOp{op}}); err != nil {
+		return wire.PutResponse{}, err
+	}
+	s.mgr.OnCommittedWrite(key, ver)
+	return wire.PutResponse{}, nil
+}
+
+// handleReplicateData applies replicated writes on a backup — in any order,
+// because ordering is explicit in the version stamps (§3.2).
+func (s *Server) handleReplicateData(r wire.ReplicateData) (wire.Ack, error) {
+	for _, op := range r.Ops {
+		var err error
+		if op.Tombstone {
+			err = s.opt.Backend.Delete(op.Key, op.Version)
+		} else {
+			err = s.opt.Backend.Put(op.Key, op.Val, op.Version)
+		}
+		if err != nil {
+			return wire.Ack{}, err
+		}
+	}
+	return wire.Ack{}, nil
+}
+
+// handleWatermark folds a client's decided-timestamp report into the local
+// watermark and passes it to the backend's garbage collector (§3.1, §4.4).
+func (s *Server) handleWatermark(r wire.WatermarkBroadcast) (wire.Ack, error) {
+	s.wm.Report(r.Client, r.Ts)
+	if w := s.wm.Watermark(); !w.IsZero() {
+		s.opt.Backend.SetWatermark(w)
+	}
+	return wire.Ack{}, nil
+}
+
+// handleLease grants a read lease (backup side) — but only to the replica
+// the directory currently names primary, so a deposed primary partitioned
+// away from its group can never extend its lease.
+func (s *Server) handleLease(r wire.LeaseRequest) (wire.LeaseResponse, error) {
+	cur, err := s.opt.Dir.Primary(s.opt.Shard)
+	if err != nil || cur != r.Primary {
+		return wire.LeaseResponse{Granted: false}, nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.primary {
+		return wire.LeaseResponse{Granted: false}, nil
+	}
+	if r.Expiry.After(s.granted) {
+		s.granted = r.Expiry
+	}
+	return wire.LeaseResponse{Granted: true}, nil
+}
+
+// handleRecoveryPull returns everything a new primary needs: this replica's
+// transaction records, its data versions above the watermark, and the last
+// lease it granted.
+func (s *Server) handleRecoveryPull(r wire.RecoveryPullRequest) (wire.RecoveryPullResponse, error) {
+	resp := wire.RecoveryPullResponse{Txns: s.mgr.TableRecords()}
+	s.mu.Lock()
+	resp.LeaseExpiry = s.granted
+	s.mu.Unlock()
+	err := s.opt.Backend.Dump(r.Since, func(key []byte, ver clock.Timestamp, val []byte, tombstone bool) error {
+		resp.Data = append(resp.Data, wire.DataOp{Key: key, Val: val, Version: ver, Tombstone: tombstone})
+		return nil
+	})
+	if err != nil {
+		return wire.RecoveryPullResponse{}, err
+	}
+	return resp, nil
+}
+
+// Promote turns this backup into the shard's primary: pull state from the
+// surviving replicas, merge data versions (their order is reconstructed
+// from version stamps), merge transaction tables (Algorithm 2), wait out
+// the old primary's read lease, and start serving. The directory must
+// already name this server as the new primary.
+func (s *Server) Promote(ctx context.Context) error {
+	if cur, err := s.opt.Dir.Primary(s.opt.Shard); err != nil || cur != s.opt.Addr {
+		return fmt.Errorf("semel: directory does not name %s primary (have %s, %v)", s.opt.Addr, cur, err)
+	}
+	rs, err := s.opt.Dir.Shard(s.opt.Shard)
+	if err != nil {
+		return err
+	}
+	since := s.wm.Watermark()
+	var pulledTxns [][]wire.TxnRecord
+	maxLease := clock.Timestamp{}
+	s.mu.Lock()
+	if s.granted.After(maxLease) {
+		maxLease = s.granted
+	}
+	s.mu.Unlock()
+	reached := 0
+	for _, peer := range rs.Backups {
+		if peer == s.opt.Addr {
+			continue
+		}
+		resp, err := s.opt.Net.Call(ctx, peer, wire.RecoveryPullRequest{Since: since})
+		if err != nil {
+			continue // peer down; a majority may still be reachable
+		}
+		pull, ok := resp.(wire.RecoveryPullResponse)
+		if !ok {
+			continue
+		}
+		reached++
+		for _, op := range pull.Data {
+			if op.Tombstone {
+				_ = s.opt.Backend.Delete(op.Key, op.Version)
+			} else {
+				_ = s.opt.Backend.Put(op.Key, op.Val, op.Version)
+			}
+		}
+		pulledTxns = append(pulledTxns, pull.Txns)
+		if pull.LeaseExpiry.After(maxLease) {
+			maxLease = pull.LeaseExpiry
+		}
+	}
+	// A new primary needs f+1 replicas (including itself) to guarantee it
+	// sees every acknowledged operation (§4.5).
+	if reached+1 < rs.F()+1 {
+		return fmt.Errorf("semel: only %d replicas reachable, need %d", reached+1, rs.F()+1)
+	}
+	if err := s.mgr.MergeRecovered(ctx, pulledTxns); err != nil {
+		return err
+	}
+	// Wait for the local clock to pass the old primary's lease so no
+	// stale read can be contradicted (§4.5).
+	for s.opt.LeaseDuration > 0 && !s.opt.Clock.Now().After(maxLease) {
+		wait := maxLease.Sub(s.opt.Clock.Now())
+		if wait <= 0 {
+			break
+		}
+		if wait > 50*time.Millisecond {
+			wait = 50 * time.Millisecond
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(wait):
+		}
+	}
+	s.mu.Lock()
+	s.primary = true
+	if s.opt.LeaseDuration > 0 {
+		s.leaseUntil = s.opt.Clock.Now().Add(s.opt.LeaseDuration)
+	}
+	s.mu.Unlock()
+	return nil
+}

@@ -1,0 +1,46 @@
+// Package storage defines the versioned storage Backend used by SEMEL
+// servers and provides two of the paper's backends directly: a DRAM
+// (persistent-memory) backend and a single-version flash backend (the SFTL
+// baseline of Figure 6). The multi-version flash backends — unified MFTL and
+// split VFTL — live in internal/mvftl and internal/kvlayer and satisfy the
+// same interface.
+package storage
+
+import (
+	"errors"
+
+	"repro/internal/clock"
+)
+
+// ErrSnapshotUnavailable is returned by single-version backends when asked
+// for a version at a snapshot older than the only version they retain. The
+// transaction layer treats it as a forced abort — the effect Figure 6
+// measures when comparing single- and multi-version FTLs.
+var ErrSnapshotUnavailable = errors.New("storage: snapshot version no longer available")
+
+// Backend is a durable multi-version key-value store for one shard replica.
+// Implementations must be safe for concurrent use.
+type Backend interface {
+	// Put makes a durable version of key with the given version stamp.
+	// Versions may arrive in any timestamp order (inconsistent
+	// replication); a duplicate version stamp is an idempotent no-op.
+	Put(key, val []byte, ver clock.Timestamp) error
+	// Delete writes a tombstone version.
+	Delete(key []byte, ver clock.Timestamp) error
+	// Get returns the youngest version with timestamp ≤ at.
+	Get(key []byte, at clock.Timestamp) (val []byte, ver clock.Timestamp, found bool, err error)
+	// Latest returns the youngest version.
+	Latest(key []byte) (val []byte, ver clock.Timestamp, found bool, err error)
+	// LatestVersion returns the youngest version stamp (tombstones
+	// included) without reading the value.
+	LatestVersion(key []byte) (ver clock.Timestamp, tombstone, found bool)
+	// SetWatermark raises the garbage-collection watermark.
+	SetWatermark(ts clock.Timestamp)
+	// Flush forces buffered writes (e.g. packed pages) to media.
+	Flush()
+	// Dump streams every retained version with timestamp > since to fn,
+	// stopping at fn's first error. A new primary uses it to merge
+	// replica states during failover (§4.5); versions at or below the
+	// watermark are identical everywhere and may be skipped via since.
+	Dump(since clock.Timestamp, fn func(key []byte, ver clock.Timestamp, val []byte, tombstone bool) error) error
+}

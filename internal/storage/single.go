@@ -1,0 +1,173 @@
+package storage
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+
+	"repro/internal/clock"
+	"repro/internal/ftl"
+	"repro/internal/record"
+)
+
+// SingleVersion is a key-value store over the generic single-version FTL —
+// the "SFTL" configuration of Figure 6. Each key owns one logical block;
+// every put overwrites it in place (the FTL remaps physically). Because only
+// the newest version exists, a Get at a snapshot older than the current
+// version fails with ErrSnapshotUnavailable, which forces the transaction
+// layer to abort tardy read-only transactions — exactly the effect the
+// multi-version FTLs eliminate.
+type SingleVersion struct {
+	f *ftl.FTL
+
+	mu        sync.Mutex
+	lbas      map[string]int // key -> owned LBA
+	freeLBAs  []int
+	latest    map[string]memVersion // ts + tombstone cache (value lives on flash)
+	watermark clock.Timestamp
+}
+
+// NewSingleVersion builds the store over a fresh FTL.
+func NewSingleVersion(f *ftl.FTL) *SingleVersion {
+	s := &SingleVersion{
+		f:      f,
+		lbas:   make(map[string]int),
+		latest: make(map[string]memVersion),
+	}
+	for i := f.NumLBAs() - 1; i >= 0; i-- {
+		s.freeLBAs = append(s.freeLBAs, i)
+	}
+	return s
+}
+
+var _ Backend = (*SingleVersion)(nil)
+
+// Put overwrites the key's single version. A put with a version stamp at or
+// before the current version is rejected as stale by SEMEL's linearizable
+// RPC rule (§3.3); here it is an idempotent no-op so inconsistent
+// replication can deliver duplicates safely — ordering enforcement happens
+// in the SEMEL server.
+func (s *SingleVersion) Put(key, val []byte, ver clock.Timestamp) error {
+	return s.write(key, val, ver, false)
+}
+
+// Delete overwrites the key with a tombstone.
+func (s *SingleVersion) Delete(key []byte, ver clock.Timestamp) error {
+	return s.write(key, nil, ver, true)
+}
+
+func (s *SingleVersion) write(key, val []byte, ver clock.Timestamp, tombstone bool) error {
+	if len(key) == 0 {
+		return fmt.Errorf("storage: empty key")
+	}
+	s.mu.Lock()
+	cur, ok := s.latest[string(key)]
+	if ok && !ver.After(cur.ts) {
+		s.mu.Unlock()
+		return nil // stale or duplicate: single-version keeps the youngest
+	}
+	lba, ok := s.lbas[string(key)]
+	if !ok {
+		if len(s.freeLBAs) == 0 {
+			s.mu.Unlock()
+			return fmt.Errorf("storage: single-version store full")
+		}
+		lba = s.freeLBAs[len(s.freeLBAs)-1]
+		s.freeLBAs = s.freeLBAs[:len(s.freeLBAs)-1]
+		s.lbas[string(key)] = lba
+	}
+	s.latest[string(key)] = memVersion{ts: ver, tombstone: tombstone}
+	s.mu.Unlock()
+
+	rec := record.Record{Key: key, Val: val, Ts: ver, Tombstone: tombstone}
+	return s.f.WriteLBA(lba, rec.Encode(nil))
+}
+
+// Get returns the single version if its timestamp is ≤ at; if the version
+// is younger than the requested snapshot, the snapshot is gone and
+// ErrSnapshotUnavailable is returned.
+func (s *SingleVersion) Get(key []byte, at clock.Timestamp) ([]byte, clock.Timestamp, bool, error) {
+	s.mu.Lock()
+	cur, ok := s.latest[string(key)]
+	lba := s.lbas[string(key)]
+	s.mu.Unlock()
+	if !ok {
+		return nil, clock.Timestamp{}, false, nil
+	}
+	if cur.ts.After(at) {
+		return nil, clock.Timestamp{}, false, ErrSnapshotUnavailable
+	}
+	if cur.tombstone {
+		return nil, clock.Timestamp{}, false, nil
+	}
+	page, err := s.f.ReadLBA(lba)
+	if err != nil {
+		return nil, clock.Timestamp{}, false, err
+	}
+	rec, _, err := record.Decode(page)
+	if err != nil {
+		return nil, clock.Timestamp{}, false, err
+	}
+	if !bytes.Equal(rec.Key, key) {
+		return nil, clock.Timestamp{}, false, fmt.Errorf("storage: media mismatch for key %q", key)
+	}
+	out := make([]byte, len(rec.Val))
+	copy(out, rec.Val)
+	return out, rec.Ts, true, nil
+}
+
+// Latest returns the single current version.
+func (s *SingleVersion) Latest(key []byte) ([]byte, clock.Timestamp, bool, error) {
+	return s.Get(key, clock.Timestamp{Ticks: 1<<63 - 1, Client: ^uint32(0)})
+}
+
+// LatestVersion returns the current version stamp.
+func (s *SingleVersion) LatestVersion(key []byte) (clock.Timestamp, bool, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cur, ok := s.latest[string(key)]
+	if !ok {
+		return clock.Timestamp{}, false, false
+	}
+	return cur.ts, cur.tombstone, true
+}
+
+// SetWatermark is a no-op: a single-version store retains nothing older
+// than the current version anyway.
+func (s *SingleVersion) SetWatermark(clock.Timestamp) {}
+
+// Flush is a no-op: writes are synchronous.
+func (s *SingleVersion) Flush() {}
+
+// Dump streams the single retained version of each key with timestamp >
+// since.
+func (s *SingleVersion) Dump(since clock.Timestamp, fn func(key []byte, ver clock.Timestamp, val []byte, tombstone bool) error) error {
+	type item struct {
+		key string
+		v   memVersion
+	}
+	s.mu.Lock()
+	var items []item
+	for k, v := range s.latest {
+		if v.ts.After(since) {
+			items = append(items, item{key: k, v: v})
+		}
+	}
+	s.mu.Unlock()
+	for _, it := range items {
+		if it.v.tombstone {
+			if err := fn([]byte(it.key), it.v.ts, nil, true); err != nil {
+				return err
+			}
+			continue
+		}
+		val, ver, found, err := s.Get([]byte(it.key), it.v.ts)
+		if err != nil || !found {
+			continue // overwritten since the snapshot; newer dump entry covers it
+		}
+		if err := fn([]byte(it.key), ver, val, false); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,273 @@
+package storage
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/clock"
+	"repro/internal/flash"
+	"repro/internal/ftl"
+	"repro/internal/kvlayer"
+	"repro/internal/mvftl"
+)
+
+// Compile-time checks: all four of the paper's backends satisfy Backend.
+var (
+	_ Backend = (*DRAM)(nil)
+	_ Backend = (*SingleVersion)(nil)
+	_ Backend = (*mvftl.Store)(nil)
+	_ Backend = (*kvlayer.Store)(nil)
+)
+
+func ts(t int64) clock.Timestamp { return clock.Timestamp{Ticks: t, Client: 1} }
+
+func newBackends(t *testing.T) map[string]Backend {
+	t.Helper()
+	geo := flash.Geometry{Channels: 2, BlocksPerChannel: 12, PagesPerBlock: 4, PageSize: 256}
+	mkFTL := func() *ftl.FTL {
+		dev, err := flash.NewDevice(flash.Options{Geometry: geo, Sleeper: flash.NopSleeper{}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, err := ftl.New(dev, ftl.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return f
+	}
+	devM, _ := flash.NewDevice(flash.Options{Geometry: geo, Sleeper: flash.NopSleeper{}})
+	m, err := mvftl.New(devM, mvftl.Options{PackTimeout: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := kvlayer.New(mkFTL(), kvlayer.Options{PackTimeout: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]Backend{
+		"dram": NewDRAM(),
+		"mftl": m,
+		"vftl": v,
+	}
+}
+
+// The three multi-version backends must behave identically on the core
+// version semantics.
+func TestMultiVersionBackendsAgree(t *testing.T) {
+	for name, b := range newBackends(t) {
+		t.Run(name, func(t *testing.T) {
+			for i := int64(1); i <= 5; i++ {
+				if err := b.Put([]byte("k"), []byte(fmt.Sprintf("v%d", i)), ts(i*10)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			val, ver, found, err := b.Get([]byte("k"), ts(25))
+			if err != nil || !found || string(val) != "v2" || ver != ts(20) {
+				t.Fatalf("get@25 = %q @ %v (%v, %v)", val, ver, found, err)
+			}
+			if _, _, found, _ := b.Get([]byte("k"), ts(1)); found {
+				t.Fatal("found before first version")
+			}
+			val, _, _, _ = b.Latest([]byte("k"))
+			if string(val) != "v5" {
+				t.Fatalf("latest = %q", val)
+			}
+			ver, tomb, found := b.LatestVersion([]byte("k"))
+			if !found || tomb || ver != ts(50) {
+				t.Fatalf("LatestVersion = %v %v %v", ver, tomb, found)
+			}
+			// Tombstone hides at/after, shows before.
+			if err := b.Delete([]byte("k"), ts(60)); err != nil {
+				t.Fatal(err)
+			}
+			if _, _, found, _ := b.Latest([]byte("k")); found {
+				t.Fatal("visible after delete")
+			}
+			if val, _, found, _ := b.Get([]byte("k"), ts(55)); !found || string(val) != "v5" {
+				t.Fatalf("pre-delete snapshot = %q %v", val, found)
+			}
+			// Out-of-order + duplicate insertion.
+			_ = b.Put([]byte("o"), []byte("late"), ts(200))
+			_ = b.Put([]byte("o"), []byte("early"), ts(100))
+			_ = b.Put([]byte("o"), []byte("dup"), ts(200))
+			if val, _, _, _ := b.Latest([]byte("o")); string(val) != "late" {
+				t.Fatalf("out-of-order/dup broke ordering: %q", val)
+			}
+			b.SetWatermark(ts(150))
+			b.Flush()
+		})
+	}
+}
+
+func TestDRAMWatermarkPrunes(t *testing.T) {
+	d := NewDRAM()
+	for i := int64(1); i <= 5; i++ {
+		_ = d.Put([]byte("k"), []byte{byte(i)}, ts(i*10))
+	}
+	d.SetWatermark(ts(35))
+	// Pruning is lazy (applies on next insert).
+	_ = d.Put([]byte("k"), []byte{99}, ts(60))
+	if n := d.VersionCount([]byte("k")); n != 4 { // v3,v4,v5,v6
+		t.Fatalf("versions = %d, want 4", n)
+	}
+	// Dead tombstoned key disappears entirely.
+	_ = d.Put([]byte("g"), []byte{1}, ts(10))
+	_ = d.Delete([]byte("g"), ts(20))
+	d.SetWatermark(ts(30))
+	_ = d.Delete([]byte("g"), ts(25)) // stale insert triggers prune; dup-ish
+	if _, _, found, _ := d.Latest([]byte("g")); found {
+		t.Fatal("tombstoned key visible")
+	}
+}
+
+func TestDRAMConcurrent(t *testing.T) {
+	d := NewDRAM()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 1; i <= 200; i++ {
+				k := []byte{byte(i % 8)}
+				_ = d.Put(k, []byte{byte(w)}, clock.Timestamp{Ticks: int64(i), Client: uint32(w)})
+				_, _, _, _ = d.Latest(k)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+func TestSingleVersionSnapshotUnavailable(t *testing.T) {
+	geo := flash.Geometry{Channels: 2, BlocksPerChannel: 12, PagesPerBlock: 4, PageSize: 256}
+	dev, _ := flash.NewDevice(flash.Options{Geometry: geo, Sleeper: flash.NopSleeper{}})
+	f, _ := ftl.New(dev, ftl.Options{})
+	s := NewSingleVersion(f)
+
+	if err := s.Put([]byte("k"), []byte("v1"), ts(10)); err != nil {
+		t.Fatal(err)
+	}
+	val, ver, found, err := s.Get([]byte("k"), ts(15))
+	if err != nil || !found || string(val) != "v1" || ver != ts(10) {
+		t.Fatalf("get = %q @ %v (%v, %v)", val, ver, found, err)
+	}
+	if err := s.Put([]byte("k"), []byte("v2"), ts(20)); err != nil {
+		t.Fatal(err)
+	}
+	// The old snapshot is gone: this is the Figure 6 forced abort.
+	if _, _, _, err := s.Get([]byte("k"), ts(15)); !errors.Is(err, ErrSnapshotUnavailable) {
+		t.Fatalf("err = %v, want ErrSnapshotUnavailable", err)
+	}
+	// Stale put is dropped.
+	if err := s.Put([]byte("k"), []byte("old"), ts(5)); err != nil {
+		t.Fatal(err)
+	}
+	val, _, _, _ = s.Latest([]byte("k"))
+	if !bytes.Equal(val, []byte("v2")) {
+		t.Fatalf("stale put applied: %q", val)
+	}
+	// Tombstone.
+	if err := s.Delete([]byte("k"), ts(30)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, found, _ := s.Latest([]byte("k")); found {
+		t.Fatal("visible after delete")
+	}
+	if ver, tomb, ok := s.LatestVersion([]byte("k")); !ok || !tomb || ver != ts(30) {
+		t.Fatalf("LatestVersion = %v %v %v", ver, tomb, ok)
+	}
+	if _, _, found, _ := s.Latest([]byte("missing")); found {
+		t.Fatal("missing key found")
+	}
+	if err := s.Put(nil, nil, ts(1)); err == nil {
+		t.Fatal("empty key accepted")
+	}
+	s.SetWatermark(ts(100)) // must be a no-op
+	s.Flush()
+}
+
+func TestSingleVersionManyKeysChurn(t *testing.T) {
+	geo := flash.Geometry{Channels: 2, BlocksPerChannel: 12, PagesPerBlock: 4, PageSize: 256}
+	dev, _ := flash.NewDevice(flash.Options{Geometry: geo, Sleeper: flash.NopSleeper{}})
+	f, _ := ftl.New(dev, ftl.Options{})
+	s := NewSingleVersion(f)
+	for i := 1; i <= 300; i++ {
+		k := []byte(fmt.Sprintf("k%d", i%10))
+		if err := s.Put(k, []byte(fmt.Sprintf("v%d", i)), ts(int64(i))); err != nil {
+			t.Fatalf("put %d: %v", i, err)
+		}
+	}
+	for j := 0; j < 10; j++ {
+		k := []byte(fmt.Sprintf("k%d", j))
+		val, _, found, err := s.Latest(k)
+		if err != nil || !found {
+			t.Fatalf("%s: %v %v", k, found, err)
+		}
+		if !bytes.HasPrefix(val, []byte("v")) {
+			t.Fatalf("%s = %q", k, val)
+		}
+	}
+}
+
+func TestDumpStreamsVersions(t *testing.T) {
+	for name, b := range newBackends(t) {
+		t.Run(name, func(t *testing.T) {
+			_ = b.Put([]byte("a"), []byte("a1"), ts(10))
+			_ = b.Put([]byte("a"), []byte("a2"), ts(20))
+			_ = b.Put([]byte("b"), []byte("b1"), ts(15))
+			_ = b.Delete([]byte("c"), ts(30))
+			b.Flush()
+			got := map[string]string{}
+			tombs := 0
+			err := b.Dump(ts(12), func(key []byte, ver clock.Timestamp, val []byte, tomb bool) error {
+				if tomb {
+					tombs++
+					return nil
+				}
+				got[fmt.Sprintf("%s@%d", key, ver.Ticks)] = string(val)
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Versions at or below `since` (a@10) are excluded.
+			if _, ok := got["a@10"]; ok {
+				t.Fatal("dump returned version at/below since")
+			}
+			if got["a@20"] != "a2" || got["b@15"] != "b1" {
+				t.Fatalf("dump = %v", got)
+			}
+			if tombs != 1 {
+				t.Fatalf("tombstones = %d", tombs)
+			}
+			// fn errors stop the stream.
+			sentinel := errors.New("stop")
+			if err := b.Dump(ts(0), func([]byte, clock.Timestamp, []byte, bool) error { return sentinel }); !errors.Is(err, sentinel) {
+				t.Fatalf("err = %v", err)
+			}
+		})
+	}
+}
+
+func TestSingleVersionDump(t *testing.T) {
+	geo := flash.Geometry{Channels: 2, BlocksPerChannel: 12, PagesPerBlock: 4, PageSize: 256}
+	dev, _ := flash.NewDevice(flash.Options{Geometry: geo, Sleeper: flash.NopSleeper{}})
+	f, _ := ftl.New(dev, ftl.Options{})
+	s := NewSingleVersion(f)
+	_ = s.Put([]byte("a"), []byte("v"), ts(10))
+	_ = s.Delete([]byte("b"), ts(20))
+	var keys []string
+	tombs := 0
+	err := s.Dump(ts(0), func(key []byte, ver clock.Timestamp, val []byte, tomb bool) error {
+		keys = append(keys, string(key))
+		if tomb {
+			tombs++
+		}
+		return nil
+	})
+	if err != nil || len(keys) != 2 || tombs != 1 {
+		t.Fatalf("dump: keys=%v tombs=%d err=%v", keys, tombs, err)
+	}
+}

@@ -1,0 +1,277 @@
+package transport
+
+import (
+	"bufio"
+	"context"
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// RegisterType registers a concrete request/response type with the wire
+// codec. Both ends of a TCP transport must register the same types.
+func RegisterType(v any) { gob.Register(v) }
+
+type wireRequest struct {
+	ID      uint64
+	Payload any
+}
+
+type wireResponse struct {
+	ID      uint64
+	Payload any
+	Err     string
+}
+
+// TCPServer serves a Handler over a TCP listener.
+type TCPServer struct {
+	h  Handler
+	ln net.Listener
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewTCPServer starts serving h on addr ("host:port"; ":0" picks a free
+// port). Use Addr to discover the bound address.
+func NewTCPServer(addr string, h Handler) (*TCPServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &TCPServer{h: h, ln: ln, conns: make(map[net.Conn]struct{})}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the listener's address.
+func (s *TCPServer) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the listener and all connections.
+func (s *TCPServer) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	err := s.ln.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+func (s *TCPServer) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *TCPServer) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+	dec := gob.NewDecoder(bufio.NewReader(conn))
+	var writeMu sync.Mutex
+	bw := bufio.NewWriter(conn)
+	enc := gob.NewEncoder(bw)
+	var handlers sync.WaitGroup
+	defer handlers.Wait()
+	for {
+		var req wireRequest
+		if err := dec.Decode(&req); err != nil {
+			return
+		}
+		handlers.Add(1)
+		go func(req wireRequest) {
+			defer handlers.Done()
+			resp := wireResponse{ID: req.ID}
+			payload, err := s.h.Serve(context.Background(), req.Payload)
+			if err != nil {
+				resp.Err = err.Error()
+			} else {
+				resp.Payload = payload
+			}
+			writeMu.Lock()
+			defer writeMu.Unlock()
+			if err := enc.Encode(&resp); err == nil {
+				bw.Flush()
+			}
+		}(req)
+	}
+}
+
+// TCPClient multiplexes concurrent calls over one connection per address.
+type TCPClient struct {
+	mu     sync.Mutex
+	conns  map[string]*tcpConn
+	nextID uint64
+	closed bool
+}
+
+// NewTCPClient returns an empty client; connections are dialed lazily.
+func NewTCPClient() *TCPClient { return &TCPClient{conns: make(map[string]*tcpConn)} }
+
+var _ Client = (*TCPClient)(nil)
+
+type tcpConn struct {
+	conn net.Conn
+	enc  *gob.Encoder
+	bw   *bufio.Writer
+
+	mu      sync.Mutex
+	pending map[uint64]chan wireResponse
+	dead    bool
+}
+
+// Call sends req to addr and waits for the response.
+func (c *TCPClient) Call(ctx context.Context, addr string, req any) (any, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrClosed
+	}
+	tc, ok := c.conns[addr]
+	c.nextID++
+	id := c.nextID
+	c.mu.Unlock()
+	if !ok {
+		var err error
+		tc, err = c.dial(addr)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	ch := make(chan wireResponse, 1)
+	tc.mu.Lock()
+	if tc.dead {
+		tc.mu.Unlock()
+		return nil, fmt.Errorf("transport: connection to %s lost", addr)
+	}
+	tc.pending[id] = ch
+	err := tc.enc.Encode(&wireRequest{ID: id, Payload: req})
+	if err == nil {
+		err = tc.bw.Flush()
+	}
+	tc.mu.Unlock()
+	if err != nil {
+		c.drop(addr, tc)
+		return nil, err
+	}
+	select {
+	case resp, ok := <-ch:
+		if !ok {
+			return nil, fmt.Errorf("transport: connection to %s lost", addr)
+		}
+		if resp.Err != "" {
+			return nil, &RemoteError{Msg: resp.Err}
+		}
+		return resp.Payload, nil
+	case <-ctx.Done():
+		tc.mu.Lock()
+		delete(tc.pending, id)
+		tc.mu.Unlock()
+		return nil, ctx.Err()
+	}
+}
+
+func (c *TCPClient) dial(addr string) (*tcpConn, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	bw := bufio.NewWriter(conn)
+	tc := &tcpConn{
+		conn:    conn,
+		enc:     gob.NewEncoder(bw),
+		bw:      bw,
+		pending: make(map[uint64]chan wireResponse),
+	}
+	c.mu.Lock()
+	if existing, ok := c.conns[addr]; ok {
+		c.mu.Unlock()
+		conn.Close()
+		return existing, nil
+	}
+	c.conns[addr] = tc
+	c.mu.Unlock()
+	go c.readLoop(addr, tc)
+	return tc, nil
+}
+
+func (c *TCPClient) readLoop(addr string, tc *tcpConn) {
+	dec := gob.NewDecoder(bufio.NewReader(tc.conn))
+	for {
+		var resp wireResponse
+		if err := dec.Decode(&resp); err != nil {
+			c.drop(addr, tc)
+			return
+		}
+		tc.mu.Lock()
+		ch, ok := tc.pending[resp.ID]
+		delete(tc.pending, resp.ID)
+		tc.mu.Unlock()
+		if ok {
+			ch <- resp
+		}
+	}
+}
+
+// drop tears down a connection, failing all in-flight calls.
+func (c *TCPClient) drop(addr string, tc *tcpConn) {
+	c.mu.Lock()
+	if c.conns[addr] == tc {
+		delete(c.conns, addr)
+	}
+	c.mu.Unlock()
+	tc.mu.Lock()
+	if !tc.dead {
+		tc.dead = true
+		for id, ch := range tc.pending {
+			close(ch)
+			delete(tc.pending, id)
+		}
+	}
+	tc.mu.Unlock()
+	tc.conn.Close()
+}
+
+// Close tears down every connection.
+func (c *TCPClient) Close() {
+	c.mu.Lock()
+	c.closed = true
+	conns := make(map[string]*tcpConn, len(c.conns))
+	for a, tc := range c.conns {
+		conns[a] = tc
+	}
+	c.mu.Unlock()
+	for a, tc := range conns {
+		c.drop(a, tc)
+	}
+}

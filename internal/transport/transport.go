@@ -1,0 +1,175 @@
+// Package transport is the RPC fabric connecting SEMEL/MILANA clients and
+// storage servers. Two interchangeable implementations are provided:
+//
+//   - Bus: an in-process fabric with configurable one-way latency and
+//     jitter, standing in for the data-center LAN of the paper's testbed.
+//     All experiments run on it so network latency is a controlled
+//     parameter.
+//   - TCP (tcp.go): a real network transport (length-prefixed gob over
+//     TCP) used by the cmd/ servers, proving the protocols run over a real
+//     stack.
+//
+// Requests and responses are plain Go values; consumers register concrete
+// types for the wire codec with RegisterType.
+package transport
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Errors returned by transports.
+var (
+	ErrUnknownAddr = errors.New("transport: unknown address")
+	ErrClosed      = errors.New("transport: closed")
+)
+
+// Handler serves one request and returns one response.
+type Handler interface {
+	Serve(ctx context.Context, req any) (any, error)
+}
+
+// HandlerFunc adapts a function to Handler.
+type HandlerFunc func(ctx context.Context, req any) (any, error)
+
+// Serve calls f.
+func (f HandlerFunc) Serve(ctx context.Context, req any) (any, error) { return f(ctx, req) }
+
+// Client issues requests to named endpoints.
+type Client interface {
+	Call(ctx context.Context, addr string, req any) (any, error)
+}
+
+// RemoteError is an application-level error propagated across a transport.
+type RemoteError struct{ Msg string }
+
+// Error returns the remote error text.
+func (e *RemoteError) Error() string { return e.Msg }
+
+// LatencyModel describes one-way message delay.
+type LatencyModel struct {
+	// OneWay is the median one-way latency.
+	OneWay time.Duration
+	// Jitter is the half-width of a uniform perturbation added to each
+	// message.
+	Jitter time.Duration
+}
+
+// Sample draws one one-way delay.
+func (l LatencyModel) Sample(r *rand.Rand) time.Duration {
+	d := l.OneWay
+	if l.Jitter > 0 {
+		d += time.Duration(r.Int63n(int64(2*l.Jitter))) - l.Jitter
+	}
+	if d < 0 {
+		d = 0
+	}
+	return d
+}
+
+// DataCenterLatency approximates an intra-data-center RTT of ~200 µs.
+var DataCenterLatency = LatencyModel{OneWay: 100 * time.Microsecond, Jitter: 20 * time.Microsecond}
+
+// Bus is an in-process transport. The zero value is unusable; use NewBus.
+type Bus struct {
+	latency LatencyModel
+
+	mu       sync.RWMutex
+	handlers map[string]Handler
+	down     map[string]bool // partitioned or crashed endpoints
+	rng      *rand.Rand
+	closed   bool
+}
+
+// NewBus creates a bus with the given latency model. A zero model means
+// instant delivery (unit tests).
+func NewBus(latency LatencyModel, seed int64) *Bus {
+	return &Bus{
+		latency:  latency,
+		handlers: make(map[string]Handler),
+		down:     make(map[string]bool),
+		rng:      rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Register installs (or replaces) the handler for addr.
+func (b *Bus) Register(addr string, h Handler) {
+	b.mu.Lock()
+	b.handlers[addr] = h
+	b.mu.Unlock()
+}
+
+// Deregister removes addr entirely.
+func (b *Bus) Deregister(addr string) {
+	b.mu.Lock()
+	delete(b.handlers, addr)
+	b.mu.Unlock()
+}
+
+// SetDown marks addr crashed (true) or healthy (false). Calls to a down
+// endpoint block for the request latency and then fail, like a TCP timeout.
+func (b *Bus) SetDown(addr string, down bool) {
+	b.mu.Lock()
+	b.down[addr] = down
+	b.mu.Unlock()
+}
+
+// Close fails all future calls.
+func (b *Bus) Close() {
+	b.mu.Lock()
+	b.closed = true
+	b.mu.Unlock()
+}
+
+func (b *Bus) sleep(ctx context.Context) error {
+	b.mu.Lock()
+	d := b.latency.Sample(b.rng)
+	b.mu.Unlock()
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Call delivers req to addr's handler and returns its response, charging
+// one-way latency in each direction.
+func (b *Bus) Call(ctx context.Context, addr string, req any) (any, error) {
+	b.mu.RLock()
+	h, ok := b.handlers[addr]
+	down := b.down[addr]
+	closed := b.closed
+	b.mu.RUnlock()
+	if closed {
+		return nil, ErrClosed
+	}
+	if err := b.sleep(ctx); err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownAddr, addr)
+	}
+	if down {
+		return nil, fmt.Errorf("transport: %q unreachable", addr)
+	}
+	resp, err := h.Serve(ctx, req)
+	if err != nil {
+		return nil, err
+	}
+	if err := b.sleep(ctx); err != nil {
+		return nil, err
+	}
+	return resp, nil
+}
+
+var _ Client = (*Bus)(nil)

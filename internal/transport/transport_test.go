@@ -1,0 +1,301 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+type echoReq struct{ Msg string }
+type echoResp struct{ Msg string }
+
+func init() {
+	RegisterType(echoReq{})
+	RegisterType(echoResp{})
+}
+
+var echo = HandlerFunc(func(ctx context.Context, req any) (any, error) {
+	r, ok := req.(echoReq)
+	if !ok {
+		return nil, fmt.Errorf("bad request type %T", req)
+	}
+	if r.Msg == "fail" {
+		return nil, errors.New("handler failure")
+	}
+	return echoResp{Msg: "echo:" + r.Msg}, nil
+})
+
+func TestBusCall(t *testing.T) {
+	b := NewBus(LatencyModel{}, 1)
+	b.Register("s1", echo)
+	resp, err := b.Call(context.Background(), "s1", echoReq{Msg: "hi"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.(echoResp).Msg != "echo:hi" {
+		t.Fatalf("resp = %+v", resp)
+	}
+}
+
+func TestBusUnknownAddr(t *testing.T) {
+	b := NewBus(LatencyModel{}, 1)
+	if _, err := b.Call(context.Background(), "nope", echoReq{}); !errors.Is(err, ErrUnknownAddr) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestBusHandlerError(t *testing.T) {
+	b := NewBus(LatencyModel{}, 1)
+	b.Register("s1", echo)
+	if _, err := b.Call(context.Background(), "s1", echoReq{Msg: "fail"}); err == nil || err.Error() != "handler failure" {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestBusDownEndpoint(t *testing.T) {
+	b := NewBus(LatencyModel{}, 1)
+	b.Register("s1", echo)
+	b.SetDown("s1", true)
+	if _, err := b.Call(context.Background(), "s1", echoReq{Msg: "x"}); err == nil {
+		t.Fatal("call to down endpoint succeeded")
+	}
+	b.SetDown("s1", false)
+	if _, err := b.Call(context.Background(), "s1", echoReq{Msg: "x"}); err != nil {
+		t.Fatalf("after recovery: %v", err)
+	}
+	b.Deregister("s1")
+	if _, err := b.Call(context.Background(), "s1", echoReq{}); !errors.Is(err, ErrUnknownAddr) {
+		t.Fatalf("after deregister: %v", err)
+	}
+}
+
+func TestBusClosed(t *testing.T) {
+	b := NewBus(LatencyModel{}, 1)
+	b.Register("s1", echo)
+	b.Close()
+	if _, err := b.Call(context.Background(), "s1", echoReq{}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestBusLatencyApplied(t *testing.T) {
+	b := NewBus(LatencyModel{OneWay: 3 * time.Millisecond}, 1)
+	b.Register("s1", echo)
+	start := time.Now()
+	if _, err := b.Call(context.Background(), "s1", echoReq{Msg: "x"}); err != nil {
+		t.Fatal(err)
+	}
+	if rtt := time.Since(start); rtt < 5*time.Millisecond {
+		t.Fatalf("RTT %v too fast for 3ms one-way latency", rtt)
+	}
+}
+
+func TestBusContextCancellation(t *testing.T) {
+	b := NewBus(LatencyModel{OneWay: time.Second}, 1)
+	b.Register("s1", echo)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	if _, err := b.Call(ctx, "s1", echoReq{}); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v", err)
+	}
+	if time.Since(start) > 500*time.Millisecond {
+		t.Fatal("cancellation did not interrupt the latency sleep")
+	}
+}
+
+func TestLatencyModelSample(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	m := LatencyModel{OneWay: 100 * time.Microsecond, Jitter: 20 * time.Microsecond}
+	for i := 0; i < 1000; i++ {
+		d := m.Sample(r)
+		if d < 80*time.Microsecond || d > 120*time.Microsecond {
+			t.Fatalf("sample %v out of [80µs,120µs]", d)
+		}
+	}
+	zero := LatencyModel{}
+	if zero.Sample(r) != 0 {
+		t.Fatal("zero model must sample 0")
+	}
+	neg := LatencyModel{OneWay: time.Microsecond, Jitter: time.Millisecond}
+	for i := 0; i < 100; i++ {
+		if neg.Sample(r) < 0 {
+			t.Fatal("negative latency")
+		}
+	}
+}
+
+func TestBusConcurrent(t *testing.T) {
+	b := NewBus(LatencyModel{OneWay: 100 * time.Microsecond, Jitter: 50 * time.Microsecond}, 2)
+	b.Register("s1", echo)
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 20; j++ {
+				msg := fmt.Sprintf("m-%d-%d", i, j)
+				resp, err := b.Call(context.Background(), "s1", echoReq{Msg: msg})
+				if err != nil {
+					t.Errorf("call: %v", err)
+					return
+				}
+				if resp.(echoResp).Msg != "echo:"+msg {
+					t.Errorf("bad echo: %+v", resp)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+func TestTCPRoundTrip(t *testing.T) {
+	srv, err := NewTCPServer("127.0.0.1:0", echo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cli := NewTCPClient()
+	defer cli.Close()
+	resp, err := cli.Call(context.Background(), srv.Addr(), echoReq{Msg: "net"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.(echoResp).Msg != "echo:net" {
+		t.Fatalf("resp = %+v", resp)
+	}
+}
+
+func TestTCPRemoteError(t *testing.T) {
+	srv, err := NewTCPServer("127.0.0.1:0", echo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cli := NewTCPClient()
+	defer cli.Close()
+	_, err = cli.Call(context.Background(), srv.Addr(), echoReq{Msg: "fail"})
+	var re *RemoteError
+	if !errors.As(err, &re) || re.Msg != "handler failure" {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestTCPConcurrentCalls(t *testing.T) {
+	slowEcho := HandlerFunc(func(ctx context.Context, req any) (any, error) {
+		time.Sleep(time.Millisecond)
+		return echoResp{Msg: "echo:" + req.(echoReq).Msg}, nil
+	})
+	srv, err := NewTCPServer("127.0.0.1:0", slowEcho)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cli := NewTCPClient()
+	defer cli.Close()
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			msg := fmt.Sprintf("c%d", i)
+			resp, err := cli.Call(context.Background(), srv.Addr(), echoReq{Msg: msg})
+			if err != nil {
+				t.Errorf("call %d: %v", i, err)
+				return
+			}
+			if resp.(echoResp).Msg != "echo:"+msg {
+				t.Errorf("bad mux: sent %q got %+v", msg, resp)
+			}
+		}(i)
+	}
+	wg.Wait()
+	// 32 calls at 1 ms handler latency over one multiplexed connection
+	// should overlap, not serialize (32 ms serial).
+	if elapsed := time.Since(start); elapsed > 25*time.Millisecond {
+		t.Fatalf("calls appear serialized: %v", elapsed)
+	}
+}
+
+func TestTCPServerClose(t *testing.T) {
+	srv, err := NewTCPServer("127.0.0.1:0", echo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli := NewTCPClient()
+	defer cli.Close()
+	if _, err := cli.Call(context.Background(), srv.Addr(), echoReq{Msg: "x"}); err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr()
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cli.Call(context.Background(), addr, echoReq{Msg: "x"}); err == nil {
+		t.Fatal("call to closed server succeeded")
+	}
+}
+
+func TestTCPClientClosed(t *testing.T) {
+	cli := NewTCPClient()
+	cli.Close()
+	if _, err := cli.Call(context.Background(), "127.0.0.1:1", echoReq{}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestTCPDialFailure(t *testing.T) {
+	cli := NewTCPClient()
+	defer cli.Close()
+	_, err := cli.Call(context.Background(), "127.0.0.1:1", echoReq{})
+	if err == nil || strings.Contains(err.Error(), "lost") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestTCPClientRedialsAfterServerRestart(t *testing.T) {
+	srv, err := NewTCPServer("127.0.0.1:0", echo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr()
+	cli := NewTCPClient()
+	defer cli.Close()
+	if _, err := cli.Call(context.Background(), addr, echoReq{Msg: "a"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// In-flight connection is dead; calls fail until the server is back.
+	if _, err := cli.Call(context.Background(), addr, echoReq{Msg: "b"}); err == nil {
+		t.Fatal("call to closed server succeeded")
+	}
+	srv2, err := NewTCPServer(addr, echo)
+	if err != nil {
+		t.Fatalf("re-listen on %s: %v", addr, err)
+	}
+	defer srv2.Close()
+	// The client must re-dial transparently on the next call.
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		resp, err := cli.Call(context.Background(), addr, echoReq{Msg: "c"})
+		if err == nil {
+			if resp.(echoResp).Msg != "echo:c" {
+				t.Fatalf("resp = %+v", resp)
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("client never reconnected: %v", err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -1,0 +1,333 @@
+// Package wire defines every RPC message exchanged between SEMEL/MILANA
+// clients and servers. Messages are plain structs so they travel unchanged
+// over both the in-process bus and the TCP/gob transport.
+package wire
+
+import (
+	"fmt"
+
+	"repro/internal/clock"
+	"repro/internal/transport"
+)
+
+// ---- SEMEL key-value operations (§3) ----
+
+// GetRequest reads the youngest version of Key with timestamp ≤ At.
+type GetRequest struct {
+	Key []byte
+	At  clock.Timestamp
+	// AnyReplica permits a backup to serve the read (§4.6: read-write
+	// transactions "can read data from the nearest replica and validate
+	// at the primary before commit"). Backup reads return no prepared
+	// bit and record no read timestamp, so they are NOT safe for
+	// client-local validation — the transaction must validate remotely.
+	AnyReplica bool
+}
+
+// GetResponse carries the version read plus the prepared bit MILANA clients
+// use for local validation (§4.3).
+type GetResponse struct {
+	Val     []byte
+	Version clock.Timestamp
+	Found   bool
+	// PreparedAtOrBefore reports whether the key had a prepared (but not
+	// yet committed) version with timestamp ≤ At at read time.
+	PreparedAtOrBefore bool
+	// SnapshotMiss reports that the snapshot at At is no longer
+	// available (single-version backends only); the reader must abort.
+	SnapshotMiss bool
+}
+
+// MultiGetRequest reads several keys of one shard in a single round trip,
+// all at the same snapshot timestamp.
+type MultiGetRequest struct {
+	Keys       [][]byte
+	At         clock.Timestamp
+	AnyReplica bool
+}
+
+// MultiGetResponse carries one GetResponse per requested key, in order.
+type MultiGetResponse struct {
+	Items []GetResponse
+}
+
+// PutRequest creates a new version of Key (non-transactional SEMEL write).
+type PutRequest struct {
+	Key     []byte
+	Val     []byte
+	Version clock.Timestamp
+}
+
+// PutResponse reports acceptance. Rejected means the version was older
+// than the key's current version (§3.3 at-most-once rule).
+type PutResponse struct {
+	Rejected bool
+}
+
+// DeleteRequest writes a tombstone for Key.
+type DeleteRequest struct {
+	Key     []byte
+	Version clock.Timestamp
+}
+
+// DeleteResponse mirrors PutResponse.
+type DeleteResponse struct {
+	Rejected bool
+}
+
+// ---- replication (primary → backup, unordered; §3.2) ----
+
+// DataOp is one replicated version write.
+type DataOp struct {
+	Key       []byte
+	Val       []byte
+	Version   clock.Timestamp
+	Tombstone bool
+}
+
+// ReplicateData applies version writes on a backup, in any order.
+type ReplicateData struct {
+	Ops []DataOp
+}
+
+// Replicated wraps primary→backup replication traffic with the sender's
+// shard epoch: a replica that has observed a newer epoch rejects the
+// message, so a deposed regime's in-flight deliveries cannot retroactively
+// mutate state the new primary is already serializing against. The fenced
+// operation is not lost — it was f-acknowledged before the failover, so the
+// recovery merge (or anti-entropy against the new primary) already carries
+// it.
+type Replicated struct {
+	Epoch uint64
+	Msg   any
+}
+
+// Ack is the empty success response.
+type Ack struct{}
+
+// ---- watermarks (§3.1, §4.4) ----
+
+// WatermarkBroadcast reports a client's latest decided timestamp.
+type WatermarkBroadcast struct {
+	Client uint32
+	Ts     clock.Timestamp
+}
+
+// ---- MILANA transactions (§4) ----
+
+// TxnID names a transaction: coordinating client plus a client-local
+// sequence number.
+type TxnID struct {
+	Client uint32
+	Seq    uint64
+}
+
+// String renders the ID as "client.seq".
+func (id TxnID) String() string { return fmt.Sprintf("%d.%d", id.Client, id.Seq) }
+
+// TxnStatus is a transaction's state in a primary's transaction table.
+type TxnStatus int
+
+// Transaction states, in the CTP sense of §4.5.
+const (
+	StatusUnknown TxnStatus = iota
+	StatusPrepared
+	StatusCommitted
+	StatusAborted
+)
+
+// String names the status.
+func (s TxnStatus) String() string {
+	switch s {
+	case StatusPrepared:
+		return "PREPARED"
+	case StatusCommitted:
+		return "COMMITTED"
+	case StatusAborted:
+		return "ABORTED"
+	default:
+		return "UNKNOWN"
+	}
+}
+
+// KV is one buffered transactional write.
+type KV struct {
+	Key []byte
+	Val []byte
+}
+
+// ReadKey is one read-set entry: the key and the version the client read.
+type ReadKey struct {
+	Key     []byte
+	Version clock.Timestamp
+}
+
+// PrepareRequest is phase one of 2PC, sent to the primary of each
+// participant shard with that shard's slice of the read and write sets
+// (§4.2).
+type PrepareRequest struct {
+	ID       TxnID
+	CommitTs clock.Timestamp
+	ReadSet  []ReadKey
+	WriteSet []KV
+	// Participants lists all shards involved, for recovery (§4.5).
+	Participants []int
+}
+
+// AbortReason classifies why validation failed (Algorithm 1's branches),
+// for instrumentation.
+type AbortReason int
+
+// Abort reasons. The "Late" reasons are the clock-skew-sensitive ones: a
+// commit timestamp that lost the race against a later read or commit.
+const (
+	AbortNone          AbortReason = iota
+	AbortReadPrepared              // read-set key has a prepared version (line 3)
+	AbortReadStale                 // read-set version no longer latest (line 5)
+	AbortWritePrepared             // write-set key has a prepared version (line 11)
+	AbortLateWriteRead             // key read at ts ≥ commit ts (line 13)
+	AbortLateWrite                 // committed version ts ≥ commit ts (line 15)
+	AbortOther
+)
+
+// NumAbortReasons sizes per-reason counters.
+const NumAbortReasons = int(AbortOther) + 1
+
+// String names the reason.
+func (r AbortReason) String() string {
+	switch r {
+	case AbortNone:
+		return "none"
+	case AbortReadPrepared:
+		return "read-prepared"
+	case AbortReadStale:
+		return "read-stale"
+	case AbortWritePrepared:
+		return "write-prepared"
+	case AbortLateWriteRead:
+		return "late-write-vs-read"
+	case AbortLateWrite:
+		return "late-write-vs-commit"
+	default:
+		return "other"
+	}
+}
+
+// PrepareResponse is a participant's vote.
+type PrepareResponse struct {
+	OK     bool
+	Reason string
+	Code   AbortReason
+}
+
+// DecisionRequest is phase two: the coordinator's commit/abort decision.
+type DecisionRequest struct {
+	ID     TxnID
+	Commit bool
+}
+
+// DecisionResponse acknowledges a decision.
+type DecisionResponse struct{}
+
+// StatusRequest queries a participant for a transaction's status
+// (Cooperative Termination Protocol, §4.5).
+type StatusRequest struct {
+	ID TxnID
+}
+
+// StatusResponse carries the participant's view.
+type StatusResponse struct {
+	Status TxnStatus
+}
+
+// TxnRecord is the transaction-table entry replicated to backups.
+type TxnRecord struct {
+	ID           TxnID
+	CommitTs     clock.Timestamp
+	WriteSet     []KV
+	Participants []int
+	Status       TxnStatus
+}
+
+// ReplicatePrepare ships a prepared transaction record to a backup.
+type ReplicatePrepare struct {
+	Record TxnRecord
+}
+
+// ReplicateDecision ships a commit/abort decision to a backup, which
+// applies the write set it stored at prepare time.
+type ReplicateDecision struct {
+	ID     TxnID
+	Commit bool
+}
+
+// ---- recovery and leases (§4.5) ----
+
+// LeaseRequest renews the primary's read lease on a backup until Expiry
+// (backup-local clock).
+type LeaseRequest struct {
+	Primary string
+	Expiry  clock.Timestamp
+}
+
+// LeaseResponse grants or refuses the lease.
+type LeaseResponse struct {
+	Granted bool
+}
+
+// RecoveryPullRequest asks a replica for everything a new primary needs to
+// rebuild shard state.
+type RecoveryPullRequest struct {
+	// Since bounds the data returned: versions at or below this
+	// timestamp are already safe everywhere (watermark).
+	Since clock.Timestamp
+}
+
+// RecoveryPullResponse is a replica's full contribution to the merge of
+// Algorithm 2.
+type RecoveryPullResponse struct {
+	Txns        []TxnRecord
+	Data        []DataOp
+	LeaseExpiry clock.Timestamp
+}
+
+// StatsRequest asks a replica for its operation counters.
+type StatsRequest struct{}
+
+// StatsResponse is a replica's counter snapshot.
+type StatsResponse struct {
+	Addr      string
+	Shard     int
+	Primary   bool
+	Gets      int64
+	Puts      int64
+	Deletes   int64
+	Prepares  int64
+	Commits   int64
+	Aborts    int64
+	ReplOps   int64
+	Watermark clock.Timestamp
+}
+
+// PromoteRequest tells a backup it is now the primary of its shard; it
+// triggers the recovery merge before the new primary serves traffic.
+type PromoteRequest struct{}
+
+// PromoteResponse acknowledges completed recovery.
+type PromoteResponse struct{}
+
+func init() {
+	for _, v := range []any{
+		GetRequest{}, GetResponse{}, MultiGetRequest{}, MultiGetResponse{},
+		Replicated{},
+		PutRequest{}, PutResponse{},
+		DeleteRequest{}, DeleteResponse{}, ReplicateData{}, Ack{},
+		WatermarkBroadcast{}, PrepareRequest{}, PrepareResponse{},
+		DecisionRequest{}, DecisionResponse{}, StatusRequest{}, StatusResponse{},
+		ReplicatePrepare{}, ReplicateDecision{}, LeaseRequest{}, LeaseResponse{},
+		RecoveryPullRequest{}, RecoveryPullResponse{}, PromoteRequest{}, PromoteResponse{},
+		StatsRequest{}, StatsResponse{},
+	} {
+		transport.RegisterType(v)
+	}
+}

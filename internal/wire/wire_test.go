@@ -1,0 +1,91 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/gob"
+	"testing"
+
+	"repro/internal/clock"
+)
+
+func TestStringers(t *testing.T) {
+	if got := (TxnID{Client: 7, Seq: 42}).String(); got != "7.42" {
+		t.Fatalf("TxnID = %q", got)
+	}
+	statuses := map[TxnStatus]string{
+		StatusUnknown:   "UNKNOWN",
+		StatusPrepared:  "PREPARED",
+		StatusCommitted: "COMMITTED",
+		StatusAborted:   "ABORTED",
+	}
+	for s, want := range statuses {
+		if s.String() != want {
+			t.Fatalf("%d.String() = %q", s, s.String())
+		}
+	}
+	reasons := []AbortReason{AbortNone, AbortReadPrepared, AbortReadStale, AbortWritePrepared, AbortLateWriteRead, AbortLateWrite, AbortOther}
+	seen := map[string]bool{}
+	for _, r := range reasons {
+		s := r.String()
+		if s == "" || seen[s] {
+			t.Fatalf("reason %d has empty/duplicate name %q", r, s)
+		}
+		seen[s] = true
+	}
+	if NumAbortReasons != len(reasons) {
+		t.Fatalf("NumAbortReasons = %d, want %d", NumAbortReasons, len(reasons))
+	}
+}
+
+// TestGobRoundTrip pushes every registered message through the gob codec the
+// TCP transport uses, as an interface value — the shape the wire sees.
+func TestGobRoundTrip(t *testing.T) {
+	ts := clock.Timestamp{Ticks: 99, Client: 3}
+	msgs := []any{
+		GetRequest{Key: []byte("k"), At: ts, AnyReplica: true},
+		GetResponse{Val: []byte("v"), Version: ts, Found: true, PreparedAtOrBefore: true},
+		MultiGetRequest{Keys: [][]byte{[]byte("a"), []byte("b")}, At: ts},
+		MultiGetResponse{Items: []GetResponse{{Found: true}}},
+		PutRequest{Key: []byte("k"), Val: []byte("v"), Version: ts},
+		PutResponse{Rejected: true},
+		DeleteRequest{Key: []byte("k"), Version: ts},
+		DeleteResponse{},
+		ReplicateData{Ops: []DataOp{{Key: []byte("k"), Version: ts, Tombstone: true}}},
+		Ack{},
+		WatermarkBroadcast{Client: 1, Ts: ts},
+		PrepareRequest{ID: TxnID{Client: 1, Seq: 2}, CommitTs: ts, ReadSet: []ReadKey{{Key: []byte("r"), Version: ts}}, WriteSet: []KV{{Key: []byte("w"), Val: []byte("x")}}, Participants: []int{0, 1}},
+		PrepareResponse{OK: false, Reason: "x", Code: AbortLateWrite},
+		DecisionRequest{ID: TxnID{Client: 1, Seq: 2}, Commit: true},
+		DecisionResponse{},
+		StatusRequest{ID: TxnID{Client: 1, Seq: 2}},
+		StatusResponse{Status: StatusCommitted},
+		ReplicatePrepare{Record: TxnRecord{ID: TxnID{Client: 1, Seq: 2}, CommitTs: ts, Status: StatusPrepared}},
+		ReplicateDecision{ID: TxnID{Client: 1, Seq: 2}, Commit: true},
+		LeaseRequest{Primary: "p", Expiry: ts},
+		LeaseResponse{Granted: true},
+		RecoveryPullRequest{Since: ts},
+		RecoveryPullResponse{Txns: []TxnRecord{{ID: TxnID{Client: 9}}}, LeaseExpiry: ts},
+		PromoteRequest{},
+		PromoteResponse{},
+		StatsRequest{},
+		StatsResponse{Addr: "a", Primary: true, Gets: 5, Watermark: ts},
+	}
+	for _, msg := range msgs {
+		var buf bytes.Buffer
+		// Encode as interface, the way the TCP frame carries payloads.
+		env := struct{ Payload any }{Payload: msg}
+		if err := gob.NewEncoder(&buf).Encode(&env); err != nil {
+			t.Fatalf("%T: encode: %v", msg, err)
+		}
+		var out struct{ Payload any }
+		if err := gob.NewDecoder(&buf).Decode(&out); err != nil {
+			t.Fatalf("%T: decode: %v", msg, err)
+		}
+		if out.Payload == nil {
+			t.Fatalf("%T: payload lost", msg)
+		}
+		if _, ok := out.Payload.(Ack); msg == (Ack{}) && !ok {
+			t.Fatalf("Ack decoded as %T", out.Payload)
+		}
+	}
+}
