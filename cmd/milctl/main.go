@@ -16,12 +16,14 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"sort"
 	"strings"
 	"time"
 
 	"repro/internal/clock"
 	"repro/internal/cluster"
 	"repro/internal/milana"
+	"repro/internal/obs"
 	"repro/internal/semel"
 	"repro/internal/transport"
 	"repro/internal/wire"
@@ -79,6 +81,12 @@ func main() {
 		fmt.Println("ok")
 	case "txn":
 		cl := milana.NewClient(clk, net, dir)
+		// The process exits as soon as the transaction decides; the
+		// default fire-and-forget decision notification would be killed
+		// mid-flight, leaving the transaction PREPARED server-side until
+		// the cooperative-termination sweep resolves it (and blocking
+		// conflicting writers in the meantime).
+		cl.SyncDecisions = true
 		err := cl.RunTransaction(ctx, func(t *milana.Txn) error {
 			ops := args[1:]
 			for len(ops) > 0 {
@@ -114,17 +122,22 @@ func main() {
 		exitOn(err)
 		fmt.Println("committed")
 	case "stats":
+		var merged obs.Snapshot
 		for i := 0; i < dir.NumShards(); i++ {
 			rs, err := dir.Shard(cluster.ShardID(i))
 			exitOn(err)
 			for _, addr := range rs.Replicas() {
-				resp, err := net.Call(ctx, addr, wire.StatsRequest{})
+				resp, err := net.Call(ctx, addr, wire.StatsRequest{Detailed: true})
 				if err != nil {
 					fmt.Printf("%-20s unreachable: %v\n", addr, err)
 					continue
 				}
 				st, ok := resp.(wire.StatsResponse)
 				if !ok {
+					// A replica that answered with something else (an old
+					// binary, a misrouted error value) is reported, not
+					// silently skipped.
+					fmt.Printf("%-20s error: unexpected reply %T\n", addr, resp)
 					continue
 				}
 				role := "backup"
@@ -133,11 +146,70 @@ func main() {
 				}
 				fmt.Printf("%-20s shard %d %-7s gets=%d puts=%d dels=%d prepares=%d commits=%d aborts=%d repl=%d wm=%v\n",
 					addr, st.Shard, role, st.Gets, st.Puts, st.Deletes, st.Prepares, st.Commits, st.Aborts, st.ReplOps, st.Watermark)
+				merged.Merge(st.Obs)
 			}
 		}
+		printLatencyTable("transaction stages (cluster-wide)", merged, "milana_txn_stage_ns")
+		printLatencyTable("server op latency (cluster-wide)", merged, "semel_serve_ns")
+		printCounterTable("abort reasons", merged, "milana_aborts_total")
+		printCounterTable("sweep outcomes", merged, "milana_sweep_total")
 	default:
 		fmt.Fprintf(os.Stderr, "unknown command %q\n", args[0])
 		os.Exit(2)
+	}
+}
+
+// labelValue extracts the first label value from a metric name:
+// `x{stage="prepare"}` → "prepare". Unlabeled names return themselves.
+func labelValue(name string) string {
+	i := strings.IndexByte(name, '"')
+	if i < 0 {
+		return name
+	}
+	j := strings.IndexByte(name[i+1:], '"')
+	if j < 0 {
+		return name
+	}
+	return name[i+1 : i+1+j]
+}
+
+// printLatencyTable renders percentiles of every histogram under prefix.
+func printLatencyTable(title string, snap obs.Snapshot, prefix string) {
+	var names []string
+	for name, h := range snap.Hists {
+		if strings.HasPrefix(name, prefix) && h.Count > 0 {
+			names = append(names, name)
+		}
+	}
+	if len(names) == 0 {
+		return
+	}
+	sort.Strings(names)
+	fmt.Printf("\n%s\n", title)
+	fmt.Printf("  %-16s %10s %12s %12s %12s\n", "", "count", "p50", "p95", "p99")
+	for _, name := range names {
+		h := snap.Hists[name]
+		p50, p95, p99, _ := h.Percentiles()
+		fmt.Printf("  %-16s %10d %12v %12v %12v\n",
+			labelValue(name), h.Count, time.Duration(p50), time.Duration(p95), time.Duration(p99))
+	}
+}
+
+// printCounterTable renders every non-zero counter under prefix.
+func printCounterTable(title string, snap obs.Snapshot, prefix string) {
+	var names []string
+	for name, v := range snap.Counters {
+		if strings.HasPrefix(name, prefix) && v > 0 {
+			names = append(names, name)
+		}
+	}
+	if len(names) == 0 {
+		return
+	}
+	sort.Strings(names)
+	fmt.Printf("\n%s\n", title)
+	for _, name := range names {
+		fmt.Printf("  %-24s %d\n", labelValue(name), snap.Counters[name])
 	}
 }
 

@@ -16,6 +16,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
@@ -24,6 +25,7 @@ import (
 	"repro/internal/clock"
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/semel"
 	"repro/internal/storage"
 	"repro/internal/transport"
@@ -37,6 +39,7 @@ func main() {
 		peers   = flag.String("peers", "", "comma-separated replica addresses of this shard, primary first")
 		shards  = flag.String("shards", "", "full shard map: ';'-separated shards, each a ','-separated address list")
 		backend = flag.String("backend", core.BackendDRAM, "storage backend: dram|mftl|vftl|sftl")
+		metrics = flag.String("metrics", "", "address for the HTTP metrics endpoint (/metrics, /metrics.json); empty disables")
 	)
 	flag.Parse()
 
@@ -90,6 +93,14 @@ func main() {
 	tcp, err := transport.NewTCPServer(*listen, srv)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *metrics != "" {
+		go func() {
+			if err := http.ListenAndServe(*metrics, obs.Handler(srv.Metrics())); err != nil {
+				log.Printf("semeld: metrics endpoint: %v", err)
+			}
+		}()
+		fmt.Printf("semeld: metrics on http://%s/metrics\n", *metrics)
 	}
 	fmt.Printf("semeld: shard %d replica %d (%s) serving on %s, backend %s\n",
 		*shard, *replica, map[bool]string{true: "primary", false: "backup"}[*replica == 0], tcp.Addr(), *backend)

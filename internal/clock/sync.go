@@ -5,6 +5,8 @@ import (
 	"math/rand"
 	"sync"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Profile describes a clock-synchronization protocol by the residual error
@@ -72,6 +74,25 @@ type Synchronizer struct {
 	clocks  []*Skewed
 	stop    chan struct{}
 	done    chan struct{}
+
+	// metrics, when attached, publish the skew each sync round observes:
+	// a histogram of absolute residual offsets, the round's worst offset,
+	// and a round counter.
+	skewAbs    *obs.Histogram
+	skewMax    *obs.Gauge
+	syncRounds *obs.Counter
+}
+
+// SetMetrics attaches a metrics registry. Each sync round then feeds
+// clock_skew_abs_ns (per-clock |residual| distribution), the
+// clock_skew_max_abs_ns gauge (worst offset of the latest round), and
+// clock_sync_rounds_total.
+func (s *Synchronizer) SetMetrics(reg *obs.Registry) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.skewAbs = reg.Histogram("clock_skew_abs_ns")
+	s.skewMax = reg.Gauge("clock_skew_max_abs_ns")
+	s.syncRounds = reg.Counter("clock_sync_rounds_total")
 }
 
 // NewSynchronizer returns a stopped synchronizer for the given clocks.
@@ -106,9 +127,21 @@ func (s *Synchronizer) Start() {
 func (s *Synchronizer) SyncOnce() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	var maxAbs int64
 	for _, c := range s.clocks {
-		c.Discipline(s.profile.SampleOffset(s.rng))
+		residual := s.profile.SampleOffset(s.rng)
+		c.Discipline(residual)
+		abs := int64(residual)
+		if abs < 0 {
+			abs = -abs
+		}
+		if abs > maxAbs {
+			maxAbs = abs
+		}
+		s.skewAbs.Observe(abs)
 	}
+	s.skewMax.Set(maxAbs)
+	s.syncRounds.Inc()
 }
 
 // Stop terminates the sync loop started by Start and waits for it to exit.

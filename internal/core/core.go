@@ -28,6 +28,7 @@ import (
 	"repro/internal/kvlayer"
 	"repro/internal/milana"
 	"repro/internal/mvftl"
+	"repro/internal/obs"
 	"repro/internal/semel"
 	"repro/internal/storage"
 	"repro/internal/transport"
@@ -76,9 +77,13 @@ type ClusterOptions struct {
 
 // Cluster is an embedded SEMEL/MILANA deployment.
 type Cluster struct {
-	opt     ClusterOptions
-	Bus     *transport.Bus
-	Dir     *cluster.Directory
+	opt ClusterOptions
+	Bus *transport.Bus
+	Dir *cluster.Directory
+	// Obs is the cluster-level metrics registry: client-side RPC latency
+	// from the bus and clock-synchronizer skew land here. Each server
+	// additionally owns its own registry (Server.Metrics).
+	Obs     *obs.Registry
 	Source  clock.Source
 	servers map[string]*semel.Server
 	devices map[string]*flash.Device
@@ -118,11 +123,13 @@ func NewCluster(opt ClusterOptions) (*Cluster, error) {
 	c := &Cluster{
 		opt:     opt,
 		Bus:     transport.NewBus(opt.Latency, opt.Seed),
+		Obs:     obs.NewRegistry(),
 		Source:  clock.NewSystemSource(),
 		servers: make(map[string]*semel.Server),
 		devices: make(map[string]*flash.Device),
 		rng:     rand.New(rand.NewSource(opt.Seed + 1)),
 	}
+	c.Bus.SetMetrics(c.Obs)
 
 	shards := make([]cluster.ReplicaSet, opt.Shards)
 	for s := 0; s < opt.Shards; s++ {
@@ -266,8 +273,21 @@ func (c *Cluster) StartSynchronizer() func() {
 		return func() {}
 	}
 	s := clock.NewSynchronizer(c.opt.ClockProfile, c.opt.Seed+99, clocks...)
+	s.SetMetrics(c.Obs)
 	s.Start()
 	return s.Stop
+}
+
+// MergedSnapshot merges the cluster registry with every server's registry
+// into one cluster-wide metrics view (histograms bucket-merge, counters add,
+// gauges take the max) — the embedded-cluster equivalent of collecting
+// StatsResponse.Obs from every replica.
+func (c *Cluster) MergedSnapshot() obs.Snapshot {
+	snap := c.Obs.Snapshot()
+	for _, s := range c.servers {
+		snap.Merge(s.Metrics().Snapshot())
+	}
+	return snap
 }
 
 // ClientClock builds a client clock disciplined per the cluster's

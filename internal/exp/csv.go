@@ -81,12 +81,12 @@ func Figure7CSV(rows []Fig7Row) ([]string, [][]string) {
 
 // Figure8CSV converts Figure 8 rows.
 func Figure8CSV(rows []Fig8Row) ([]string, [][]string) {
-	header := []string{"backend", "local_validation", "clients", "txn_per_sec", "avg_latency_us"}
+	header := []string{"backend", "local_validation", "clients", "txn_per_sec", "avg_latency_us", "p50_us", "p95_us", "p99_us"}
 	var out [][]string
 	for _, r := range rows {
 		out = append(out, []string{
 			r.Backend, fmt.Sprintf("%v", r.LocalValidation), strconv.Itoa(r.Clients),
-			ftoa(r.ThroughputTPS), dtoa(r.AvgLatency),
+			ftoa(r.ThroughputTPS), dtoa(r.AvgLatency), dtoa(r.P50), dtoa(r.P95), dtoa(r.P99),
 		})
 	}
 	return header, out

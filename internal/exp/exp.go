@@ -25,6 +25,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/flash"
 	"repro/internal/milana"
+	"repro/internal/obs"
 	"repro/internal/retwis"
 	"repro/internal/transport"
 	"repro/internal/wire"
@@ -140,6 +141,9 @@ type runResult struct {
 	Attempts       int64
 	Elapsed        time.Duration
 	AvgLatency     time.Duration // successful-transaction latency incl. retries
+	// Latency is the full successful-transaction latency distribution,
+	// from which AvgLatency and any reported percentiles derive.
+	Latency        obs.HistogramSnapshot
 	ThroughputTPS  float64
 	AbortsByReason [wire.NumAbortReasons]int64
 }
@@ -221,10 +225,9 @@ func runMilana(ctx context.Context, c *core.Cluster, o milanaRun) (runResult, er
 	defer cancel()
 
 	var (
-		wg         sync.WaitGroup
-		latencySum atomic.Int64
-		latencyN   atomic.Int64
-		firstErr   atomic.Value
+		wg       sync.WaitGroup
+		latHist  = obs.NewHistogram() // concurrent-writer safe
+		firstErr atomic.Value
 	)
 	start := time.Now()
 	for i := range clients {
@@ -264,8 +267,7 @@ func runMilana(ctx context.Context, c *core.Cluster, o milanaRun) (runResult, er
 					firstErr.CompareAndSwap(nil, err)
 					return
 				}
-				latencySum.Add(int64(time.Since(txStart)))
-				latencyN.Add(1)
+				latHist.ObserveDuration(time.Since(txStart))
 				if o.WatermarkEvery > 0 && decided >= o.WatermarkEvery {
 					decided = 0
 					cl.BroadcastWatermark(runCtx)
@@ -291,8 +293,9 @@ func runMilana(ctx context.Context, c *core.Cluster, o milanaRun) (runResult, er
 	}
 	res.Attempts = res.Committed + res.Aborted
 	res.Elapsed = elapsed
-	if n := latencyN.Load(); n > 0 {
-		res.AvgLatency = time.Duration(latencySum.Load() / n)
+	res.Latency = latHist.Snapshot()
+	if res.Latency.Count > 0 {
+		res.AvgLatency = time.Duration(res.Latency.Mean())
 	}
 	res.ThroughputTPS = float64(res.Committed) / elapsed.Seconds()
 	return res, nil

@@ -284,6 +284,11 @@ type Fig8Row struct {
 	Clients         int
 	ThroughputTPS   float64
 	AvgLatency      time.Duration
+	// Latency percentiles of successful transactions, from the run's
+	// obs latency histogram.
+	P50 time.Duration
+	P95 time.Duration
+	P99 time.Duration
 }
 
 // RunFigure8 reproduces Figure 8: average transaction latency vs throughput
@@ -329,12 +334,16 @@ func RunFigure8(ctx context.Context, cfg Config) ([]Fig8Row, error) {
 					return nil, fmt.Errorf("fig8 %s lv=%v n=%d: %w", backend, lv, n, err)
 				}
 				cfg.progress("fig8 %s lv=%v n=%d: %.0f txn/s, %v", backend, lv, n, res.ThroughputTPS, res.AvgLatency)
+				p50, p95, p99, _ := res.Latency.Percentiles()
 				rows = append(rows, Fig8Row{
 					Backend:         backendName(backend),
 					LocalValidation: lv,
 					Clients:         n,
 					ThroughputTPS:   res.ThroughputTPS,
 					AvgLatency:      res.AvgLatency,
+					P50:             time.Duration(p50),
+					P95:             time.Duration(p95),
+					P99:             time.Duration(p99),
 				})
 			}
 		}

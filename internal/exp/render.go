@@ -89,13 +89,15 @@ func RenderFigure7(rows []Fig7Row) string {
 func RenderFigure8(rows []Fig8Row) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Figure 8: Retwis transaction latency vs throughput (75%% read-only)\n")
-	fmt.Fprintf(&b, "%-8s %-6s %-8s %-14s %-14s\n", "backend", "LV", "clients", "txn/s", "avg latency")
+	fmt.Fprintf(&b, "%-8s %-6s %-8s %-14s %-14s %-12s %-12s %-12s\n",
+		"backend", "LV", "clients", "txn/s", "avg latency", "p50", "p95", "p99")
 	for _, r := range rows {
 		lv := "off"
 		if r.LocalValidation {
 			lv = "on"
 		}
-		fmt.Fprintf(&b, "%-8s %-6s %-8d %-14.0f %-14v\n", r.Backend, lv, r.Clients, r.ThroughputTPS, r.AvgLatency)
+		fmt.Fprintf(&b, "%-8s %-6s %-8d %-14.0f %-14v %-12v %-12v %-12v\n",
+			r.Backend, lv, r.Clients, r.ThroughputTPS, r.AvgLatency, r.P50, r.P95, r.P99)
 	}
 	return b.String()
 }

@@ -19,6 +19,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Geometry describes the physical layout of the device.
@@ -145,6 +147,18 @@ type Device struct {
 	reads    atomic.Int64
 	programs atomic.Int64
 	erases   atomic.Int64
+
+	metrics atomic.Pointer[deviceMetrics]
+}
+
+// deviceMetrics feeds the device's observability registry: hardware queue
+// occupancy, per-op counters, and the worst per-block erase count.
+type deviceMetrics struct {
+	queue    *obs.Gauge
+	reads    *obs.Counter
+	programs *obs.Counter
+	erases   *obs.Counter
+	wearMax  *obs.Gauge
 }
 
 // Options configures NewDevice.
@@ -189,6 +203,23 @@ func NewDevice(opt Options) (*Device, error) {
 // Geometry returns the device geometry.
 func (d *Device) Geometry() Geometry { return d.geo }
 
+// SetMetrics attaches a metrics registry. The device then feeds
+// flash_queue_depth (hardware queue occupancy), flash_ops_total{op=...}
+// counters, and the flash_wear_max gauge. Pass nil to detach.
+func (d *Device) SetMetrics(reg *obs.Registry) {
+	if reg == nil {
+		d.metrics.Store(nil)
+		return
+	}
+	d.metrics.Store(&deviceMetrics{
+		queue:    reg.Gauge("flash_queue_depth"),
+		reads:    reg.Counter(`flash_ops_total{op="read"}`),
+		programs: reg.Counter(`flash_ops_total{op="program"}`),
+		erases:   reg.Counter(`flash_ops_total{op="erase"}`),
+		wearMax:  reg.Gauge("flash_wear_max"),
+	})
+}
+
 // Stats returns a snapshot of the operation counters.
 func (d *Device) Stats() Stats {
 	return Stats{Reads: d.reads.Load(), Programs: d.programs.Load(), Erases: d.erases.Load()}
@@ -211,11 +242,18 @@ func (d *Device) checkAddr(a PageAddr) error {
 // occupy models the hardware queue and the channel bus: it admits the
 // operation, holds the channel for the operation latency, and releases.
 func (d *Device) occupy(channel int, lat time.Duration) {
+	m := d.metrics.Load()
+	if m != nil {
+		m.queue.Add(1)
+	}
 	d.queue <- struct{}{}
 	d.chans[channel].Lock()
 	d.sleeper.Sleep(d.timing.scaled(lat))
 	d.chans[channel].Unlock()
 	<-d.queue
+	if m != nil {
+		m.queue.Add(-1)
+	}
 }
 
 // ReadPage returns a copy of the page's contents. Reading an erased page is
@@ -235,6 +273,9 @@ func (d *Device) ReadPage(a PageAddr) ([]byte, error) {
 	}
 	d.occupy(a.Block%d.geo.Channels, d.timing.PageRead)
 	d.reads.Add(1)
+	if m := d.metrics.Load(); m != nil {
+		m.reads.Inc()
+	}
 	out := make([]byte, len(data))
 	copy(out, data)
 	return out, nil
@@ -269,6 +310,9 @@ func (d *Device) ProgramPage(a PageAddr, data []byte) error {
 	d.mu.Unlock()
 	d.occupy(a.Block%d.geo.Channels, d.timing.PageWrite)
 	d.programs.Add(1)
+	if m := d.metrics.Load(); m != nil {
+		m.programs.Inc()
+	}
 	return nil
 }
 
@@ -287,9 +331,14 @@ func (d *Device) EraseBlock(blockIdx int) error {
 	}
 	b.nextPage = 0
 	b.wear++
+	wear := b.wear
 	d.mu.Unlock()
 	d.occupy(blockIdx%d.geo.Channels, d.timing.BlockErase)
 	d.erases.Add(1)
+	if m := d.metrics.Load(); m != nil {
+		m.erases.Inc()
+		m.wearMax.SetMax(wear)
+	}
 	return nil
 }
 

@@ -16,8 +16,10 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/flash"
+	"repro/internal/obs"
 )
 
 // Errors returned by the FTL.
@@ -87,6 +89,16 @@ type FTL struct {
 	hostWrites  atomic.Int64
 	gcRelocated atomic.Int64
 	gcErased    atomic.Int64
+
+	metrics atomic.Pointer[ftlMetrics]
+}
+
+// ftlMetrics feeds the FTL's observability registry: how long each garbage
+// collection run stalls the write path, and the size of the free pool.
+type ftlMetrics struct {
+	gcPause    *obs.Histogram
+	freeBlocks *obs.Gauge
+	gcErased   *obs.Counter
 }
 
 // New builds an FTL over dev. All blocks must be erased (a fresh device).
@@ -136,6 +148,31 @@ func New(dev *flash.Device, opt Options) (*FTL, error) {
 	}
 	f.gcFront.block = -1
 	return f, nil
+}
+
+// SetMetrics attaches a metrics registry and forwards it to the underlying
+// device. The FTL then feeds ftl_gc_pause_ns (wall time of each GC run that
+// reclaimed space), the ftl_free_blocks gauge, and ftl_gc_erased_total.
+// Pass nil to detach.
+func (f *FTL) SetMetrics(reg *obs.Registry) {
+	if reg == nil {
+		f.metrics.Store(nil)
+		f.dev.SetMetrics(nil)
+		return
+	}
+	f.metrics.Store(&ftlMetrics{
+		gcPause:    reg.Histogram("ftl_gc_pause_ns"),
+		freeBlocks: reg.Gauge("ftl_free_blocks"),
+		gcErased:   reg.Counter("ftl_gc_erased_total"),
+	})
+	f.dev.SetMetrics(reg)
+}
+
+// noteFreeBlocks publishes the free-pool size; callers hold mapMu.
+func (f *FTL) noteFreeBlocks() {
+	if m := f.metrics.Load(); m != nil {
+		m.freeBlocks.Set(int64(len(f.free)))
+	}
 }
 
 // NumLBAs returns the number of addressable logical pages.
@@ -311,6 +348,7 @@ func (f *FTL) takeFreeBlockLocked(ch int) (int, bool) {
 	}
 	f.free[bestIdx] = f.free[len(f.free)-1]
 	f.free = f.free[:len(f.free)-1]
+	f.noteFreeBlocks()
 	return best, true
 }
 
@@ -322,6 +360,17 @@ func (f *FTL) collect(ch int) {
 	_ = ch
 	f.gcMu.Lock()
 	defer f.gcMu.Unlock()
+	start := time.Now()
+	collected := false
+	defer func() {
+		// Only GC runs that actually reclaimed count as pauses; the
+		// common early-return (pool already refilled) is not a stall.
+		if collected {
+			if m := f.metrics.Load(); m != nil {
+				m.gcPause.ObserveSince(start)
+			}
+		}
+	}()
 	for {
 		f.mapMu.Lock()
 		if len(f.free) > gcReserveBlocks {
@@ -333,6 +382,7 @@ func (f *FTL) collect(ch int) {
 		if victim < 0 {
 			return // nothing reclaimable; caller will observe ErrNoSpace
 		}
+		collected = true
 		f.relocateAndErase(victim)
 	}
 }
@@ -404,9 +454,13 @@ func (f *FTL) relocateAndErase(victim int) {
 	f.mapMu.Unlock()
 	if err := f.dev.EraseBlock(victim); err == nil {
 		f.gcErased.Add(1)
+		if m := f.metrics.Load(); m != nil {
+			m.gcErased.Inc()
+		}
 	}
 	f.mapMu.Lock()
 	f.free = append(f.free, victim)
+	f.noteFreeBlocks()
 	f.mapMu.Unlock()
 }
 

@@ -22,6 +22,7 @@ import (
 
 	"repro/internal/clock"
 	"repro/internal/ftl"
+	"repro/internal/obs"
 	"repro/internal/record"
 )
 
@@ -284,6 +285,10 @@ func (s *Store) Flush() {
 		p.Flush()
 	}
 }
+
+// SetMetrics forwards the metrics registry to the underlying FTL (GC pause,
+// free-pool gauge) and through it to the device (queue depth, wear).
+func (s *Store) SetMetrics(reg *obs.Registry) { s.f.SetMetrics(reg) }
 
 // Stats returns a snapshot of the counters.
 func (s *Store) Stats() Stats {

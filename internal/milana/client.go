@@ -7,9 +7,11 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/clock"
 	"repro/internal/cluster"
+	"repro/internal/obs"
 	"repro/internal/transport"
 	"repro/internal/wire"
 )
@@ -65,6 +67,11 @@ type Client struct {
 
 	cache *valueCache
 
+	// tracer, when attached via SetMetrics, times every transaction's
+	// lifecycle stages (read/validate/prepare/decision) and keeps a ring
+	// of recent traces. Nil means tracing is off (the default).
+	tracer *obs.Tracer
+
 	seq atomic.Uint64
 
 	mu          sync.Mutex
@@ -111,6 +118,20 @@ func (c *Client) Stats() Stats {
 	}
 	return st
 }
+
+// SetMetrics attaches a metrics registry. Every transaction then feeds
+// per-stage latency histograms (milana_client_txn_stage_ns{stage="read"|
+// "validate"|"prepare"|"decision"}), an outcome counter distinguishing
+// read-only from read-write commits and abort reasons, a total-latency
+// histogram, and a ring buffer of the 64 most recent traces. Call before
+// the client issues transactions; not safe to swap concurrently with them.
+func (c *Client) SetMetrics(reg *obs.Registry) {
+	c.tracer = obs.NewTracer(reg, "milana_client_txn", 64)
+}
+
+// Tracer returns the client's span tracer (nil until SetMetrics is called),
+// for inspecting recent or slowest transaction traces.
+func (c *Client) Tracer() *obs.Tracer { return c.tracer }
 
 // LastDecided returns the timestamp of this client's most recently decided
 // transaction — the value it broadcasts for watermarking (§4.4).
@@ -172,17 +193,25 @@ type Txn struct {
 	nonLocal bool
 	// cachedKeys are reads served from the cache, invalidated on abort.
 	cachedKeys []string
+	// sp times the transaction's stages when the client has a tracer;
+	// readTime accumulates time spent in read RPCs across Get/GetMany.
+	sp       *obs.Span
+	readTime time.Duration
 }
 
 // Begin starts a transaction at the client's current time.
 func (c *Client) Begin() *Txn {
-	return &Txn{
+	t := &Txn{
 		c:     c,
 		id:    wire.TxnID{Client: c.ID(), Seq: c.seq.Add(1)},
 		begin: c.clk.Now(),
 		reads: make(map[string]readInfo),
 		write: make(map[string][]byte),
 	}
+	if c.tracer != nil {
+		t.sp = c.tracer.Start(t.id.String())
+	}
+	return t
 }
 
 // BeginReadWrite starts a transaction declared read-write in advance. Such
@@ -230,7 +259,11 @@ func (t *Txn) Get(ctx context.Context, key []byte) (val []byte, found bool, err 
 	if err != nil {
 		return nil, false, err
 	}
+	readStart := time.Now()
 	resp, err := t.c.net.Call(ctx, addr, wire.GetRequest{Key: key, At: t.begin, AnyReplica: anyReplica})
+	if t.sp != nil {
+		t.readTime += time.Since(readStart)
+	}
 	if err != nil {
 		return nil, false, err
 	}
@@ -301,6 +334,21 @@ func (t *Txn) finish(committed bool) {
 	if t.ReadOnly() {
 		t.c.readOnly.Add(1)
 	}
+	// Fallback span end for paths that didn't set a richer outcome
+	// (application Abort, snapshot-miss aborts).
+	if committed {
+		t.spanEnd("commit")
+	} else {
+		t.spanEnd("abort")
+	}
+}
+
+// spanEnd ends the transaction's span exactly once with the given outcome.
+func (t *Txn) spanEnd(outcome string) {
+	if t.sp != nil {
+		t.sp.End(outcome)
+		t.sp = nil
+	}
 }
 
 // Commit validates and commits the transaction. Read-only transactions
@@ -313,15 +361,19 @@ func (t *Txn) Commit(ctx context.Context) error {
 		return ErrTxnDone
 	}
 	if t.ReadOnly() && t.c.LocalValidation && !t.nonLocal {
+		t.sp.Record("read", t.readTime)
+		t.sp.Stage("validate")
 		for _, ri := range t.reads {
 			if ri.prepared {
 				t.c.abortReasons[wire.AbortReadPrepared].Add(1)
+				t.spanEnd("abort-" + wire.AbortReadPrepared.String())
 				t.finish(false)
 				return fmt.Errorf("%w: read a key with a prepared version", ErrAborted)
 			}
 		}
 		t.c.localValidated.Add(1)
 		t.c.noteDecided(t.begin)
+		t.spanEnd("commit-local")
 		t.finish(true)
 		return nil
 	}
@@ -331,6 +383,8 @@ func (t *Txn) Commit(ctx context.Context) error {
 // commit2PC runs two-phase commit with the client as coordinator.
 func (t *Txn) commit2PC(ctx context.Context) error {
 	commitTs := t.c.clk.Now()
+	t.sp.Record("read", t.readTime)
+	t.sp.Stage("prepare")
 
 	type shardSets struct {
 		reads  []wire.ReadKey
@@ -430,9 +484,13 @@ func (t *Txn) commit2PC(ctx context.Context) error {
 	// is reported as unknown; the transaction is NOT retried as a
 	// conflict abort.
 	if !commit && !explicitAbort && len(participants) == 1 {
+		t.spanEnd("unknown")
 		t.finish(false)
 		return fmt.Errorf("milana: transaction %v outcome unknown: %w", t.id, firstErr)
 	}
+	// The decision stage covers phase two: synchronous notification when
+	// SyncDecisions is set, otherwise just the async dispatch.
+	t.sp.Stage("decision")
 
 	// Phase two: report the outcome, then notify participants — by
 	// default asynchronously (§4.2: "reports the outcome to the
@@ -457,6 +515,14 @@ func (t *Txn) commit2PC(ctx context.Context) error {
 	}
 
 	t.c.noteDecided(commitTs)
+	switch {
+	case commit && t.ReadOnly():
+		t.spanEnd("commit-ro")
+	case commit:
+		t.spanEnd("commit-rw")
+	default:
+		t.spanEnd("abort-" + reason.String())
+	}
 	t.finish(commit)
 	if !commit {
 		// Cached reads may have been the stale culprits; drop them so
@@ -535,7 +601,11 @@ func (t *Txn) GetMany(ctx context.Context, keys [][]byte) (map[string][]byte, er
 		if err != nil {
 			return nil, err
 		}
+		readStart := time.Now()
 		resp, err := t.c.net.Call(ctx, addr, wire.MultiGetRequest{Keys: shardKeys, At: t.begin, AnyReplica: anyReplica})
+		if t.sp != nil {
+			t.readTime += time.Since(readStart)
+		}
 		if err != nil {
 			return nil, err
 		}

@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"repro/internal/clock"
+	"repro/internal/obs"
 	"repro/internal/storage"
 	"repro/internal/wire"
 )
@@ -66,9 +67,24 @@ type decidedEntry struct {
 	at     time.Time
 }
 
+// managerMetrics are the Manager's cached observability handles — the
+// server-side halves of the txn lifecycle (validate / prepare / decision),
+// the Algorithm 1 abort-reason breakdown, and the CTP sweeper outcomes.
+// All handles are nil-safe, so an uninstrumented Manager pays one nil check
+// per site.
+type managerMetrics struct {
+	validateNs   *obs.Histogram
+	prepareNs    *obs.Histogram
+	decisionNs   *obs.Histogram
+	preparedTxns *obs.Gauge
+	abortReason  [wire.NumAbortReasons]*obs.Counter
+	sweep        [3]*obs.Counter // recovered-commit / recovered-abort / still-pending
+}
+
 // Manager is the per-replica transaction module.
 type Manager struct {
 	host Host
+	om   managerMetrics
 
 	mu        sync.Mutex
 	keys      map[string]*keyMeta
@@ -85,6 +101,32 @@ func NewManager(host Host) *Manager {
 		table:   make(map[wire.TxnID]*txnState),
 		decided: make(map[wire.TxnID]decidedEntry),
 	}
+}
+
+// SetMetrics wires the manager's instrumentation into reg (the hosting
+// server's registry). Call before serving traffic.
+func (m *Manager) SetMetrics(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	m.om.validateNs = reg.Histogram(`milana_txn_stage_ns{stage="validate"}`)
+	m.om.prepareNs = reg.Histogram(`milana_txn_stage_ns{stage="prepare"}`)
+	m.om.decisionNs = reg.Histogram(`milana_txn_stage_ns{stage="decision"}`)
+	m.om.preparedTxns = reg.Gauge("milana_prepared_txns")
+	for r := 0; r < wire.NumAbortReasons; r++ {
+		m.om.abortReason[r] = reg.Counter(`milana_aborts_total{reason="` + wire.AbortReason(r).String() + `"}`)
+	}
+	for i, outcome := range []string{"recovered-commit", "recovered-abort", "still-pending"} {
+		m.om.sweep[i] = reg.Counter(`milana_sweep_total{outcome="` + outcome + `"}`)
+	}
+}
+
+// countAbort records one server-side validation abort by reason.
+func (m *Manager) countAbort(code wire.AbortReason) {
+	if code < 0 || int(code) >= wire.NumAbortReasons {
+		code = wire.AbortOther
+	}
+	m.om.abortReason[code].Inc()
 }
 
 // meta returns (creating if needed) the key's OCC state, lazily priming
@@ -141,6 +183,8 @@ func (m *Manager) LatestCommitted(key []byte) clock.Timestamp {
 // Algorithm 1, durably replicate the prepared record to f backups, and
 // vote.
 func (m *Manager) Prepare(ctx context.Context, req wire.PrepareRequest) (wire.PrepareResponse, error) {
+	prepStart := time.Now()
+	defer func() { m.om.prepareNs.ObserveSince(prepStart) }()
 	m.mu.Lock()
 	if _, ok := m.table[req.ID]; ok { // retransmitted prepare
 		m.mu.Unlock()
@@ -150,9 +194,13 @@ func (m *Manager) Prepare(ctx context.Context, req wire.PrepareRequest) (wire.Pr
 		m.mu.Unlock()
 		return wire.PrepareResponse{OK: d.status == wire.StatusCommitted}, nil
 	}
-	if reason, code := m.validateLocked(req); reason != "" {
+	valStart := time.Now()
+	reason, code := m.validateLocked(req)
+	m.om.validateNs.ObserveSince(valStart)
+	if reason != "" {
 		m.decided[req.ID] = decidedEntry{status: wire.StatusAborted, at: time.Now()}
 		m.mu.Unlock()
+		m.countAbort(code)
 		return wire.PrepareResponse{OK: false, Reason: reason, Code: code}, nil
 	}
 	rec := wire.TxnRecord{
@@ -169,6 +217,7 @@ func (m *Manager) Prepare(ctx context.Context, req wire.PrepareRequest) (wire.Pr
 		km.preparedBy = req.ID
 	}
 	m.table[req.ID] = &txnState{rec: rec, preparedAt: time.Now()}
+	m.om.preparedTxns.Set(int64(len(m.table)))
 	m.mu.Unlock()
 
 	// The prepared record must survive this primary: replicate before
@@ -178,7 +227,9 @@ func (m *Manager) Prepare(ctx context.Context, req wire.PrepareRequest) (wire.Pr
 		m.releasePreparedLocked(rec)
 		delete(m.table, req.ID)
 		m.decided[req.ID] = decidedEntry{status: wire.StatusAborted, at: time.Now()}
+		m.om.preparedTxns.Set(int64(len(m.table)))
 		m.mu.Unlock()
+		m.countAbort(wire.AbortOther)
 		return wire.PrepareResponse{OK: false, Reason: fmt.Sprintf("replication failed: %v", err)}, nil
 	}
 	return wire.PrepareResponse{OK: true}, nil
@@ -243,6 +294,8 @@ func (m *Manager) Decision(ctx context.Context, req wire.DecisionRequest) (wire.
 // shard: apply the write set (on commit), update key metadata, record the
 // decision, and replicate it to the backups.
 func (m *Manager) applyDecision(ctx context.Context, rec wire.TxnRecord, commit bool) error {
+	decStart := time.Now()
+	defer func() { m.om.decisionNs.ObserveSince(decStart) }()
 	status := wire.StatusAborted
 	if commit {
 		status = wire.StatusCommitted
@@ -265,6 +318,7 @@ func (m *Manager) applyDecision(ctx context.Context, rec wire.TxnRecord, commit 
 	}
 	delete(m.table, rec.ID)
 	m.decided[rec.ID] = decidedEntry{status: status, at: time.Now()}
+	m.om.preparedTxns.Set(int64(len(m.table)))
 	m.pruneDecidedLocked()
 	m.mu.Unlock()
 
@@ -373,11 +427,25 @@ func (m *Manager) HandleReplicateDecision(id wire.TxnID, commit bool) error {
 
 // ---- in-doubt termination (client failure, §4.5) ----
 
+// SweepResult classifies the outcomes of one CTP sweep: how many stale
+// prepared transactions were terminated as commits, how many as aborts, and
+// how many stayed in doubt (a participant unreachable, or the decision
+// could not be applied) for a later sweep to retry.
+type SweepResult struct {
+	RecoveredCommit int
+	RecoveredAbort  int
+	StillPending    int
+}
+
+// Terminated returns the number of transactions the sweep resolved.
+func (r SweepResult) Terminated() int { return r.RecoveredCommit + r.RecoveredAbort }
+
 // SweepPrepared terminates transactions that have been prepared for longer
 // than timeout, for which this shard is the designated backup coordinator
 // (the lowest-numbered participant). It implements the Cooperative
-// Termination Protocol.
-func (m *Manager) SweepPrepared(ctx context.Context, timeout time.Duration) int {
+// Termination Protocol and reports the per-outcome breakdown, which also
+// feeds the milana_sweep_total{outcome=...} counters.
+func (m *Manager) SweepPrepared(ctx context.Context, timeout time.Duration) SweepResult {
 	m.mu.Lock()
 	var stale []wire.TxnRecord
 	cutoff := time.Now().Add(-timeout)
@@ -391,19 +459,28 @@ func (m *Manager) SweepPrepared(ctx context.Context, timeout time.Duration) int 
 		stale = append(stale, st.rec)
 	}
 	m.mu.Unlock()
-	terminated := 0
+	var res SweepResult
 	for _, rec := range stale {
 		commit, ok := m.terminate(ctx, rec)
 		if !ok {
-			continue // a participant is unreachable; stay blocked
+			res.StillPending++ // a participant is unreachable; stay blocked
+			continue
 		}
 		if err := m.applyDecision(ctx, rec, commit); err != nil {
+			res.StillPending++
 			continue
 		}
 		m.notifyParticipants(ctx, rec, commit)
-		terminated++
+		if commit {
+			res.RecoveredCommit++
+		} else {
+			res.RecoveredAbort++
+		}
 	}
-	return terminated
+	m.om.sweep[0].Add(int64(res.RecoveredCommit))
+	m.om.sweep[1].Add(int64(res.RecoveredAbort))
+	m.om.sweep[2].Add(int64(res.StillPending))
+	return res
 }
 
 func coordinatorShard(participants []int) int {

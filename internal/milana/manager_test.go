@@ -303,11 +303,18 @@ func TestSweepPreparedCTP(t *testing.T) {
 				t.Fatal("prepare")
 			}
 			// Not yet timed out: nothing happens.
-			if n := m.SweepPrepared(context.Background(), time.Hour); n != 0 {
+			if res := m.SweepPrepared(context.Background(), time.Hour); res.Terminated() != 0 {
 				t.Fatal("sweeper terminated a fresh txn")
 			}
-			if n := m.SweepPrepared(context.Background(), 0); n != 1 {
-				t.Fatalf("terminated %d txns, want 1", n)
+			res := m.SweepPrepared(context.Background(), 0)
+			if res.Terminated() != 1 {
+				t.Fatalf("terminated %d txns, want 1 (%+v)", res.Terminated(), res)
+			}
+			if c.wantCommit && res.RecoveredCommit != 1 {
+				t.Fatalf("sweep outcome = %+v, want recovered-commit", res)
+			}
+			if !c.wantCommit && res.RecoveredAbort != 1 {
+				t.Fatalf("sweep outcome = %+v, want recovered-abort", res)
 			}
 			want := wire.StatusAborted
 			if c.wantCommit {
@@ -340,8 +347,8 @@ func TestSweepOnlyByBackupCoordinator(t *testing.T) {
 	if resp, _ := m.Prepare(context.Background(), req); !resp.OK {
 		t.Fatal("prepare")
 	}
-	if n := m.SweepPrepared(context.Background(), 0); n != 0 {
-		t.Fatal("non-coordinator terminated the txn")
+	if res := m.SweepPrepared(context.Background(), 0); res.Terminated() != 0 || res.StillPending != 0 {
+		t.Fatalf("non-coordinator touched the txn: %+v", res)
 	}
 	if m.Status(req.ID) != wire.StatusPrepared {
 		t.Fatal("txn no longer prepared")
@@ -356,8 +363,8 @@ func TestSingleShardPreparedCommitsOnSweep(t *testing.T) {
 		t.Fatal("prepare")
 	}
 	// §4.5: a prepared single-shard transaction would have committed.
-	if n := m.SweepPrepared(context.Background(), 0); n != 1 {
-		t.Fatal("single-shard txn not terminated")
+	if res := m.SweepPrepared(context.Background(), 0); res.RecoveredCommit != 1 {
+		t.Fatalf("single-shard txn not terminated as commit: %+v", res)
 	}
 	if m.Status(req.ID) != wire.StatusCommitted {
 		t.Fatalf("status = %v", m.Status(req.ID))

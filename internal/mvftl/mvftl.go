@@ -21,6 +21,7 @@ import (
 
 	"repro/internal/clock"
 	"repro/internal/flash"
+	"repro/internal/obs"
 	"repro/internal/record"
 )
 
@@ -125,6 +126,40 @@ type Store struct {
 	deletes     atomic.Int64
 	gcRelocated atomic.Int64
 	gcErased    atomic.Int64
+
+	metrics atomic.Pointer[storeMetrics]
+}
+
+// storeMetrics feeds the store's observability registry: GC pause wall time,
+// free-pool size, and records moved by the collector.
+type storeMetrics struct {
+	gcPause     *obs.Histogram
+	freeBlocks  *obs.Gauge
+	gcRelocated *obs.Counter
+}
+
+// SetMetrics attaches a metrics registry and forwards it to the underlying
+// device. The store then feeds mvftl_gc_pause_ns, the mvftl_free_blocks
+// gauge, and mvftl_gc_relocated_total. Pass nil to detach.
+func (s *Store) SetMetrics(reg *obs.Registry) {
+	if reg == nil {
+		s.metrics.Store(nil)
+		s.dev.SetMetrics(nil)
+		return
+	}
+	s.metrics.Store(&storeMetrics{
+		gcPause:     reg.Histogram("mvftl_gc_pause_ns"),
+		freeBlocks:  reg.Gauge("mvftl_free_blocks"),
+		gcRelocated: reg.Counter("mvftl_gc_relocated_total"),
+	})
+	s.dev.SetMetrics(reg)
+}
+
+// noteFreeBlocks publishes the free-pool size; callers hold mu.
+func (s *Store) noteFreeBlocks() {
+	if m := s.metrics.Load(); m != nil {
+		m.freeBlocks.Set(int64(len(s.free)))
+	}
 }
 
 // New builds the store over a fresh (fully erased) device.
@@ -421,6 +456,7 @@ func (s *Store) takeFreeLocked() (int, bool) {
 	}
 	s.free[bestIdx] = s.free[len(s.free)-1]
 	s.free = s.free[:len(s.free)-1]
+	s.noteFreeBlocks()
 	return best, true
 }
 
@@ -472,6 +508,9 @@ func (s *Store) installRelocationLocked(key string, v version) {
 			e.versions[i].ppn = v.ppn
 			e.versions[i].off = v.off
 			s.gcRelocated.Add(1)
+			if m := s.metrics.Load(); m != nil {
+				m.gcRelocated.Inc()
+			}
 			return
 		}
 	}
@@ -525,6 +564,17 @@ func (s *Store) PruneAll() {
 func (s *Store) collect() {
 	s.gcMu.Lock()
 	defer s.gcMu.Unlock()
+	start := time.Now()
+	collected := false
+	defer func() {
+		// Only runs that processed a victim count as pauses; the common
+		// early-return (pool already refilled) is not a stall.
+		if collected {
+			if m := s.metrics.Load(); m != nil {
+				m.gcPause.ObserveSince(start)
+			}
+		}
+	}()
 	stalled := 0
 	for {
 		s.mu.Lock()
@@ -538,6 +588,7 @@ func (s *Store) collect() {
 		if victim < 0 {
 			return
 		}
+		collected = true
 		if !s.relocateAndErase(victim) {
 			return
 		}
@@ -644,6 +695,7 @@ func (s *Store) relocateAndErase(victim int) bool {
 	s.gcErased.Add(1)
 	s.mu.Lock()
 	s.free = append(s.free, victim)
+	s.noteFreeBlocks()
 	s.mu.Unlock()
 	return true
 }

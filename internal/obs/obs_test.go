@@ -1,0 +1,330 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/gob"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestBucketIndexRoundTrip(t *testing.T) {
+	// Every representative value must map back to its own bucket, and
+	// bucket bounds must tile the value space without gaps or overlaps.
+	for idx := 0; idx < numBuckets; idx++ {
+		lo, hi := bucketBounds(idx)
+		if lo > hi {
+			t.Fatalf("bucket %d: lo %d > hi %d", idx, lo, hi)
+		}
+		for _, v := range []int64{lo, hi, bucketMid(idx)} {
+			if got := bucketIndex(v); got != idx {
+				t.Fatalf("value %d: bucketIndex = %d, want %d (bounds %d..%d)", v, got, idx, lo, hi)
+			}
+		}
+		if idx > 0 {
+			_, prevHi := bucketBounds(idx - 1)
+			if lo != prevHi+1 {
+				t.Fatalf("gap between bucket %d (hi %d) and %d (lo %d)", idx-1, prevHi, idx, lo)
+			}
+		}
+	}
+}
+
+func TestBucketIndexEdges(t *testing.T) {
+	cases := []struct {
+		v    int64
+		want int
+	}{
+		{-5, 0}, {0, 0}, {7, 7}, {8, 8}, {15, 15}, {16, 16}, {17, 16},
+	}
+	for _, c := range cases {
+		if got := bucketIndex(c.v); got != c.want {
+			t.Errorf("bucketIndex(%d) = %d, want %d", c.v, got, c.want)
+		}
+	}
+	// The largest int64 must not index out of range.
+	if got := bucketIndex(1<<63 - 1); got >= numBuckets {
+		t.Fatalf("bucketIndex(max) = %d out of range %d", got, numBuckets)
+	}
+}
+
+func TestHistogramRelativeError(t *testing.T) {
+	// Every estimated quantile must be within the bucket's 12.5% relative
+	// error bound of the true quantile.
+	rng := rand.New(rand.NewSource(42))
+	h := NewHistogram()
+	var vals []int64
+	for i := 0; i < 20000; i++ {
+		// log-uniform values spanning 1 µs .. 1 s in nanoseconds
+		v := int64(1000 * (1 << uint(rng.Intn(20))))
+		v += rng.Int63n(v)
+		vals = append(vals, v)
+		h.Observe(v)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	s := h.Snapshot()
+	if s.Count != uint64(len(vals)) {
+		t.Fatalf("count = %d, want %d", s.Count, len(vals))
+	}
+	for _, q := range []float64{0.5, 0.9, 0.95, 0.99, 0.999} {
+		truth := vals[int(q*float64(len(vals)-1))]
+		got := s.Quantile(q)
+		rel := float64(got-truth) / float64(truth)
+		if rel < 0 {
+			rel = -rel
+		}
+		if rel > 0.13 {
+			t.Errorf("q=%.3f: got %d, true %d, rel err %.3f > 0.13", q, got, truth, rel)
+		}
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	h1, h2, both := NewHistogram(), NewHistogram(), NewHistogram()
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 5000; i++ {
+		v := rng.Int63n(1 << 30)
+		if i%2 == 0 {
+			h1.Observe(v)
+		} else {
+			h2.Observe(v)
+		}
+		both.Observe(v)
+	}
+	merged := h1.Snapshot()
+	merged.Merge(h2.Snapshot())
+	want := both.Snapshot()
+	if merged.Count != want.Count || merged.Sum != want.Sum {
+		t.Fatalf("merged count/sum = %d/%d, want %d/%d", merged.Count, merged.Sum, want.Count, want.Sum)
+	}
+	if len(merged.Buckets) != len(want.Buckets) {
+		t.Fatalf("merged has %d buckets, want %d", len(merged.Buckets), len(want.Buckets))
+	}
+	for i := range merged.Buckets {
+		if merged.Buckets[i] != want.Buckets[i] {
+			t.Fatalf("bucket %d: %+v != %+v", i, merged.Buckets[i], want.Buckets[i])
+		}
+	}
+	// Merging into a zero snapshot must equal the source.
+	var zero HistogramSnapshot
+	zero.Merge(want)
+	if zero.Count != want.Count || zero.Quantile(0.5) != want.Quantile(0.5) {
+		t.Fatal("merge into zero snapshot lost data")
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	var s HistogramSnapshot
+	if s.Quantile(0.5) != 0 || s.Mean() != 0 {
+		t.Fatal("empty snapshot must report zeros")
+	}
+	var h *Histogram
+	h.Observe(5) // nil-safe
+	if h.Snapshot().Count != 0 {
+		t.Fatal("nil histogram must snapshot empty")
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	// Concurrent writers + snapshotters; correctness of the final count
+	// and -race cleanliness are the assertions.
+	h := NewHistogram()
+	const writers, perWriter = 8, 10000
+	stop := make(chan struct{})
+	readerDone := make(chan struct{})
+	go func() { // concurrent reader
+		defer close(readerDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				_ = h.Snapshot().Quantile(0.99)
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < perWriter; i++ {
+				h.Observe(rng.Int63n(1 << 40))
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	close(stop)
+	<-readerDone
+	s := h.Snapshot()
+	if s.Count != writers*perWriter {
+		t.Fatalf("count = %d, want %d", s.Count, writers*perWriter)
+	}
+	var n uint64
+	for _, b := range s.Buckets {
+		n += b.N
+	}
+	if n != s.Count {
+		t.Fatalf("bucket sum %d != count %d", n, s.Count)
+	}
+}
+
+func TestRegistrySnapshotAndMerge(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(`ops_total{op="get"}`).Add(3)
+	r.Gauge("inflight").Set(7)
+	r.Histogram("lat_ns").Observe(1000)
+
+	s1 := r.Snapshot()
+	s2 := r.Snapshot()
+	s1.Merge(s2)
+	if s1.Counters[`ops_total{op="get"}`] != 6 {
+		t.Fatalf("merged counter = %d, want 6", s1.Counters[`ops_total{op="get"}`])
+	}
+	if s1.Gauges["inflight"] != 7 {
+		t.Fatalf("merged gauge = %d, want max 7", s1.Gauges["inflight"])
+	}
+	if s1.Hists["lat_ns"].Count != 2 {
+		t.Fatalf("merged hist count = %d, want 2", s1.Hists["lat_ns"].Count)
+	}
+
+	// Same pointer on repeat lookup.
+	if r.Counter(`ops_total{op="get"}`) != r.Counter(`ops_total{op="get"}`) {
+		t.Fatal("registry must return a stable pointer per name")
+	}
+
+	// Nil registry is inert.
+	var nilReg *Registry
+	nilReg.Counter("x").Inc()
+	nilReg.Gauge("y").Set(1)
+	nilReg.Histogram("z").Observe(1)
+	if snap := nilReg.Snapshot(); len(snap.Counters) != 0 {
+		t.Fatal("nil registry snapshot must be empty")
+	}
+}
+
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				r.Counter("c").Inc()
+				r.Gauge("g").Add(1)
+				r.Histogram("h").Observe(int64(i))
+				if i%100 == 0 {
+					_ = r.Snapshot()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := r.Snapshot()
+	if s.Counters["c"] != 16000 || s.Gauges["g"] != 16000 || s.Hists["h"].Count != 16000 {
+		t.Fatalf("concurrent totals wrong: %+v", s.Counters)
+	}
+}
+
+func TestSnapshotGobRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(`aborts_total{reason="read-stale"}`).Add(4)
+	r.Histogram("lat_ns").Observe(12345)
+	in := r.Snapshot()
+
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(in); err != nil {
+		t.Fatal(err)
+	}
+	var out Snapshot
+	if err := gob.NewDecoder(&buf).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Counters[`aborts_total{reason="read-stale"}`] != 4 {
+		t.Fatal("counter lost in gob round trip")
+	}
+	if out.Hists["lat_ns"].Count != 1 || out.Hists["lat_ns"].Quantile(0.5) == 0 {
+		t.Fatal("histogram lost in gob round trip")
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(`rpc_total{type="GetRequest"}`).Add(2)
+	r.Gauge("inflight").Set(1)
+	r.Histogram(`stage_ns{stage="prepare"}`).Observe(500)
+	var buf bytes.Buffer
+	if err := r.Snapshot().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`rpc_total{type="GetRequest"} 2`,
+		"inflight 1",
+		`stage_ns{stage="prepare",quantile="0.5"}`,
+		`stage_ns_count{stage="prepare"} 1`,
+		"# TYPE rpc_total counter",
+		"# TYPE stage_ns summary",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTracerSpans(t *testing.T) {
+	r := NewRegistry()
+	tr := NewTracer(r, "txn", 4)
+	for i := 0; i < 6; i++ { // overflow the ring to exercise wrap-around
+		sp := tr.Start("t")
+		sp.Stage("read")
+		sp.Record("prepare", 3*time.Millisecond)
+		sp.End("commit")
+	}
+	recent := tr.Recent()
+	if len(recent) != 4 {
+		t.Fatalf("ring kept %d traces, want 4", len(recent))
+	}
+	for _, rec := range recent {
+		if rec.Outcome != "commit" || len(rec.Stages) != 2 {
+			t.Fatalf("bad trace record %+v", rec)
+		}
+	}
+	s := r.Snapshot()
+	if s.Counters[`txn_outcome_total{outcome="commit"}`] != 6 {
+		t.Fatalf("outcome counter = %d, want 6", s.Counters[`txn_outcome_total{outcome="commit"}`])
+	}
+	if s.Hists[`txn_stage_ns{stage="prepare"}`].Count != 6 {
+		t.Fatal("stage histogram not fed")
+	}
+	if s.Hists["txn_total_ns"].Count != 6 {
+		t.Fatal("total histogram not fed")
+	}
+	if got := s.Hists[`txn_stage_ns{stage="prepare"}`].QuantileDuration(0.5); got < 2*time.Millisecond || got > 4*time.Millisecond {
+		t.Fatalf("recorded stage p50 = %v, want ≈3ms", got)
+	}
+
+	if len(tr.Slowest(2)) != 2 {
+		t.Fatal("Slowest(2) must return 2 traces")
+	}
+
+	// Nil tracer and nil span are inert.
+	var nilTr *Tracer
+	sp := nilTr.Start("x")
+	sp.Stage("a")
+	sp.End("done")
+}
+
+func TestWithLabel(t *testing.T) {
+	if got := withLabel("x", "q", "0.5"); got != `x{q="0.5"}` {
+		t.Errorf("withLabel plain = %q", got)
+	}
+	if got := withLabel(`x{a="b"}`, "q", "0.5"); got != `x{a="b",q="0.5"}` {
+		t.Errorf("withLabel labeled = %q", got)
+	}
+}

@@ -1,0 +1,184 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+)
+
+// StageTiming is one named, timed stage of a span.
+type StageTiming struct {
+	Name string
+	D    time.Duration
+}
+
+// TraceRecord is one finished span, kept in the tracer's ring buffer for
+// debugging slow transactions.
+type TraceRecord struct {
+	ID      string
+	Start   time.Time
+	Total   time.Duration
+	Outcome string
+	Stages  []StageTiming
+}
+
+// String renders "id total outcome [stage=dur ...]".
+func (t TraceRecord) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s %v %s", t.ID, t.Total, t.Outcome)
+	for _, st := range t.Stages {
+		fmt.Fprintf(&b, " %s=%v", st.Name, st.D)
+	}
+	return b.String()
+}
+
+// Tracer produces txn-scoped spans. Each finished span feeds one histogram
+// per stage (<prefix>_stage_ns{stage="..."}), an outcome counter
+// (<prefix>_outcome_total{outcome="..."}), a total-latency histogram
+// (<prefix>_total_ns), and an optional ring buffer of recent traces.
+type Tracer struct {
+	reg    *Registry
+	prefix string
+	total  *Histogram
+
+	mu     sync.Mutex
+	stages map[string]*Histogram // cached stage histograms
+	ring   []TraceRecord
+	next   int
+	filled bool
+}
+
+// NewTracer creates a tracer writing metrics under prefix into reg.
+// ringSize bounds the recent-trace buffer; 0 disables trace retention
+// (metrics are still recorded). reg may be nil (trace buffer only).
+func NewTracer(reg *Registry, prefix string, ringSize int) *Tracer {
+	t := &Tracer{reg: reg, prefix: prefix, stages: make(map[string]*Histogram)}
+	if reg != nil {
+		t.total = reg.Histogram(prefix + "_total_ns")
+	}
+	if ringSize > 0 {
+		t.ring = make([]TraceRecord, ringSize)
+	}
+	return t
+}
+
+func (t *Tracer) stageHist(name string) *Histogram {
+	if t == nil || t.reg == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	h := t.stages[name]
+	if h == nil {
+		h = t.reg.Histogram(withLabel(t.prefix+"_stage_ns", "stage", name))
+		t.stages[name] = h
+	}
+	return h
+}
+
+// Span measures one transaction (or any multi-stage operation). Spans are
+// not safe for concurrent use — they are scoped to the single goroutine
+// driving a transaction. All methods are nil-safe.
+type Span struct {
+	tr       *Tracer
+	id       string
+	start    time.Time
+	cur      string
+	curStart time.Time
+	stages   []StageTiming
+}
+
+// Start begins a span. A nil tracer returns a nil (no-op) span.
+func (t *Tracer) Start(id string) *Span {
+	if t == nil {
+		return nil
+	}
+	return &Span{tr: t, id: id, start: time.Now()}
+}
+
+// Stage closes the current stage (if any) and opens a new one.
+func (s *Span) Stage(name string) {
+	if s == nil {
+		return
+	}
+	now := time.Now()
+	s.closeStage(now)
+	s.cur, s.curStart = name, now
+}
+
+// closeStage records the open stage's elapsed time, ending at now.
+func (s *Span) closeStage(now time.Time) {
+	if s.cur == "" {
+		return
+	}
+	s.stages = append(s.stages, StageTiming{Name: s.cur, D: now.Sub(s.curStart)})
+	s.cur = ""
+}
+
+// Record adds an explicitly measured stage duration (for stages whose time
+// accumulates across many calls, like per-read time inside a transaction).
+func (s *Span) Record(name string, d time.Duration) {
+	if s == nil {
+		return
+	}
+	s.stages = append(s.stages, StageTiming{Name: name, D: d})
+}
+
+// End closes the span with an outcome, publishing stage histograms, the
+// outcome counter, the total histogram, and the ring-buffer record.
+func (s *Span) End(outcome string) {
+	if s == nil {
+		return
+	}
+	now := time.Now()
+	s.closeStage(now)
+	total := now.Sub(s.start)
+	t := s.tr
+	t.total.ObserveDuration(total)
+	for _, st := range s.stages {
+		t.stageHist(st.Name).ObserveDuration(st.D)
+	}
+	if t.reg != nil {
+		t.reg.Counter(withLabel(t.prefix+"_outcome_total", "outcome", outcome)).Inc()
+	}
+	if t.ring != nil {
+		rec := TraceRecord{ID: s.id, Start: s.start, Total: total, Outcome: outcome, Stages: s.stages}
+		t.mu.Lock()
+		t.ring[t.next] = rec
+		t.next++
+		if t.next == len(t.ring) {
+			t.next, t.filled = 0, true
+		}
+		t.mu.Unlock()
+	}
+}
+
+// Recent returns the retained traces, oldest first.
+func (t *Tracer) Recent() []TraceRecord {
+	if t == nil || t.ring == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var out []TraceRecord
+	if t.filled {
+		out = append(out, t.ring[t.next:]...)
+	}
+	out = append(out, t.ring[:t.next]...)
+	return out
+}
+
+// Slowest returns the n slowest retained traces, slowest first.
+func (t *Tracer) Slowest(n int) []TraceRecord {
+	recent := t.Recent()
+	for i := 1; i < len(recent); i++ { // insertion sort; ring is small
+		for j := i; j > 0 && recent[j].Total > recent[j-1].Total; j-- {
+			recent[j], recent[j-1] = recent[j-1], recent[j]
+		}
+	}
+	if n < len(recent) {
+		recent = recent[:n]
+	}
+	return recent
+}

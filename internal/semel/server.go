@@ -22,6 +22,7 @@ import (
 	"repro/internal/clock"
 	"repro/internal/cluster"
 	"repro/internal/milana"
+	"repro/internal/obs"
 	"repro/internal/storage"
 	"repro/internal/transport"
 	"repro/internal/wire"
@@ -67,11 +68,23 @@ type ServerOptions struct {
 	// writes; inconsistent replication only guarantees f+1 copies).
 	// 0 means 1 s; negative disables.
 	AntiEntropyInterval time.Duration
+	// Metrics is the server's observability registry. Nil means the
+	// server creates its own, so StatsRequest{Detailed} always has data.
+	Metrics *obs.Registry
 }
 
 // serverStats holds the replica's operation counters (see wire.StatsResponse).
 type serverStats struct {
 	gets, puts, deletes, prepares, commits, aborts, replOps atomic.Int64
+}
+
+// serverMetrics holds the replica's pre-created metric handles, so the
+// request hot path touches only atomics — no registry lookups.
+type serverMetrics struct {
+	get, multiGet, put, delete, replData *obs.Histogram
+	prepare, decision, status            *obs.Histogram
+	replAck                              *obs.Histogram
+	watermarkTs                          *obs.Gauge
 }
 
 // Server is one shard replica.
@@ -80,6 +93,8 @@ type Server struct {
 	mgr   *milana.Manager
 	wm    *clock.WatermarkTracker
 	stats serverStats
+	reg   *obs.Registry
+	om    serverMetrics
 
 	mu          sync.Mutex
 	primary     bool
@@ -104,8 +119,29 @@ func NewServer(opt ServerOptions) (*Server, error) {
 	if opt.AntiEntropyInterval == 0 {
 		opt.AntiEntropyInterval = time.Second
 	}
+	if opt.Metrics == nil {
+		opt.Metrics = obs.NewRegistry()
+	}
 	s := &Server{opt: opt, wm: clock.NewWatermarkTracker(), stopRenewal: make(chan struct{})}
+	s.reg = opt.Metrics
+	s.om = serverMetrics{
+		get:         s.reg.Histogram(`semel_serve_ns{op="get"}`),
+		multiGet:    s.reg.Histogram(`semel_serve_ns{op="multiget"}`),
+		put:         s.reg.Histogram(`semel_serve_ns{op="put"}`),
+		delete:      s.reg.Histogram(`semel_serve_ns{op="delete"}`),
+		replData:    s.reg.Histogram(`semel_serve_ns{op="replicate-data"}`),
+		prepare:     s.reg.Histogram(`semel_serve_ns{op="prepare"}`),
+		decision:    s.reg.Histogram(`semel_serve_ns{op="decision"}`),
+		status:      s.reg.Histogram(`semel_serve_ns{op="status"}`),
+		replAck:     s.reg.Histogram("semel_replication_ack_ns"),
+		watermarkTs: s.reg.Gauge("semel_watermark_ticks"),
+	}
 	s.mgr = milana.NewManager(s)
+	s.mgr.SetMetrics(s.reg)
+	// Backends that can report device/GC metrics join the same registry.
+	if ms, ok := opt.Backend.(interface{ SetMetrics(*obs.Registry) }); ok {
+		ms.SetMetrics(s.reg)
+	}
 	s.primary = opt.Primary
 	if opt.Primary && opt.LeaseDuration > 0 {
 		// A fresh primary may serve immediately; renewal keeps it alive.
@@ -120,6 +156,10 @@ func (s *Server) Addr() string { return s.opt.Addr }
 
 // Manager exposes the transaction module (tests and recovery drivers).
 func (s *Server) Manager() *milana.Manager { return s.mgr }
+
+// Metrics returns the server's observability registry (never nil), for HTTP
+// exposition or cross-layer wiring (transport bus, clock synchronizer).
+func (s *Server) Metrics() *obs.Registry { return s.reg }
 
 // IsPrimary reports the replica's current role.
 func (s *Server) IsPrimary() bool {
@@ -338,6 +378,7 @@ func (s *Server) ReplicateToBackups(ctx context.Context, msg any) error {
 	// *wait* below honours the caller's context.
 	sendCtx, cancelSends := context.WithTimeout(context.Background(), replicationSendTimeout)
 	env := wire.Replicated{Epoch: rs.Epoch, Msg: msg}
+	ackStart := time.Now()
 	acks := make(chan error, len(peers))
 	var sends sync.WaitGroup
 	for _, p := range peers {
@@ -368,13 +409,46 @@ func (s *Server) ReplicateToBackups(ctx context.Context, msg any) error {
 			return ctx.Err()
 		}
 	}
+	// Time-to-quorum is the replication lag a committing write experiences.
+	s.om.replAck.ObserveSince(ackStart)
 	return nil
 }
 
 // ---- RPC dispatch ----
 
-// Serve handles one request; it implements transport.Handler.
+// serveHist maps a request to its pre-created service-latency histogram
+// (nil for request types not worth timing individually).
+func (s *Server) serveHist(req any) *obs.Histogram {
+	switch req.(type) {
+	case wire.GetRequest:
+		return s.om.get
+	case wire.MultiGetRequest:
+		return s.om.multiGet
+	case wire.PutRequest:
+		return s.om.put
+	case wire.DeleteRequest:
+		return s.om.delete
+	case wire.ReplicateData:
+		return s.om.replData
+	case wire.PrepareRequest:
+		return s.om.prepare
+	case wire.DecisionRequest:
+		return s.om.decision
+	case wire.StatusRequest:
+		return s.om.status
+	default:
+		return nil
+	}
+}
+
+// Serve handles one request; it implements transport.Handler. Timed request
+// types feed semel_serve_ns{op=...}; the Replicated envelope recurses so the
+// inner operation is the one measured.
 func (s *Server) Serve(ctx context.Context, req any) (any, error) {
+	if h := s.serveHist(req); h != nil {
+		start := time.Now()
+		defer h.ObserveSince(start)
+	}
 	switch r := req.(type) {
 	case wire.Replicated:
 		// Fence replication from a deposed regime (§4.5 in spirit): a
@@ -451,7 +525,7 @@ func (s *Server) Serve(ctx context.Context, req any) (any, error) {
 	case wire.LeaseRequest:
 		return s.handleLease(r)
 	case wire.StatsRequest:
-		return wire.StatsResponse{
+		resp := wire.StatsResponse{
 			Addr:      s.opt.Addr,
 			Shard:     int(s.opt.Shard),
 			Primary:   s.IsPrimary(),
@@ -463,7 +537,11 @@ func (s *Server) Serve(ctx context.Context, req any) (any, error) {
 			Aborts:    s.stats.aborts.Load(),
 			ReplOps:   s.stats.replOps.Load(),
 			Watermark: s.wm.Watermark(),
-		}, nil
+		}
+		if r.Detailed {
+			resp.Obs = s.reg.Snapshot()
+		}
+		return resp, nil
 	case wire.RecoveryPullRequest:
 		return s.handleRecoveryPull(r)
 	case wire.PromoteRequest:
@@ -585,6 +663,7 @@ func (s *Server) handleWatermark(r wire.WatermarkBroadcast) (wire.Ack, error) {
 	s.wm.Report(r.Client, r.Ts)
 	if w := s.wm.Watermark(); !w.IsZero() {
 		s.opt.Backend.SetWatermark(w)
+		s.om.watermarkTs.SetMax(w.Ticks)
 	}
 	return wire.Ack{}, nil
 }

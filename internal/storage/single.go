@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/clock"
 	"repro/internal/ftl"
+	"repro/internal/obs"
 	"repro/internal/record"
 )
 
@@ -138,6 +139,9 @@ func (s *SingleVersion) SetWatermark(clock.Timestamp) {}
 
 // Flush is a no-op: writes are synchronous.
 func (s *SingleVersion) Flush() {}
+
+// SetMetrics forwards the metrics registry to the underlying FTL and device.
+func (s *SingleVersion) SetMetrics(reg *obs.Registry) { s.f.SetMetrics(reg) }
 
 // Dump streams the single retained version of each key with timestamp >
 // since.

@@ -19,7 +19,10 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Errors returned by transports.
@@ -78,11 +81,56 @@ var DataCenterLatency = LatencyModel{OneWay: 100 * time.Microsecond, Jitter: 20 
 type Bus struct {
 	latency LatencyModel
 
+	metrics atomic.Pointer[rpcMetrics]
+
 	mu       sync.RWMutex
 	handlers map[string]Handler
 	down     map[string]bool // partitioned or crashed endpoints
 	rng      *rand.Rand
 	closed   bool
+}
+
+// rpcMetrics is the Bus's observability hook: a per-message-type round-trip
+// latency histogram plus an inflight-calls gauge. Histograms are cached per
+// request type so the hot path does one map read under RLock.
+type rpcMetrics struct {
+	reg      *obs.Registry
+	inflight *obs.Gauge
+
+	mu    sync.RWMutex
+	hists map[string]*obs.Histogram
+}
+
+// SetMetrics attaches a metrics registry to the bus. Every Call then feeds
+// rpc_client_ns{type="<request type>"} and the rpc_inflight gauge. Pass nil
+// to detach.
+func (b *Bus) SetMetrics(reg *obs.Registry) {
+	if reg == nil {
+		b.metrics.Store(nil)
+		return
+	}
+	b.metrics.Store(&rpcMetrics{
+		reg:      reg,
+		inflight: reg.Gauge("rpc_inflight"),
+		hists:    make(map[string]*obs.Histogram),
+	})
+}
+
+func (m *rpcMetrics) hist(req any) *obs.Histogram {
+	t := fmt.Sprintf("%T", req)
+	m.mu.RLock()
+	h := m.hists[t]
+	m.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if h = m.hists[t]; h == nil {
+		h = m.reg.Histogram(`rpc_client_ns{type="` + t + `"}`)
+		m.hists[t] = h
+	}
+	return h
 }
 
 // NewBus creates a bus with the given latency model. A zero model means
@@ -145,6 +193,14 @@ func (b *Bus) sleep(ctx context.Context) error {
 // Call delivers req to addr's handler and returns its response, charging
 // one-way latency in each direction.
 func (b *Bus) Call(ctx context.Context, addr string, req any) (any, error) {
+	if m := b.metrics.Load(); m != nil {
+		start := time.Now()
+		m.inflight.Add(1)
+		defer func() {
+			m.inflight.Add(-1)
+			m.hist(req).ObserveSince(start)
+		}()
+	}
 	b.mu.RLock()
 	h, ok := b.handlers[addr]
 	down := b.down[addr]

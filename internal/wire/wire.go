@@ -7,6 +7,7 @@ import (
 	"fmt"
 
 	"repro/internal/clock"
+	"repro/internal/obs"
 	"repro/internal/transport"
 )
 
@@ -291,10 +292,17 @@ type RecoveryPullResponse struct {
 	LeaseExpiry clock.Timestamp
 }
 
-// StatsRequest asks a replica for its operation counters.
-type StatsRequest struct{}
+// StatsRequest asks a replica for its operation counters and, when
+// Detailed is set, its full metrics snapshot (histograms included).
+type StatsRequest struct {
+	Detailed bool
+}
 
-// StatsResponse is a replica's counter snapshot.
+// StatsResponse is a replica's counter snapshot. Obs carries the replica's
+// full obs.Registry snapshot — latency histograms, abort-reason counters,
+// device gauges — when the request asked for detail; snapshots from many
+// replicas merge client-side (obs.Snapshot.Merge) into cluster-wide
+// distributions.
 type StatsResponse struct {
 	Addr      string
 	Shard     int
@@ -307,6 +315,7 @@ type StatsResponse struct {
 	Aborts    int64
 	ReplOps   int64
 	Watermark clock.Timestamp
+	Obs       obs.Snapshot
 }
 
 // PromoteRequest tells a backup it is now the primary of its shard; it

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/clock"
+	"repro/internal/obs"
 )
 
 func TestStringers(t *testing.T) {
@@ -67,8 +68,15 @@ func TestGobRoundTrip(t *testing.T) {
 		RecoveryPullResponse{Txns: []TxnRecord{{ID: TxnID{Client: 9}}}, LeaseExpiry: ts},
 		PromoteRequest{},
 		PromoteResponse{},
-		StatsRequest{},
-		StatsResponse{Addr: "a", Primary: true, Gets: 5, Watermark: ts},
+		StatsRequest{Detailed: true},
+		StatsResponse{Addr: "a", Primary: true, Gets: 5, Watermark: ts,
+			Obs: obs.Snapshot{
+				Counters: map[string]int64{`milana_aborts_total{reason="READ_STALE"}`: 2},
+				Gauges:   map[string]int64{"semel_watermark_ticks": 99},
+				Hists: map[string]obs.HistogramSnapshot{
+					`semel_serve_ns{op="get"}`: {Count: 1, Sum: 40, Buckets: []obs.Bucket{{Idx: 4, N: 1}}},
+				},
+			}},
 	}
 	for _, msg := range msgs {
 		var buf bytes.Buffer
@@ -86,6 +94,15 @@ func TestGobRoundTrip(t *testing.T) {
 		}
 		if _, ok := out.Payload.(Ack); msg == (Ack{}) && !ok {
 			t.Fatalf("Ack decoded as %T", out.Payload)
+		}
+		if sr, ok := out.Payload.(StatsResponse); ok {
+			h, found := sr.Obs.Hists[`semel_serve_ns{op="get"}`]
+			if !found || h.Count != 1 || len(h.Buckets) != 1 || h.Buckets[0].N != 1 {
+				t.Fatalf("StatsResponse.Obs lost in transit: %+v", sr.Obs)
+			}
+			if sr.Obs.Counters[`milana_aborts_total{reason="READ_STALE"}`] != 2 {
+				t.Fatalf("StatsResponse.Obs counters lost: %+v", sr.Obs.Counters)
+			}
 		}
 	}
 }
