@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check bench
+.PHONY: all build vet test race check bench benchall
 
 all: check
 
@@ -23,5 +23,11 @@ check:
 	$(GO) vet ./...
 	$(GO) test -race ./...
 
+# bench runs the write/read-path perf scenarios and records the trajectory
+# (ops/sec + p50/p95 from the obs histograms) in BENCH_2.json.
 bench:
+	$(GO) run ./cmd/bench -out BENCH_2.json
+
+# benchall runs every go test benchmark (paper tables/figures + micro).
+benchall:
 	$(GO) test -bench=. -benchmem

@@ -71,6 +71,13 @@ type ClusterOptions struct {
 	// AntiEntropyInterval is the backup catch-up pull period
 	// (0 = 1 s, <0 = off).
 	AntiEntropyInterval time.Duration
+	// ReplBatch configures the primaries' replication batcher (group
+	// commit); the zero value batches with defaults, ReplBatch.Disabled
+	// restores one replication RPC per write.
+	ReplBatch semel.BatchOptions
+	// SerialReads disables the servers' parallel MultiGet key fan-out
+	// (benchmark baseline).
+	SerialReads bool
 	// Seed makes latency jitter and clock skew reproducible.
 	Seed int64
 }
@@ -168,6 +175,8 @@ func NewCluster(opt ClusterOptions) (*Cluster, error) {
 				LeaseDuration:       opt.LeaseDuration,
 				PreparedTimeout:     opt.PreparedTimeout,
 				AntiEntropyInterval: opt.AntiEntropyInterval,
+				ReplBatch:           opt.ReplBatch,
+				SerialReads:         opt.SerialReads,
 			})
 			if err != nil {
 				c.Close()

@@ -596,34 +596,67 @@ func (t *Txn) GetMany(ctx context.Context, keys [][]byte) (map[string][]byte, er
 		shard := t.c.dir.ShardFor(key)
 		byShard[shard] = append(byShard[shard], key)
 	}
+	if len(byShard) == 0 {
+		return out, nil
+	}
+	// Fan the per-shard RPCs out concurrently — a cross-shard timeline read
+	// costs one (slowest) round trip, not the sum — then fold the responses
+	// into the read set serially (Txn state is single-goroutine).
+	type shardFetch struct {
+		shard      cluster.ShardID
+		keys       [][]byte
+		anyReplica bool
+		resp       wire.MultiGetResponse
+		err        error
+	}
+	fetches := make([]shardFetch, 0, len(byShard))
 	for shard, shardKeys := range byShard {
-		addr, anyReplica, err := t.c.readTarget(shard)
-		if err != nil {
-			return nil, err
+		fetches = append(fetches, shardFetch{shard: shard, keys: shardKeys})
+	}
+	readStart := time.Now()
+	var wg sync.WaitGroup
+	for i := range fetches {
+		wg.Add(1)
+		go func(f *shardFetch) {
+			defer wg.Done()
+			addr, anyReplica, err := t.c.readTarget(f.shard)
+			if err != nil {
+				f.err = err
+				return
+			}
+			f.anyReplica = anyReplica
+			resp, err := t.c.net.Call(ctx, addr, wire.MultiGetRequest{Keys: f.keys, At: t.begin, AnyReplica: anyReplica})
+			if err != nil {
+				f.err = err
+				return
+			}
+			mg, ok := resp.(wire.MultiGetResponse)
+			if !ok || len(mg.Items) != len(f.keys) {
+				f.err = fmt.Errorf("milana: malformed multi-get response %T", resp)
+				return
+			}
+			f.resp = mg
+		}(&fetches[i])
+	}
+	wg.Wait()
+	if t.sp != nil {
+		t.readTime += time.Since(readStart)
+	}
+	for _, f := range fetches {
+		if f.err != nil {
+			return nil, f.err
 		}
-		readStart := time.Now()
-		resp, err := t.c.net.Call(ctx, addr, wire.MultiGetRequest{Keys: shardKeys, At: t.begin, AnyReplica: anyReplica})
-		if t.sp != nil {
-			t.readTime += time.Since(readStart)
-		}
-		if err != nil {
-			return nil, err
-		}
-		mg, ok := resp.(wire.MultiGetResponse)
-		if !ok || len(mg.Items) != len(shardKeys) {
-			return nil, fmt.Errorf("milana: malformed multi-get response %T", resp)
-		}
-		if anyReplica {
-			t.c.nearestReads.Add(int64(len(shardKeys)))
+		if f.anyReplica {
+			t.c.nearestReads.Add(int64(len(f.keys)))
 			t.nonLocal = true
 		}
-		for i, g := range mg.Items {
+		for i, g := range f.resp.Items {
 			if g.SnapshotMiss {
 				t.finish(false)
 				return nil, ErrAborted
 			}
-			k := string(shardKeys[i])
-			t.reads[k] = readInfo{val: g.Val, ver: g.Version, found: g.Found, prepared: g.PreparedAtOrBefore, shard: int(shard)}
+			k := string(f.keys[i])
+			t.reads[k] = readInfo{val: g.Val, ver: g.Version, found: g.Found, prepared: g.PreparedAtOrBefore, shard: int(f.shard)}
 			if g.Found {
 				out[k] = append([]byte(nil), g.Val...)
 			}

@@ -107,19 +107,32 @@ type Store struct {
 
 	gcMu sync.Mutex // serializes garbage collection
 
-	mu        sync.Mutex
-	unpinned  *sync.Cond
+	// mu is a reader/writer lock over the mapping table and block
+	// bookkeeping: snapshot reads on different keys only share-lock it, so
+	// concurrent gets fan out across the device's channels instead of
+	// convoying on a single mutex. Mutators (page installs, GC, pruning)
+	// take it exclusively.
+	mu        sync.RWMutex
 	mapping   map[string]*keyEntry
 	state     []int8
 	written   []int // records ever packed into the block since erase
 	live      []int // records still referenced by the mapping
-	pins      []int // in-flight reads
 	free      []int
 	fronts    []frontier
 	watermark clock.Timestamp
 	liveTotal int
 	totBytes  int64 // bytes of records ever flushed (occupancy estimation)
 	totRecs   int64
+
+	// pins counts in-flight device reads per block, under its own small
+	// lock so readers holding only mu.RLock can still pin. A reader pins
+	// while it holds the read lock; the collector decides a block is dead
+	// under the exclusive lock (no reader can be mid-lookup then, and a
+	// dead block is unreachable from the mapping, so no new pin can
+	// arrive) and then waits for the survivors to drain.
+	pinMu    sync.Mutex
+	pins     []int
+	unpinned *sync.Cond // on pinMu
 
 	puts        atomic.Int64
 	gets        atomic.Int64
@@ -192,7 +205,7 @@ func newStore(dev *flash.Device, opt Options) (*Store, error) {
 		pins:    make([]int, geo.Blocks()),
 		fronts:  make([]frontier, opt.Packers),
 	}
-	s.unpinned = sync.NewCond(&s.mu)
+	s.unpinned = sync.NewCond(&s.pinMu)
 	for i := range s.fronts {
 		s.fronts[i].block = -1
 	}
@@ -229,9 +242,9 @@ func (s *Store) write(rec record.Record) error {
 	if len(rec.Key) == 0 {
 		return ErrEmpty
 	}
-	s.mu.Lock()
+	s.mu.RLock()
 	lowPool := len(s.free) <= gcReserveBlocks
-	s.mu.Unlock()
+	s.mu.RUnlock()
 	if lowPool {
 		s.collect()
 	}
@@ -258,7 +271,7 @@ func (s *Store) write(rec record.Record) error {
 // Get returns the youngest version of key with timestamp at or before `at`
 // (§3: "return a version with timestamp ≤ t_current").
 func (s *Store) Get(key []byte, at clock.Timestamp) (val []byte, ver clock.Timestamp, found bool, err error) {
-	s.mu.Lock()
+	s.mu.RLock()
 	e := s.mapping[string(key)]
 	var v version
 	ok := false
@@ -271,21 +284,26 @@ func (s *Store) Get(key []byte, at clock.Timestamp) (val []byte, ver clock.Times
 		}
 	}
 	if !ok || v.tombstone {
-		s.mu.Unlock()
+		s.mu.RUnlock()
 		return nil, clock.Timestamp{}, false, nil
 	}
 	blk := int(v.ppn) / s.geo.PagesPerBlock
+	// Pin before dropping the read lock: the collector only frees a block
+	// while holding mu exclusively, so it cannot observe pins==0 between
+	// our lookup and this increment.
+	s.pinMu.Lock()
 	s.pins[blk]++
-	s.mu.Unlock()
+	s.pinMu.Unlock()
+	s.mu.RUnlock()
 
 	val, err = s.readVersion(key, v)
 
-	s.mu.Lock()
+	s.pinMu.Lock()
 	s.pins[blk]--
 	if s.pins[blk] == 0 {
 		s.unpinned.Broadcast()
 	}
-	s.mu.Unlock()
+	s.pinMu.Unlock()
 	if err != nil {
 		return nil, clock.Timestamp{}, false, err
 	}
@@ -301,8 +319,8 @@ func (s *Store) Latest(key []byte) (val []byte, ver clock.Timestamp, found bool,
 // LatestVersion returns the version stamp of the youngest version (including
 // tombstones) without reading the value from media.
 func (s *Store) LatestVersion(key []byte) (ver clock.Timestamp, tombstone, found bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	e := s.mapping[string(key)]
 	if e == nil || len(e.versions) == 0 {
 		return clock.Timestamp{}, false, false
@@ -335,8 +353,8 @@ func (s *Store) readVersion(key []byte, v version) ([]byte, error) {
 // VersionCount reports how many versions of key the mapping currently holds
 // (after lazy pruning); used by tests and instrumentation.
 func (s *Store) VersionCount(key []byte) int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	e := s.mapping[string(key)]
 	if e == nil {
 		return 0
@@ -357,8 +375,8 @@ func (s *Store) SetWatermark(ts clock.Timestamp) {
 
 // Watermark returns the current GC watermark.
 func (s *Store) Watermark() clock.Timestamp {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return s.watermark
 }
 
@@ -683,12 +701,16 @@ func (s *Store) relocateAndErase(victim int) bool {
 		s.mu.Unlock()
 		return false // something still lives here; leave sealed
 	}
-	for s.pins[victim] > 0 {
-		s.unpinned.Wait()
-	}
 	s.state[victim] = stateFree // reserved until erased
 	s.written[victim] = 0
 	s.mu.Unlock()
+	// No mapping entry references the victim anymore, so no new read can
+	// pin it; wait only for the readers already in flight.
+	s.pinMu.Lock()
+	for s.pins[victim] > 0 {
+		s.unpinned.Wait()
+	}
+	s.pinMu.Unlock()
 	if err := s.dev.EraseBlock(victim); err != nil {
 		return false
 	}
@@ -745,8 +767,8 @@ func (s *Store) isLive(key string, ts clock.Timestamp, ppn, off int32) bool {
 
 // FreeBlocks reports the free pool size.
 func (s *Store) FreeBlocks() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return len(s.free)
 }
 
@@ -759,7 +781,7 @@ func (s *Store) Dump(since clock.Timestamp, fn func(key []byte, ver clock.Timest
 		ts        clock.Timestamp
 		tombstone bool
 	}
-	s.mu.Lock()
+	s.mu.RLock()
 	var items []item
 	for k, e := range s.mapping {
 		for _, v := range e.versions {
@@ -768,7 +790,7 @@ func (s *Store) Dump(since clock.Timestamp, fn func(key []byte, ver clock.Timest
 			}
 		}
 	}
-	s.mu.Unlock()
+	s.mu.RUnlock()
 	for _, it := range items {
 		if it.tombstone {
 			if err := fn([]byte(it.key), it.ts, nil, true); err != nil {

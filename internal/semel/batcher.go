@@ -1,0 +1,367 @@
+package semel
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/wire"
+)
+
+// ErrServerClosed is returned for writes that were still waiting on
+// replication when the server shut down.
+var ErrServerClosed = errors.New("semel: server closed")
+
+// BatchOptions configures the primary's replication batcher: the group-commit
+// stage that coalesces per-write ReplicateData envelopes into batches before
+// fanning them out to backups. The zero value enables batching with the
+// defaults below; set Disabled to keep the one-RPC-per-write path.
+type BatchOptions struct {
+	// Disabled turns batching off: every write replicates in its own RPC,
+	// as before.
+	Disabled bool
+	// MaxOps flushes a batch when it holds this many ops. 0 means 64.
+	MaxOps int
+	// MaxBytes flushes a batch when its keys+values reach this many bytes.
+	// 0 means 256 KiB.
+	MaxBytes int
+	// Linger is how long a flush loop waits for batchmates after the first
+	// op arrives. 0 means no artificial delay: a loop drains whatever is
+	// already queued and flushes immediately — batches then form naturally
+	// whenever flushes are slower than arrivals (group commit), and an
+	// idle server keeps single-put latency untouched.
+	Linger time.Duration
+	// Workers caps how many flushes may be in flight at once. While every
+	// slot is busy the collector keeps absorbing arrivals into the next
+	// batch, so saturation grows batches instead of queueing ops — and an
+	// idle server dispatches immediately, adding no latency. 0 means 4.
+	Workers int
+}
+
+func (o BatchOptions) withDefaults() BatchOptions {
+	if o.MaxOps <= 0 {
+		o.MaxOps = 64
+	}
+	if o.MaxBytes <= 0 {
+		o.MaxBytes = 256 << 10
+	}
+	if o.Workers <= 0 {
+		o.Workers = 4
+	}
+	return o
+}
+
+// pendingOp is one enqueued write awaiting its replication quorum.
+type pendingOp struct {
+	op  wire.DataOp
+	ack chan error // buffered(1); receives exactly one result
+}
+
+// batcher is the primary's replication pipeline (group commit, §3.2 traffic).
+// Writers enqueue DataOps; Workers flush loops pull batches and fan each out
+// to the backups as a single Replicated{ReplicateData{Ops}} envelope. Acks
+// are demultiplexed per op: each writer still observes its own f-of-2f
+// quorum, so a batch is a transport optimization, not a coarser commit unit.
+type batcher struct {
+	s   *Server
+	opt BatchOptions
+
+	ch       chan pendingOp
+	sem      chan struct{} // in-flight flush slots
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+
+	// metrics
+	batchOps    *obs.Histogram // ops per flushed batch
+	flushSize   *obs.Counter   // flush reasons
+	flushBytes  *obs.Counter
+	flushLinger *obs.Counter
+	flushDrain  *obs.Counter
+}
+
+func newBatcher(s *Server, opt BatchOptions) *batcher {
+	opt = opt.withDefaults()
+	b := &batcher{
+		s:           s,
+		opt:         opt,
+		ch:          make(chan pendingOp, 4*opt.MaxOps),
+		sem:         make(chan struct{}, opt.Workers),
+		stop:        make(chan struct{}),
+		batchOps:    s.reg.Histogram("semel_repl_batch_ops"),
+		flushSize:   s.reg.Counter(`semel_repl_flush_total{reason="size"}`),
+		flushBytes:  s.reg.Counter(`semel_repl_flush_total{reason="bytes"}`),
+		flushLinger: s.reg.Counter(`semel_repl_flush_total{reason="linger"}`),
+		flushDrain:  s.reg.Counter(`semel_repl_flush_total{reason="drain"}`),
+	}
+	b.wg.Add(1)
+	go b.run()
+	return b
+}
+
+// close stops the flush loops and fails every op still queued. Writers also
+// select on b.stop, so none can block on an op enqueued after the drain.
+func (b *batcher) close() {
+	b.stopOnce.Do(func() { close(b.stop) })
+	b.wg.Wait()
+	for {
+		select {
+		case p := <-b.ch:
+			p.ack <- ErrServerClosed
+		default:
+			return
+		}
+	}
+}
+
+// replicate enqueues one op and waits for its replication outcome: nil once
+// f backups acknowledged it, an error if a quorum is unreachable. On caller
+// cancellation the op still flushes in the background (replication is
+// durability traffic; see ReplicateToBackups) — only the wait is abandoned.
+func (b *batcher) replicate(ctx context.Context, op wire.DataOp) error {
+	p := pendingOp{op: op, ack: make(chan error, 1)}
+	select {
+	case b.ch <- p:
+	case <-b.stop:
+		return ErrServerClosed
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	select {
+	case err := <-p.ack:
+		return err
+	case <-b.stop:
+		return ErrServerClosed
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// run is the collector loop: it assembles batches and dispatches each to its
+// own flush goroutine, at most Workers in flight. While every flush slot is
+// busy the current batch keeps absorbing arrivals — saturation makes batches
+// bigger rather than ops wait in line, and with free slots a batch dispatches
+// the moment fill returns.
+func (b *batcher) run() {
+	defer b.wg.Done()
+	for {
+		var first pendingOp
+		select {
+		case <-b.stop:
+			return
+		case first = <-b.ch:
+		}
+		batch := b.fill(first)
+		bytes := 0
+		for _, p := range batch {
+			bytes += opBytes(p.op)
+		}
+	acquire:
+		for {
+			if len(batch) >= b.opt.MaxOps || bytes >= b.opt.MaxBytes {
+				select {
+				case b.sem <- struct{}{}:
+					break acquire
+				case <-b.stop:
+					b.fail(batch, ErrServerClosed)
+					return
+				}
+			}
+			select {
+			case b.sem <- struct{}{}:
+				break acquire
+			case p := <-b.ch:
+				batch = append(batch, p)
+				bytes += opBytes(p.op)
+			case <-b.stop:
+				b.fail(batch, ErrServerClosed)
+				return
+			}
+		}
+		b.batchOps.Observe(int64(len(batch)))
+		b.wg.Add(1)
+		go func(batch []pendingOp) {
+			defer b.wg.Done()
+			defer func() { <-b.sem }()
+			b.flush(batch)
+		}(batch)
+	}
+}
+
+func (b *batcher) fail(batch []pendingOp, err error) {
+	for _, p := range batch {
+		p.ack <- err
+	}
+}
+
+// fill grows a batch from its first op until a flush trigger fires: MaxOps,
+// MaxBytes, the linger timer, or (with no linger) the queue running dry.
+func (b *batcher) fill(first pendingOp) []pendingOp {
+	batch := []pendingOp{first}
+	bytes := opBytes(first.op)
+	var lingerC <-chan time.Time
+	if b.opt.Linger > 0 {
+		t := time.NewTimer(b.opt.Linger)
+		defer t.Stop()
+		lingerC = t.C
+	}
+	for len(batch) < b.opt.MaxOps && bytes < b.opt.MaxBytes {
+		if lingerC != nil {
+			select {
+			case p := <-b.ch:
+				batch = append(batch, p)
+				bytes += opBytes(p.op)
+			case <-lingerC:
+				b.flushLinger.Inc()
+				return batch
+			case <-b.stop:
+				b.flushDrain.Inc()
+				return batch
+			}
+		} else {
+			select {
+			case p := <-b.ch:
+				batch = append(batch, p)
+				bytes += opBytes(p.op)
+			default:
+				b.flushDrain.Inc()
+				return batch
+			}
+		}
+	}
+	if len(batch) >= b.opt.MaxOps {
+		b.flushSize.Inc()
+	} else {
+		b.flushBytes.Inc()
+	}
+	return batch
+}
+
+func opBytes(op wire.DataOp) int {
+	return len(op.Key) + len(op.Val)
+}
+
+// peerResult is one backup's response to a batched ReplicateData.
+type peerResult struct {
+	errs []string // per-op errors from a BatchAck; nil = all applied
+	err  error    // call-level failure: every op failed at this peer
+}
+
+// flush sends one coalesced ReplicateData to every backup and demultiplexes
+// the acknowledgements per op: op i resolves success once f peers applied
+// it, failure once so many peers rejected it that f successes are
+// impossible. A batch is all-or-nothing on the wire but not in outcome —
+// each writer sees exactly its own op's quorum.
+func (b *batcher) flush(batch []pendingOp) {
+	s := b.s
+	rs, err := s.opt.Dir.Shard(s.opt.Shard)
+	if err != nil {
+		for _, p := range batch {
+			p.ack <- err
+		}
+		return
+	}
+	var peers []string
+	for _, a := range rs.Replicas() {
+		if a != s.opt.Addr {
+			peers = append(peers, a)
+		}
+	}
+	need := rs.F()
+	if need > len(peers) {
+		need = len(peers)
+	}
+	if need == 0 {
+		for _, p := range batch {
+			p.ack <- nil
+		}
+		return
+	}
+	ops := make([]wire.DataOp, len(batch))
+	for i, p := range batch {
+		ops[i] = p.op
+	}
+	env := wire.Replicated{Epoch: rs.Epoch, Msg: wire.ReplicateData{Ops: ops}}
+	// Sends must outlive any caller: they are durability traffic (see
+	// ReplicateToBackups). The flush loop itself only waits until every op
+	// is resolved, then hands the stragglers to a drain goroutine.
+	sendCtx, cancelSends := context.WithTimeout(context.Background(), replicationSendTimeout)
+	ackStart := time.Now()
+	results := make(chan peerResult, len(peers))
+	for _, p := range peers {
+		go func(p string) {
+			resp, err := s.opt.Net.Call(sendCtx, p, env)
+			if err != nil {
+				results <- peerResult{err: err}
+				return
+			}
+			if ba, ok := resp.(wire.BatchAck); ok {
+				if ba.Errs != nil && len(ba.Errs) != len(ops) {
+					// Malformed ack: treat the whole peer as failed.
+					results <- peerResult{err: fmt.Errorf("semel: short batch ack (%d/%d)", len(ba.Errs), len(ops))}
+					return
+				}
+				results <- peerResult{errs: ba.Errs}
+				return
+			}
+			// Plain Ack (or anything else without per-op detail): all applied.
+			results <- peerResult{}
+		}(p)
+	}
+	succ := make([]int, len(batch))
+	fail := make([]int, len(batch))
+	firstErr := make([]string, len(batch))
+	resolved := make([]bool, len(batch))
+	unresolved := len(batch)
+	replied := 0
+	for unresolved > 0 && replied < len(peers) {
+		r := <-results
+		replied++
+		for i := range batch {
+			if resolved[i] {
+				continue
+			}
+			opErr := ""
+			if r.err != nil {
+				opErr = r.err.Error()
+			} else if r.errs != nil && r.errs[i] != "" {
+				opErr = r.errs[i]
+			}
+			if opErr == "" {
+				succ[i]++
+				if succ[i] >= need {
+					resolved[i] = true
+					unresolved--
+					batch[i].ack <- nil
+				}
+				continue
+			}
+			fail[i]++
+			if firstErr[i] == "" {
+				firstErr[i] = opErr
+			}
+			if fail[i] > len(peers)-need {
+				resolved[i] = true
+				unresolved--
+				batch[i].ack <- fmt.Errorf("semel: replication quorum lost (%d/%d failed): %s", fail[i], len(peers), firstErr[i])
+			}
+		}
+	}
+	s.om.replAck.ObserveSince(ackStart)
+	if replied < len(peers) {
+		// Let the remaining sends finish in the background, then release
+		// their context.
+		remaining := len(peers) - replied
+		go func() {
+			for i := 0; i < remaining; i++ {
+				<-results
+			}
+			cancelSends()
+		}()
+	} else {
+		cancelSends()
+	}
+}

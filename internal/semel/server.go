@@ -71,6 +71,14 @@ type ServerOptions struct {
 	// Metrics is the server's observability registry. Nil means the
 	// server creates its own, so StatsRequest{Detailed} always has data.
 	Metrics *obs.Registry
+	// ReplBatch configures the primary's replication batcher (group
+	// commit). The zero value enables batching with defaults; set
+	// ReplBatch.Disabled for the one-RPC-per-write path.
+	ReplBatch BatchOptions
+	// SerialReads disables the parallel MultiGet key fan-out, reading
+	// keys one after another instead (the pre-pipelining behaviour;
+	// kept as a baseline for benchmarks).
+	SerialReads bool
 }
 
 // serverStats holds the replica's operation counters (see wire.StatsResponse).
@@ -95,6 +103,7 @@ type Server struct {
 	stats serverStats
 	reg   *obs.Registry
 	om    serverMetrics
+	repl  *batcher // nil when ReplBatch.Disabled
 
 	mu          sync.Mutex
 	primary     bool
@@ -142,6 +151,9 @@ func NewServer(opt ServerOptions) (*Server, error) {
 	if ms, ok := opt.Backend.(interface{ SetMetrics(*obs.Registry) }); ok {
 		ms.SetMetrics(s.reg)
 	}
+	if !opt.ReplBatch.Disabled {
+		s.repl = newBatcher(s, opt.ReplBatch)
+	}
 	s.primary = opt.Primary
 	if opt.Primary && opt.LeaseDuration > 0 {
 		// A fresh primary may serve immediately; renewal keeps it alive.
@@ -178,6 +190,9 @@ func (s *Server) Close() {
 	s.closed = true
 	close(s.stopRenewal)
 	s.mu.Unlock()
+	if s.repl != nil {
+		s.repl.close()
+	}
 	s.wg.Wait()
 }
 
@@ -465,15 +480,7 @@ func (s *Server) Serve(ctx context.Context, req any) (any, error) {
 		return s.handleGet(r)
 	case wire.MultiGetRequest:
 		s.stats.gets.Add(int64(len(r.Keys)))
-		resp := wire.MultiGetResponse{Items: make([]wire.GetResponse, len(r.Keys))}
-		for i, key := range r.Keys {
-			item, err := s.handleGet(wire.GetRequest{Key: key, At: r.At, AnyReplica: r.AnyReplica})
-			if err != nil {
-				return nil, err
-			}
-			resp.Items[i] = item
-		}
-		return resp, nil
+		return s.handleMultiGet(r)
 	case wire.PutRequest:
 		s.stats.puts.Add(1)
 		return s.handlePut(ctx, r)
@@ -599,6 +606,39 @@ func (s *Server) handleGet(r wire.GetRequest) (wire.GetResponse, error) {
 	return wire.GetResponse{Val: val, Version: ver, Found: found, PreparedAtOrBefore: prepared}, nil
 }
 
+// handleMultiGet fans a snapshot read out across its keys concurrently, so
+// independent keys exercise the flash emulator's channels in parallel
+// instead of convoying behind one another's page reads.
+func (s *Server) handleMultiGet(r wire.MultiGetRequest) (wire.MultiGetResponse, error) {
+	resp := wire.MultiGetResponse{Items: make([]wire.GetResponse, len(r.Keys))}
+	if len(r.Keys) <= 1 || s.opt.SerialReads {
+		for i, key := range r.Keys {
+			item, err := s.handleGet(wire.GetRequest{Key: key, At: r.At, AnyReplica: r.AnyReplica})
+			if err != nil {
+				return wire.MultiGetResponse{}, err
+			}
+			resp.Items[i] = item
+		}
+		return resp, nil
+	}
+	errs := make([]error, len(r.Keys))
+	var wg sync.WaitGroup
+	for i, key := range r.Keys {
+		wg.Add(1)
+		go func(i int, key []byte) {
+			defer wg.Done()
+			resp.Items[i], errs[i] = s.handleGet(wire.GetRequest{Key: key, At: r.At, AnyReplica: r.AnyReplica})
+		}(i, key)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return wire.MultiGetResponse{}, err
+		}
+	}
+	return resp, nil
+}
+
 // handlePut is the linearizable single-key write of §3.3: writes with
 // timestamps at or below the current version are rejected (at-most-once),
 // except that an exact duplicate of the current version is acknowledged as
@@ -633,7 +673,15 @@ func (s *Server) writeVersion(ctx context.Context, key, val []byte, ver clock.Ti
 		return wire.PutResponse{}, err
 	}
 	op := wire.DataOp{Key: key, Val: val, Version: ver, Tombstone: tombstone}
-	if err := s.ReplicateToBackups(ctx, wire.ReplicateData{Ops: []wire.DataOp{op}}); err != nil {
+	if s.repl != nil {
+		// Batched path: enqueue and wait for this op's own quorum. The
+		// batcher coalesces concurrent writes into one ReplicateData
+		// envelope per flush (group commit), amortizing the RPC fan-out.
+		err = s.repl.replicate(ctx, op)
+	} else {
+		err = s.ReplicateToBackups(ctx, wire.ReplicateData{Ops: []wire.DataOp{op}})
+	}
+	if err != nil {
 		return wire.PutResponse{}, err
 	}
 	s.mgr.OnCommittedWrite(key, ver)
@@ -641,20 +689,59 @@ func (s *Server) writeVersion(ctx context.Context, key, val []byte, ver clock.Ti
 }
 
 // handleReplicateData applies replicated writes on a backup — in any order,
-// because ordering is explicit in the version stamps (§3.2).
-func (s *Server) handleReplicateData(r wire.ReplicateData) (wire.Ack, error) {
-	for _, op := range r.Ops {
-		var err error
+// because ordering is explicit in the version stamps (§3.2). Batches apply
+// concurrently across keys (the backends stripe their metadata locks, so
+// distinct keys really do proceed in parallel and exercise independent flash
+// channels) and answer with a per-op BatchAck so the primary's batcher can
+// demultiplex quorums: one rejected op must not fail its batchmates.
+func (s *Server) handleReplicateData(r wire.ReplicateData) (any, error) {
+	apply := func(op wire.DataOp) error {
 		if op.Tombstone {
-			err = s.opt.Backend.Delete(op.Key, op.Version)
-		} else {
-			err = s.opt.Backend.Put(op.Key, op.Val, op.Version)
+			return s.opt.Backend.Delete(op.Key, op.Version)
 		}
-		if err != nil {
-			return wire.Ack{}, err
+		return s.opt.Backend.Put(op.Key, op.Val, op.Version)
+	}
+	if len(r.Ops) <= 1 {
+		// Single-op (legacy / unbatched) path keeps Ack-or-error
+		// semantics, which ReplicateToBackups counts as a whole.
+		for _, op := range r.Ops {
+			if err := apply(op); err != nil {
+				return nil, err
+			}
+		}
+		return wire.Ack{}, nil
+	}
+	errs := make([]string, len(r.Ops))
+	var wg sync.WaitGroup
+	for i, op := range r.Ops {
+		wg.Add(1)
+		go func(i int, op wire.DataOp) {
+			defer wg.Done()
+			if err := apply(op); err != nil {
+				errs[i] = err.Error()
+			}
+		}(i, op)
+	}
+	wg.Wait()
+	nerr, first := 0, ""
+	for _, e := range errs {
+		if e != "" {
+			nerr++
+			if first == "" {
+				first = e
+			}
 		}
 	}
-	return wire.Ack{}, nil
+	switch {
+	case nerr == len(r.Ops):
+		// Nothing applied: a call-level error, so senders without per-op
+		// demux (the generic quorum counter) still count this peer failed.
+		return nil, errors.New(first)
+	case nerr == 0:
+		return wire.BatchAck{}, nil
+	default:
+		return wire.BatchAck{Errs: errs}, nil
+	}
 }
 
 // handleWatermark folds a client's decided-timestamp report into the local

@@ -1,0 +1,121 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/clock"
+	"repro/internal/flash"
+	"repro/internal/ftl"
+)
+
+// TestSingleVersionConcurrentStress hammers the striped metadata maps with
+// mixed put/get/delete traffic from many goroutines (run under -race by
+// `make check`). Concurrent same-key writers serialize on the in-flight
+// marker; afterwards every key must hold its highest-timestamped value both
+// in metadata and on media.
+func TestSingleVersionConcurrentStress(t *testing.T) {
+	geo := flash.Geometry{Channels: 4, BlocksPerChannel: 48, PagesPerBlock: 8, PageSize: 256}
+	dev, err := flash.NewDevice(flash.Options{Geometry: geo, Sleeper: flash.NopSleeper{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := ftl.New(dev, ftl.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSingleVersion(f)
+
+	const workers = 8
+	const iters = 150
+	const keys = 16
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 1; i <= iters; i++ {
+				k := []byte(fmt.Sprintf("key-%d", (w+i)%keys))
+				v := clock.Timestamp{Ticks: int64(i), Client: uint32(w)}
+				if err := s.Put(k, []byte(fmt.Sprintf("w%d-i%d", w, i)), v); err != nil {
+					t.Errorf("put: %v", err)
+					return
+				}
+				// Concurrent reads race overwrites; the only acceptable
+				// error is the single-version snapshot-gone signal.
+				if _, _, _, err := s.Latest(k); err != nil && !errors.Is(err, ErrSnapshotUnavailable) {
+					t.Errorf("latest: %v", err)
+					return
+				}
+				s.LatestVersion(k)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+
+	// Quiesced: metadata and media must agree, and each key must hold the
+	// version-order winner (ticks=iters, highest client ID to write it).
+	for i := 0; i < keys; i++ {
+		k := []byte(fmt.Sprintf("key-%d", i))
+		wantTs, _, found := s.LatestVersion(k)
+		if !found {
+			t.Fatalf("%s: vanished after stress", k)
+		}
+		val, ver, found, err := s.Latest(k)
+		if err != nil || !found {
+			t.Fatalf("%s: latest after stress: %v %v", k, found, err)
+		}
+		if ver != wantTs {
+			t.Fatalf("%s: media version %v != metadata version %v", k, ver, wantTs)
+		}
+		want := fmt.Sprintf("w%d-i%d", wantTs.Client, wantTs.Ticks)
+		if string(val) != want {
+			t.Fatalf("%s: value %q does not match winning version %v", k, val, wantTs)
+		}
+	}
+}
+
+// TestSingleVersionSameKeyWriteOrdering drives many concurrent writers at
+// ONE key: without per-key write serialization two programs could land on
+// media out of version order, leaving a stale record under newer metadata.
+func TestSingleVersionSameKeyWriteOrdering(t *testing.T) {
+	geo := flash.Geometry{Channels: 4, BlocksPerChannel: 24, PagesPerBlock: 8, PageSize: 256}
+	dev, _ := flash.NewDevice(flash.Options{Geometry: geo, Sleeper: flash.NopSleeper{}})
+	f, _ := ftl.New(dev, ftl.Options{})
+	s := NewSingleVersion(f)
+
+	key := []byte("contended")
+	const writers = 16
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 1; i <= 50; i++ {
+				v := clock.Timestamp{Ticks: int64(i), Client: uint32(w)}
+				if err := s.Put(key, []byte(fmt.Sprintf("w%d-i%d", w, i)), v); err != nil {
+					t.Errorf("put: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	wantTs, _, _ := s.LatestVersion(key)
+	val, ver, found, err := s.Latest(key)
+	if err != nil || !found || ver != wantTs {
+		t.Fatalf("latest = %v %v %v, want version %v", ver, found, err, wantTs)
+	}
+	want := fmt.Sprintf("w%d-i%d", wantTs.Client, wantTs.Ticks)
+	if string(val) != want {
+		t.Fatalf("media holds %q, metadata says %v: out-of-order program", val, wantTs)
+	}
+}

@@ -24,10 +24,25 @@ type wireResponse struct {
 	Err     string
 }
 
+// DefaultMaxInflight is the default bound on concurrently executing
+// requests per TCPServer.
+const DefaultMaxInflight = 1024
+
+// TCPServerOptions tunes a TCPServer.
+type TCPServerOptions struct {
+	// MaxInflight bounds concurrently executing requests across all
+	// connections: beyond it, a connection's decode loop stops pulling
+	// requests until a handler finishes, so a flood of pipelined requests
+	// exerts backpressure instead of spawning an unbounded goroutine per
+	// request. 0 means DefaultMaxInflight; negative means unlimited.
+	MaxInflight int
+}
+
 // TCPServer serves a Handler over a TCP listener.
 type TCPServer struct {
-	h  Handler
-	ln net.Listener
+	h   Handler
+	ln  net.Listener
+	sem chan struct{} // nil = unlimited
 
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{}
@@ -36,13 +51,24 @@ type TCPServer struct {
 }
 
 // NewTCPServer starts serving h on addr ("host:port"; ":0" picks a free
-// port). Use Addr to discover the bound address.
+// port) with default options. Use Addr to discover the bound address.
 func NewTCPServer(addr string, h Handler) (*TCPServer, error) {
+	return NewTCPServerOpts(addr, h, TCPServerOptions{})
+}
+
+// NewTCPServerOpts starts serving h on addr with explicit options.
+func NewTCPServerOpts(addr string, h Handler, opt TCPServerOptions) (*TCPServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
 	s := &TCPServer{h: h, ln: ln, conns: make(map[net.Conn]struct{})}
+	if opt.MaxInflight == 0 {
+		opt.MaxInflight = DefaultMaxInflight
+	}
+	if opt.MaxInflight > 0 {
+		s.sem = make(chan struct{}, opt.MaxInflight)
+	}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
@@ -107,9 +133,18 @@ func (s *TCPServer) serveConn(conn net.Conn) {
 		if err := dec.Decode(&req); err != nil {
 			return
 		}
+		if s.sem != nil {
+			// Acquire the worker slot in the decode loop: when the server
+			// is saturated this connection stops reading, and TCP flow
+			// control pushes the backlog back to the clients.
+			s.sem <- struct{}{}
+		}
 		handlers.Add(1)
 		go func(req wireRequest) {
 			defer handlers.Done()
+			if s.sem != nil {
+				defer func() { <-s.sem }()
+			}
 			resp := wireResponse{ID: req.ID}
 			payload, err := s.h.Serve(context.Background(), req.Payload)
 			if err != nil {

@@ -7,6 +7,7 @@ import (
 	"math/rand"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -297,5 +298,59 @@ func TestTCPClientRedialsAfterServerRestart(t *testing.T) {
 			t.Fatalf("client never reconnected: %v", err)
 		}
 		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestTCPServerMaxInflight floods a limited server with pipelined requests
+// and verifies the handler-concurrency ceiling holds: excess requests wait
+// in the decode loop instead of each spawning a goroutine.
+func TestTCPServerMaxInflight(t *testing.T) {
+	const limit = 2
+	var inflight, peak atomic.Int64
+	release := make(chan struct{})
+	blocking := HandlerFunc(func(ctx context.Context, req any) (any, error) {
+		cur := inflight.Add(1)
+		for {
+			old := peak.Load()
+			if cur <= old || peak.CompareAndSwap(old, cur) {
+				break
+			}
+		}
+		<-release
+		inflight.Add(-1)
+		return req, nil
+	})
+	srv, err := NewTCPServerOpts("127.0.0.1:0", blocking, TCPServerOptions{MaxInflight: limit})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cli := NewTCPClient()
+	defer cli.Close()
+
+	const calls = 6
+	var wg sync.WaitGroup
+	errs := make([]error, calls)
+	for i := 0; i < calls; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = cli.Call(context.Background(), srv.Addr(), echoReq{Msg: "x"})
+		}(i)
+	}
+	// Give the flood time to reach the server, then let everything finish.
+	time.Sleep(200 * time.Millisecond)
+	close(release)
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("call %d: %v", i, err)
+		}
+	}
+	if p := peak.Load(); p > limit {
+		t.Fatalf("handler concurrency peaked at %d, limit %d", p, limit)
+	}
+	if p := peak.Load(); p != limit {
+		t.Fatalf("expected the flood to saturate the limit (%d), peaked at %d", limit, p)
 	}
 }

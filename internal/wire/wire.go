@@ -106,6 +106,15 @@ type Replicated struct {
 // Ack is the empty success response.
 type Ack struct{}
 
+// BatchAck is a backup's per-op response to a batched ReplicateData: Errs[i]
+// is the error string for Ops[i], or "" if that op applied cleanly. A nil
+// Errs slice means every op applied. Per-op granularity lets the primary's
+// replication batcher demultiplex acknowledgements, so one rejected op does
+// not fail its batchmates.
+type BatchAck struct {
+	Errs []string
+}
+
 // ---- watermarks (§3.1, §4.4) ----
 
 // WatermarkBroadcast reports a client's latest decided timestamp.
@@ -330,7 +339,7 @@ func init() {
 		GetRequest{}, GetResponse{}, MultiGetRequest{}, MultiGetResponse{},
 		Replicated{},
 		PutRequest{}, PutResponse{},
-		DeleteRequest{}, DeleteResponse{}, ReplicateData{}, Ack{},
+		DeleteRequest{}, DeleteResponse{}, ReplicateData{}, Ack{}, BatchAck{},
 		WatermarkBroadcast{}, PrepareRequest{}, PrepareResponse{},
 		DecisionRequest{}, DecisionResponse{}, StatusRequest{}, StatusResponse{},
 		ReplicatePrepare{}, ReplicateDecision{}, LeaseRequest{}, LeaseResponse{},
