@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check bench benchall
+.PHONY: all build vet test race check cover bench benchall
 
 all: check
 
@@ -16,12 +16,25 @@ test:
 race:
 	$(GO) test -race ./...
 
-# check is the PR verify gate: everything must build, vet clean, and pass
-# the full test suite under the race detector.
+# cover enforces a statement-coverage floor on the observability and wire
+# layers — the packages whose regressions (an unparseable /metrics line, a
+# field dropped from a gob envelope) otherwise slip through unexercised.
+COVER_PKGS = ./internal/obs ./internal/wire
+COVER_MIN  = 70
+cover:
+	$(GO) test -coverprofile=cover.out $(COVER_PKGS)
+	@total=$$($(GO) tool cover -func=cover.out | awk '/^total:/ {sub(/%/,"",$$3); print $$3}'); \
+	echo "coverage: $$total% (floor $(COVER_MIN)%)"; \
+	awk -v t="$$total" -v min=$(COVER_MIN) 'BEGIN { exit (t+0 < min) ? 1 : 0 }' || \
+		{ echo "coverage $$total% below floor $(COVER_MIN)%"; exit 1; }
+
+# check is the PR verify gate: everything must build, vet clean, pass the
+# full test suite under the race detector, and hold the coverage floor.
 check:
 	$(GO) build ./...
 	$(GO) vet ./...
 	$(GO) test -race ./...
+	$(MAKE) cover
 
 # bench runs the write/read-path perf scenarios and records the trajectory
 # (ops/sec + p50/p95 from the obs histograms) in BENCH_2.json.

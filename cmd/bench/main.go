@@ -32,6 +32,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -69,7 +70,22 @@ func main() {
 	out := flag.String("out", "BENCH_2.json", "output JSON path")
 	dur := flag.Duration("dur", 3*time.Second, "measured duration per scenario")
 	conc := flag.Int("conc", 64, "concurrent clients (>= 8 for the acceptance numbers)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile covering every scenario to this file (go tool pprof)")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			_ = f.Close()
+		}()
+	}
 
 	rep := report{
 		Generated:   time.Now().UTC().Format(time.RFC3339),

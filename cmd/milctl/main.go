@@ -31,14 +31,15 @@ import (
 
 func main() {
 	var (
-		shards  = flag.String("shards", ":7001", "';'-separated shards, each a ','-separated replica list (primary first)")
-		timeout = flag.Duration("timeout", 5*time.Second, "per-command timeout")
-		id      = flag.Uint("id", 1, "client id (must be unique per concurrent client)")
+		shards   = flag.String("shards", ":7001", "';'-separated shards, each a ','-separated replica list (primary first)")
+		timeout  = flag.Duration("timeout", 5*time.Second, "per-command timeout")
+		id       = flag.Uint("id", 1, "client id (must be unique per concurrent client)")
+		traceTxn = flag.Bool("trace", false, "with txn: propagate a trace context and print the stitched cross-node timeline")
 	)
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
-		fmt.Fprintln(os.Stderr, "usage: milctl [flags] get|put|del|txn|stats ...")
+		fmt.Fprintln(os.Stderr, "usage: milctl [flags] get|put|del|txn|stats|trace|timehealth ...")
 		os.Exit(2)
 	}
 
@@ -87,6 +88,9 @@ func main() {
 		// the cooperative-termination sweep resolves it (and blocking
 		// conflicting writers in the meantime).
 		cl.SyncDecisions = true
+		if *traceTxn {
+			cl.EnableTracing(0)
+		}
 		err := cl.RunTransaction(ctx, func(t *milana.Txn) error {
 			ops := args[1:]
 			for len(ops) > 0 {
@@ -121,6 +125,49 @@ func main() {
 		})
 		exitOn(err)
 		fmt.Println("committed")
+		if *traceTxn {
+			spans := cl.Spans().Recent()
+			if len(spans) == 0 {
+				fmt.Println("(no trace recorded)")
+				return
+			}
+			tid := spans[len(spans)-1].TraceID
+			fmt.Printf("trace id %016x (also: milctl trace %016x)\n", tid, tid)
+			printStitchedTrace(ctx, net, dir, tid, cl.Spans(), cl.Clock())
+		}
+	case "trace":
+		requireArgs(args, 2)
+		tid, err := parseTraceID(args[1])
+		exitOn(err)
+		printStitchedTrace(ctx, net, dir, tid, nil, nil)
+	case "timehealth":
+		fmt.Printf("%-20s %-7s %12s %12s %12s %12s %14s\n",
+			"replica", "role", "offset", "residual", "drift", "uncertainty", "watermark lag")
+		for i := 0; i < dir.NumShards(); i++ {
+			rs, err := dir.Shard(cluster.ShardID(i))
+			exitOn(err)
+			for _, addr := range rs.Replicas() {
+				resp, err := net.Call(ctx, addr, wire.TimeHealthRequest{})
+				if err != nil {
+					fmt.Printf("%-20s unreachable: %v\n", addr, err)
+					continue
+				}
+				th, ok := resp.(wire.TimeHealthResponse)
+				if !ok {
+					fmt.Printf("%-20s error: unexpected reply %T\n", addr, resp)
+					continue
+				}
+				role := "backup"
+				if th.Primary {
+					role = "primary"
+				}
+				fmt.Printf("%-20s %-7s %12v %12v %12v %12v %14v\n",
+					th.Addr, role,
+					time.Duration(th.Clock.OffsetNs), time.Duration(th.Clock.ResidualNs),
+					time.Duration(th.Clock.DriftNs), time.Duration(th.Clock.UncertaintyNs),
+					time.Duration(th.WatermarkLagNs))
+			}
+		}
 	case "stats":
 		var merged obs.Snapshot
 		for i := 0; i < dir.NumShards(); i++ {
@@ -157,6 +204,60 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown command %q\n", args[0])
 		os.Exit(2)
 	}
+}
+
+// parseTraceID accepts either a transaction ID in "client.seq" form (the IDs
+// printed in server logs and abort errors) or a raw hex trace ID.
+func parseTraceID(s string) (uint64, error) {
+	if c, seq, ok := strings.Cut(s, "."); ok {
+		var id wire.TxnID
+		if _, err := fmt.Sscanf(c, "%d", &id.Client); err != nil {
+			return 0, fmt.Errorf("bad txn id %q: %v", s, err)
+		}
+		if _, err := fmt.Sscanf(seq, "%d", &id.Seq); err != nil {
+			return 0, fmt.Errorf("bad txn id %q: %v", s, err)
+		}
+		return id.TraceID(), nil
+	}
+	var tid uint64
+	if _, err := fmt.Sscanf(s, "%x", &tid); err != nil {
+		return 0, fmt.Errorf("bad trace id %q (want hex id or client.seq): %v", s, err)
+	}
+	return tid, nil
+}
+
+// printStitchedTrace pulls the trace's spans and clock-health estimates from
+// every replica of every shard (plus the local client store, when given),
+// aligns them by each node's estimated clock offset, and renders one
+// timeline with residual-uncertainty annotations.
+func printStitchedTrace(ctx context.Context, net transport.Client, dir *cluster.Directory, tid uint64, local *obs.SpanStore, localClk clock.Clock) {
+	col := obs.NewCollector()
+	if local != nil {
+		col.AddSpans(local.ForTrace(tid))
+		if hr, ok := localClk.(clock.HealthReporter); ok {
+			h := hr.Health()
+			col.SetNodeClock(obs.NodeClock{Node: local.Node(), OffsetNs: h.OffsetNs, UncertaintyNs: h.UncertaintyNs})
+		}
+	}
+	for i := 0; i < dir.NumShards(); i++ {
+		rs, err := dir.Shard(cluster.ShardID(i))
+		exitOn(err)
+		for _, addr := range rs.Replicas() {
+			resp, err := net.Call(ctx, addr, wire.TraceRequest{TraceID: tid})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "%s unreachable: %v\n", addr, err)
+				continue
+			}
+			tr, ok := resp.(wire.TraceResponse)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "%s: unexpected reply %T\n", addr, resp)
+				continue
+			}
+			col.AddSpans(tr.Spans)
+			col.SetNodeClock(obs.NodeClock{Node: tr.Addr, OffsetNs: tr.Clock.OffsetNs, UncertaintyNs: tr.Clock.UncertaintyNs})
+		}
+	}
+	fmt.Print(col.Assemble(tid).Render())
 }
 
 // labelValue extracts the first label value from a metric name:

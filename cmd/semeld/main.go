@@ -13,10 +13,12 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -39,7 +41,9 @@ func main() {
 		peers   = flag.String("peers", "", "comma-separated replica addresses of this shard, primary first")
 		shards  = flag.String("shards", "", "full shard map: ';'-separated shards, each a ','-separated address list")
 		backend = flag.String("backend", core.BackendDRAM, "storage backend: dram|mftl|vftl|sftl")
-		metrics = flag.String("metrics", "", "address for the HTTP metrics endpoint (/metrics, /metrics.json); empty disables")
+		metrics = flag.String("metrics", "", "address for the HTTP debug endpoint (/metrics, /metrics.json, /debug/timehealth, /debug/pprof/); empty disables")
+		slowlog = flag.Duration("slowlog", 0, "log one structured line for any RPC slower than this (0 disables)")
+		skewWin = flag.Duration("skew-window", 0, "validation-abort margins within this window count as skew-induced in abort provenance (0 = all conflict)")
 	)
 	flag.Parse()
 
@@ -79,13 +83,15 @@ func main() {
 	addr := replicas[*replica]
 
 	srv, err := semel.NewServer(semel.ServerOptions{
-		Addr:    addr,
-		Shard:   cluster.ShardID(*shard),
-		Primary: *replica == 0,
-		Backend: be,
-		Net:     transport.NewTCPClient(),
-		Dir:     dir,
-		Clock:   clock.NewPerfect(clock.NewSystemSource(), uint32(1<<20+*shard*100+*replica)),
+		Addr:                 addr,
+		Shard:                cluster.ShardID(*shard),
+		Primary:              *replica == 0,
+		Backend:              be,
+		Net:                  transport.NewTCPClient(),
+		Dir:                  dir,
+		Clock:                clock.NewPerfect(clock.NewSystemSource(), uint32(1<<20+*shard*100+*replica)),
+		SlowRequestThreshold: *slowlog,
+		SkewWindow:           *skewWin,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -95,12 +101,25 @@ func main() {
 		log.Fatal(err)
 	}
 	if *metrics != "" {
+		mux := http.NewServeMux()
+		mux.Handle("/", obs.Handler(srv.Metrics()))
+		mux.HandleFunc("/debug/timehealth", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			_ = enc.Encode(srv.TimeHealth())
+		})
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 		go func() {
-			if err := http.ListenAndServe(*metrics, obs.Handler(srv.Metrics())); err != nil {
+			if err := http.ListenAndServe(*metrics, mux); err != nil {
 				log.Printf("semeld: metrics endpoint: %v", err)
 			}
 		}()
-		fmt.Printf("semeld: metrics on http://%s/metrics\n", *metrics)
+		fmt.Printf("semeld: metrics on http://%s/metrics (also /debug/timehealth, /debug/pprof/)\n", *metrics)
 	}
 	fmt.Printf("semeld: shard %d replica %d (%s) serving on %s, backend %s\n",
 		*shard, *replica, map[bool]string{true: "primary", false: "backup"}[*replica == 0], tcp.Addr(), *backend)

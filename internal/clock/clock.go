@@ -18,6 +18,35 @@ type Clock interface {
 	Client() uint32
 }
 
+// Health is a clock's self-reported synchronization state, in the role of a
+// sync daemon's status output (ptpd/chronyd "tracking" data). OffsetNs is the
+// estimated current offset from true time; the Collector subtracts it to
+// align cross-node spans. UncertaintyNs bounds how wrong that estimate can
+// be — the residual the last sync round could not remove plus the drift
+// accrued since — and is what trace edges report as their error bar. In
+// emulation the offset is exact (the emulator *is* the oracle), so the
+// uncertainty, which scales with the sync profile, is what makes an NTP
+// trace visibly looser than a DTP trace.
+type Health struct {
+	// OffsetNs is the estimated offset from true time right now, in ns
+	// (positive = this clock leads).
+	OffsetNs int64
+	// ResidualNs is the offset left behind by the last sync round.
+	ResidualNs int64
+	// DriftNs is the drift accrued since the last sync round.
+	DriftNs int64
+	// SinceSyncNs is the time elapsed since the last sync round.
+	SinceSyncNs int64
+	// UncertaintyNs = |ResidualNs| + |DriftNs|: the error bound on any
+	// timestamp this clock produced since its last sync.
+	UncertaintyNs int64
+}
+
+// HealthReporter is implemented by clocks that can report their sync state.
+type HealthReporter interface {
+	Health() Health
+}
+
 // Perfect is a Clock that tracks its Source exactly (zero skew). It is the
 // clock used for single-node experiments, which the paper runs "on a single
 // VM ... to eliminate clock skew" (§5.2).
@@ -47,6 +76,9 @@ func (p *Perfect) Now() Timestamp {
 
 // Client returns the client ID.
 func (p *Perfect) Client() uint32 { return p.client }
+
+// Health reports perfect synchronization: zero offset, zero uncertainty.
+func (p *Perfect) Health() Health { return Health{} }
 
 // Skewed is a Clock that reads a Source and perturbs it with an offset that
 // evolves with a constant drift rate. A Synchronizer (or a direct call to
@@ -98,6 +130,32 @@ func (s *Skewed) Offset() time.Duration {
 	defer s.mu.Unlock()
 	t := s.src.Now()
 	return time.Duration(s.offset + int64(float64(t-s.base)*s.driftPPM/1e6))
+}
+
+// Health reports the clock's current sync state: the residual left by the
+// last Discipline, the drift accrued since, and their combined uncertainty
+// bound. (The emulated daemon "knows" its offset exactly — the point of the
+// report is the uncertainty, which scales with the sync profile.)
+func (s *Skewed) Health() Health {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t := s.src.Now()
+	drift := int64(float64(t-s.base) * s.driftPPM / 1e6)
+	h := Health{
+		OffsetNs:    s.offset + drift,
+		ResidualNs:  s.offset,
+		DriftNs:     drift,
+		SinceSyncNs: t - s.base,
+	}
+	h.UncertaintyNs = abs64(s.offset) + abs64(drift)
+	return h
+}
+
+func abs64(v int64) int64 {
+	if v < 0 {
+		return -v
+	}
+	return v
 }
 
 // Discipline re-synchronizes the clock, leaving a residual offset of

@@ -1,0 +1,69 @@
+package clock
+
+import (
+	"testing"
+	"time"
+)
+
+func TestPerfectHealthIsZero(t *testing.T) {
+	p := NewPerfect(NewManualSource(0), 1)
+	if p.Health() != (Health{}) {
+		t.Fatalf("perfect clock health = %+v", p.Health())
+	}
+}
+
+func TestSkewedHealthTracksResidualAndDrift(t *testing.T) {
+	src := NewManualSource(1000)
+	// +100 ppm drift: 100 ns of drift per ms of elapsed source time.
+	s := NewSkewed(src, 1, 2*time.Microsecond, 100)
+	h := s.Health()
+	if h.OffsetNs != 2000 || h.ResidualNs != 2000 || h.DriftNs != 0 || h.SinceSyncNs != 0 {
+		t.Fatalf("initial health = %+v", h)
+	}
+	if h.UncertaintyNs != 2000 {
+		t.Fatalf("initial uncertainty = %d", h.UncertaintyNs)
+	}
+
+	src.Advance(10 * time.Millisecond) // accrues 1000 ns of drift
+	h = s.Health()
+	if h.DriftNs != 1000 || h.OffsetNs != 3000 || h.SinceSyncNs != int64(10*time.Millisecond) {
+		t.Fatalf("post-drift health = %+v", h)
+	}
+	if h.UncertaintyNs != 3000 {
+		t.Fatalf("post-drift uncertainty = %d", h.UncertaintyNs)
+	}
+
+	// Discipline to a negative residual: drift restarts from the new base,
+	// and uncertainty is |residual| + |drift| (magnitudes add — the bound
+	// must not let opposite signs cancel).
+	s.Discipline(-500 * time.Nanosecond)
+	src.Advance(10 * time.Millisecond)
+	h = s.Health()
+	if h.ResidualNs != -500 || h.DriftNs != 1000 || h.OffsetNs != 500 {
+		t.Fatalf("post-discipline health = %+v", h)
+	}
+	if h.UncertaintyNs != 1500 {
+		t.Fatalf("post-discipline uncertainty = %d, want 1500", h.UncertaintyNs)
+	}
+}
+
+func TestProfileEpsilon(t *testing.T) {
+	if PerfectProfile.Epsilon() != 0 {
+		t.Fatalf("perfect epsilon = %v", PerfectProfile.Epsilon())
+	}
+	if NTP.Epsilon() != 4*NTP.MeanAbsOffset {
+		t.Fatalf("NTP epsilon = %v", NTP.Epsilon())
+	}
+	// Epsilon must shrink monotonically across the paper's sync ladder.
+	ladder := []Profile{NTP, PTPSoftware, PTPHardware, DTP}
+	for i := 1; i < len(ladder); i++ {
+		if ladder[i].Epsilon() >= ladder[i-1].Epsilon() {
+			t.Fatalf("epsilon not shrinking: %s %v vs %s %v",
+				ladder[i-1].Name, ladder[i-1].Epsilon(), ladder[i].Name, ladder[i].Epsilon())
+		}
+	}
+	// Scaled profiles scale their epsilon with them.
+	if got := NTP.Scale(0.5).Epsilon(); got != NTP.Epsilon()/2 {
+		t.Fatalf("scaled epsilon = %v, want %v", got, NTP.Epsilon()/2)
+	}
+}

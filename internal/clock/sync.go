@@ -55,6 +55,16 @@ func (p Profile) SampleOffset(r *rand.Rand) time.Duration {
 	return time.Duration(r.NormFloat64() * sigma)
 }
 
+// Epsilon is the per-clock skew bound the profile promises: the offset a
+// disciplined clock stays within (w.h.p.) between sync rounds. Residuals are
+// zero-mean Gaussian with E|X| = MeanAbsOffset, i.e. σ ≈ 1.25·mean, so
+// 4·mean ≈ 3.2σ covers ~99.9% of rounds. MILANA uses 2·Epsilon (two
+// independently disciplined clocks) as the window inside which a losing
+// timestamp race is attributed to skew rather than a true data conflict.
+func (p Profile) Epsilon() time.Duration {
+	return 4 * p.MeanAbsOffset
+}
+
 // NewDisciplinedClock returns a Skewed clock for client whose initial offset
 // is drawn from the profile. Call Synchronizer (or Discipline directly) to
 // model subsequent sync rounds; for runs much shorter than Interval the

@@ -78,6 +78,13 @@ type ClusterOptions struct {
 	// SerialReads disables the servers' parallel MultiGet key fan-out
 	// (benchmark baseline).
 	SerialReads bool
+	// SkewServers disciplines *server* clocks with ClockProfile too
+	// (default: servers run perfect clocks, as in the paper's single-VM
+	// setup). Skewed server clocks make cross-node trace spans misalign by
+	// realistic amounts, which is what the skew-aware collector corrects.
+	SkewServers bool
+	// SlowRequestThreshold enables the servers' slow-request log (0 = off).
+	SlowRequestThreshold time.Duration
 	// Seed makes latency jitter and clock skew reproducible.
 	Seed int64
 }
@@ -164,19 +171,34 @@ func NewCluster(opt ClusterOptions) (*Cluster, error) {
 			if dev != nil {
 				c.devices[addr] = dev
 			}
+			var srvClock clock.Clock = clock.NewPerfect(c.Source, serverID)
+			if opt.SkewServers && opt.ClockProfile.MeanAbsOffset > 0 {
+				sk := opt.ClockProfile.NewDisciplinedClock(c.Source, serverID, c.rng)
+				c.clocks = append(c.clocks, sk) // synchronizer disciplines it
+				srvClock = sk
+			}
+			var skewWindow time.Duration
+			if opt.ClockProfile.MeanAbsOffset > 0 {
+				// Two independently disciplined clocks can disagree by up to
+				// one Epsilon each, so aborts decided by a margin inside
+				// 2·Epsilon are plausibly skew artifacts.
+				skewWindow = 2 * opt.ClockProfile.Epsilon()
+			}
 			srv, err := semel.NewServer(semel.ServerOptions{
-				Addr:                addr,
-				Shard:               cluster.ShardID(s),
-				Primary:             r == 0,
-				Backend:             backend,
-				Net:                 c.Bus,
-				Dir:                 dir,
-				Clock:               clock.NewPerfect(c.Source, serverID),
-				LeaseDuration:       opt.LeaseDuration,
-				PreparedTimeout:     opt.PreparedTimeout,
-				AntiEntropyInterval: opt.AntiEntropyInterval,
-				ReplBatch:           opt.ReplBatch,
-				SerialReads:         opt.SerialReads,
+				Addr:                 addr,
+				Shard:                cluster.ShardID(s),
+				Primary:              r == 0,
+				Backend:              backend,
+				Net:                  c.Bus,
+				Dir:                  dir,
+				Clock:                srvClock,
+				LeaseDuration:        opt.LeaseDuration,
+				PreparedTimeout:      opt.PreparedTimeout,
+				AntiEntropyInterval:  opt.AntiEntropyInterval,
+				ReplBatch:            opt.ReplBatch,
+				SerialReads:          opt.SerialReads,
+				SkewWindow:           skewWindow,
+				SlowRequestThreshold: opt.SlowRequestThreshold,
 			})
 			if err != nil {
 				c.Close()

@@ -21,6 +21,12 @@ type AblationRow struct {
 	// SkewAbortPct is the fraction of aborts attributable to the
 	// clock-skew-sensitive branches of Algorithm 1 (late-write rules).
 	SkewAbortPct float64
+	// ProvenanceSkewPct is the server-side abort-provenance view: the
+	// fraction of validation aborts whose losing margin fell inside the
+	// profile's 2·Epsilon skew window (milana_abort_provenance_total).
+	// Unlike SkewAbortPct — which counts every late-write abort — this
+	// only counts the near-misses better clocks would have reordered.
+	ProvenanceSkewPct float64
 }
 
 // RunSkewAblation extends Figure 7 along the axis §2.1 sketches: the paper
@@ -63,6 +69,7 @@ func RunSkewAblation(ctx context.Context, cfg Config) ([]AblationRow, error) {
 			LocalValidation: true, WatermarkEvery: 100,
 			Seed: cfg.Seed,
 		})
+		snap := c.MergedSnapshot()
 		c.Close()
 		if err != nil {
 			return nil, fmt.Errorf("ablation %s: %w", prof.Name, err)
@@ -81,7 +88,13 @@ func RunSkewAblation(ctx context.Context, cfg Config) ([]AblationRow, error) {
 			skew := res.AbortsByReason[wire.AbortLateWriteRead] + res.AbortsByReason[wire.AbortLateWrite]
 			row.SkewAbortPct = 100 * float64(skew) / float64(total)
 		}
-		cfg.progress("ablation %s: abort %.2f%% (skew-attributable %.1f%%)", prof.Name, 100*row.AbortRate, row.SkewAbortPct)
+		provSkew := snap.Counters[`milana_abort_provenance_total{cause="skew"}`]
+		provConflict := snap.Counters[`milana_abort_provenance_total{cause="conflict"}`]
+		if prov := provSkew + provConflict; prov > 0 {
+			row.ProvenanceSkewPct = 100 * float64(provSkew) / float64(prov)
+		}
+		cfg.progress("ablation %s: abort %.2f%% (skew-attributable %.1f%%, provenance skew %.1f%%)",
+			prof.Name, 100*row.AbortRate, row.SkewAbortPct, row.ProvenanceSkewPct)
 		rows = append(rows, row)
 	}
 	return rows, nil
@@ -90,9 +103,9 @@ func RunSkewAblation(ctx context.Context, cfg Config) ([]AblationRow, error) {
 // RenderSkewAblation prints the ablation table.
 func RenderSkewAblation(rows []AblationRow) string {
 	out := "Ablation: clock-synchronization technology vs abort rate (MFTL, α=0.8)\n"
-	out += fmt.Sprintf("%-10s %-12s %-10s %-12s %-16s\n", "clock", "mean skew", "abort%", "txn/s", "skew-caused %")
+	out += fmt.Sprintf("%-10s %-12s %-10s %-12s %-16s %-14s\n", "clock", "mean skew", "abort%", "txn/s", "skew-caused %", "provenance %")
 	for _, r := range rows {
-		out += fmt.Sprintf("%-10s %-12v %-10.2f %-12.0f %-16.1f\n", r.Profile, r.MeanSkew, 100*r.AbortRate, r.ThroughputTPS, r.SkewAbortPct)
+		out += fmt.Sprintf("%-10s %-12v %-10.2f %-12.0f %-16.1f %-14.1f\n", r.Profile, r.MeanSkew, 100*r.AbortRate, r.ThroughputTPS, r.SkewAbortPct, r.ProvenanceSkewPct)
 	}
 	return out
 }

@@ -104,10 +104,10 @@ func Figure9CSV(rows []Fig9Row) ([]string, [][]string) {
 
 // AblationCSV converts ablation rows.
 func AblationCSV(rows []AblationRow) ([]string, [][]string) {
-	header := []string{"clock", "mean_skew_us", "abort_rate", "txn_per_sec", "skew_abort_pct"}
+	header := []string{"clock", "mean_skew_us", "abort_rate", "txn_per_sec", "skew_abort_pct", "provenance_skew_pct"}
 	var out [][]string
 	for _, r := range rows {
-		out = append(out, []string{r.Profile, dtoa(r.MeanSkew), ftoa(r.AbortRate), ftoa(r.ThroughputTPS), ftoa(r.SkewAbortPct)})
+		out = append(out, []string{r.Profile, dtoa(r.MeanSkew), ftoa(r.AbortRate), ftoa(r.ThroughputTPS), ftoa(r.SkewAbortPct), ftoa(r.ProvenanceSkewPct)})
 	}
 	return header, out
 }

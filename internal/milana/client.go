@@ -72,6 +72,12 @@ type Client struct {
 	// of recent traces. Nil means tracing is off (the default).
 	tracer *obs.Tracer
 
+	// spans, when attached via EnableTracing, makes every transaction a
+	// sampled distributed trace: its RPCs carry a TraceContext, every
+	// server they touch records spans, and the client records the root
+	// span stamped with its own (skewed) clock. Nil disables (default).
+	spans *obs.SpanStore
+
 	seq atomic.Uint64
 
 	mu          sync.Mutex
@@ -132,6 +138,21 @@ func (c *Client) SetMetrics(reg *obs.Registry) {
 // Tracer returns the client's span tracer (nil until SetMetrics is called),
 // for inspecting recent or slowest transaction traces.
 func (c *Client) Tracer() *obs.Tracer { return c.tracer }
+
+// EnableTracing turns on distributed tracing: every subsequent transaction
+// propagates a TraceContext on its RPCs (trace ID = Txn.ID().TraceID()) and
+// the client keeps the last ring root spans. Call before issuing
+// transactions; not safe to toggle concurrently with them.
+func (c *Client) EnableTracing(ring int) {
+	c.spans = obs.NewSpanStore(fmt.Sprintf("client-%d", c.ID()), ring)
+}
+
+// Spans returns the client's root-span store (nil until EnableTracing).
+func (c *Client) Spans() *obs.SpanStore { return c.spans }
+
+// Clock exposes the client's clock (trace collection reads its Health to
+// align the client's spans with the servers').
+func (c *Client) Clock() clock.Clock { return c.clk }
 
 // LastDecided returns the timestamp of this client's most recently decided
 // transaction — the value it broadcasts for watermarking (§4.4).
@@ -197,6 +218,9 @@ type Txn struct {
 	// readTime accumulates time spent in read RPCs across Get/GetMany.
 	sp       *obs.Span
 	readTime time.Duration
+	// tc is the transaction's distributed-trace context (EnableTracing):
+	// every RPC carries it, and spanEnd records the root span under it.
+	tc obs.TraceContext
 }
 
 // Begin starts a transaction at the client's current time.
@@ -211,7 +235,19 @@ func (c *Client) Begin() *Txn {
 	if c.tracer != nil {
 		t.sp = c.tracer.Start(t.id.String())
 	}
+	if c.spans != nil {
+		t.tc = obs.TraceContext{TraceID: t.id.TraceID(), SpanID: c.spans.NextID(), Sampled: true}
+	}
 	return t
+}
+
+// traceCtx annotates ctx with the transaction's trace context, so the RPC
+// (and, over TCP, the wire envelope) carries it to the server.
+func (t *Txn) traceCtx(ctx context.Context) context.Context {
+	if !t.tc.Sampled {
+		return ctx
+	}
+	return obs.WithTrace(ctx, t.tc)
 }
 
 // BeginReadWrite starts a transaction declared read-write in advance. Such
@@ -260,7 +296,7 @@ func (t *Txn) Get(ctx context.Context, key []byte) (val []byte, found bool, err 
 		return nil, false, err
 	}
 	readStart := time.Now()
-	resp, err := t.c.net.Call(ctx, addr, wire.GetRequest{Key: key, At: t.begin, AnyReplica: anyReplica})
+	resp, err := t.c.net.Call(t.traceCtx(ctx), addr, wire.GetRequest{Key: key, At: t.begin, AnyReplica: anyReplica})
 	if t.sp != nil {
 		t.readTime += time.Since(readStart)
 	}
@@ -344,10 +380,22 @@ func (t *Txn) finish(committed bool) {
 }
 
 // spanEnd ends the transaction's span exactly once with the given outcome.
+// With distributed tracing enabled it also records the trace's root span,
+// stamped begin→now with the client's own (skewed) clock, so the stitched
+// timeline has a client anchor alongside the server spans.
 func (t *Txn) spanEnd(outcome string) {
 	if t.sp != nil {
 		t.sp.End(outcome)
 		t.sp = nil
+	}
+	if t.tc.Sampled {
+		t.c.spans.Add(obs.SpanRecord{
+			TraceID: t.tc.TraceID, SpanID: t.tc.SpanID,
+			Node: t.c.spans.Node(), Name: "txn",
+			Start: t.begin.Ticks, End: t.c.clk.Now().Ticks,
+			Outcome: outcome,
+		})
+		t.tc = obs.TraceContext{}
 	}
 }
 
@@ -382,6 +430,7 @@ func (t *Txn) Commit(ctx context.Context) error {
 
 // commit2PC runs two-phase commit with the client as coordinator.
 func (t *Txn) commit2PC(ctx context.Context) error {
+	ctx = t.traceCtx(ctx)
 	commitTs := t.c.clk.Now()
 	t.sp.Record("read", t.readTime)
 	t.sp.Stage("prepare")
@@ -495,11 +544,13 @@ func (t *Txn) commit2PC(ctx context.Context) error {
 	// Phase two: report the outcome, then notify participants — by
 	// default asynchronously (§4.2: "reports the outcome to the
 	// application and then asynchronously notifies all primaries").
+	// Capture the decision context before the async dispatch: the Txn's
+	// fields are single-goroutine, so the closure must not read them.
+	dctx := ctx
+	if !t.c.SyncDecisions {
+		dctx = t.traceCtx(context.Background())
+	}
 	notify := func() {
-		dctx := ctx
-		if !t.c.SyncDecisions {
-			dctx = context.Background()
-		}
 		for _, shard := range participants {
 			addr, err := t.c.dir.Primary(cluster.ShardID(shard))
 			if err != nil {
@@ -613,6 +664,7 @@ func (t *Txn) GetMany(ctx context.Context, keys [][]byte) (map[string][]byte, er
 	for shard, shardKeys := range byShard {
 		fetches = append(fetches, shardFetch{shard: shard, keys: shardKeys})
 	}
+	ctx = t.traceCtx(ctx)
 	readStart := time.Now()
 	var wg sync.WaitGroup
 	for i := range fetches {

@@ -20,6 +20,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/clock"
@@ -79,12 +80,23 @@ type managerMetrics struct {
 	preparedTxns *obs.Gauge
 	abortReason  [wire.NumAbortReasons]*obs.Counter
 	sweep        [3]*obs.Counter // recovered-commit / recovered-abort / still-pending
+
+	// abort provenance: skew-induced (a Late* timestamp race whose losing
+	// margin fits inside the clock-uncertainty window) vs. a true data
+	// conflict. The paper's thesis in counter form: better clocks shrink
+	// the skew share.
+	provSkew     *obs.Counter
+	provConflict *obs.Counter
 }
 
 // Manager is the per-replica transaction module.
 type Manager struct {
 	host Host
 	om   managerMetrics
+
+	// skewWindow is the Late*-abort margin at or below which the race is
+	// attributed to clock skew (see SetSkewWindow). Atomic: read per abort.
+	skewWindow atomic.Int64
 
 	mu        sync.Mutex
 	keys      map[string]*keyMeta
@@ -119,6 +131,32 @@ func (m *Manager) SetMetrics(reg *obs.Registry) {
 	for i, outcome := range []string{"recovered-commit", "recovered-abort", "still-pending"} {
 		m.om.sweep[i] = reg.Counter(`milana_sweep_total{outcome="` + outcome + `"}`)
 	}
+	m.om.provSkew = reg.Counter(`milana_abort_provenance_total{cause="skew"}`)
+	m.om.provConflict = reg.Counter(`milana_abort_provenance_total{cause="conflict"}`)
+}
+
+// SetSkewWindow sets the margin at or below which a losing Late* timestamp
+// race is classified as skew-induced rather than a true data conflict. The
+// natural choice is 2× the clock profile's Epsilon — a race involves two
+// independently disciplined clocks. 0 (the default) classifies every abort
+// as conflict, which is correct for perfect clocks.
+func (m *Manager) SetSkewWindow(w time.Duration) {
+	m.skewWindow.Store(int64(w))
+}
+
+// classifyAbort attributes a validation abort to clock skew or to a true
+// data conflict. Only the Late* reasons can be skew-induced: they are the
+// races a commit timestamp loses by a margin, and when that margin fits
+// inside the combined clock-uncertainty window, better clocks would have
+// ordered the operations the other way.
+func (m *Manager) classifyAbort(code wire.AbortReason, margin time.Duration) {
+	w := time.Duration(m.skewWindow.Load())
+	late := code == wire.AbortLateWriteRead || code == wire.AbortLateWrite
+	if late && w > 0 && margin >= 0 && margin <= w {
+		m.om.provSkew.Inc()
+		return
+	}
+	m.om.provConflict.Inc()
 }
 
 // countAbort records one server-side validation abort by reason.
@@ -195,12 +233,13 @@ func (m *Manager) Prepare(ctx context.Context, req wire.PrepareRequest) (wire.Pr
 		return wire.PrepareResponse{OK: d.status == wire.StatusCommitted}, nil
 	}
 	valStart := time.Now()
-	reason, code := m.validateLocked(req)
+	reason, code, margin := m.validateLocked(req)
 	m.om.validateNs.ObserveSince(valStart)
 	if reason != "" {
 		m.decided[req.ID] = decidedEntry{status: wire.StatusAborted, at: time.Now()}
 		m.mu.Unlock()
 		m.countAbort(code)
+		m.classifyAbort(code, margin)
 		return wire.PrepareResponse{OK: false, Reason: reason, Code: code}, nil
 	}
 	rec := wire.TxnRecord{
@@ -235,32 +274,44 @@ func (m *Manager) Prepare(ctx context.Context, req wire.PrepareRequest) (wire.Pr
 	return wire.PrepareResponse{OK: true}, nil
 }
 
-// validateLocked is Algorithm 1. It returns ("", AbortNone) on success or
-// an abort reason with its classification.
-func (m *Manager) validateLocked(req wire.PrepareRequest) (string, wire.AbortReason) {
+// validateLocked is Algorithm 1. It returns ("", AbortNone, -1) on success
+// or an abort reason with its classification and, for the Late* reasons, the
+// margin by which the commit timestamp lost its race (abort provenance).
+func (m *Manager) validateLocked(req wire.PrepareRequest) (string, wire.AbortReason, time.Duration) {
 	for _, rk := range req.ReadSet {
 		km := m.metaLocked(rk.Key)
 		if km.hasPrepared && km.preparedBy != req.ID {
-			return fmt.Sprintf("read key %q has a prepared version", rk.Key), wire.AbortReadPrepared
+			return fmt.Sprintf("read key %q has a prepared version", rk.Key), wire.AbortReadPrepared, -1
 		}
 		if km.latestCommitted != rk.Version {
-			return fmt.Sprintf("read key %q changed: read %v, latest %v", rk.Key, rk.Version, km.latestCommitted), wire.AbortReadStale
+			return fmt.Sprintf("read key %q changed: read %v, latest %v", rk.Key, rk.Version, km.latestCommitted), wire.AbortReadStale, -1
 		}
 	}
 	newVersion := req.CommitTs
 	for _, kv := range req.WriteSet {
 		km := m.metaLocked(kv.Key)
 		if km.hasPrepared && km.preparedBy != req.ID {
-			return fmt.Sprintf("write key %q has a prepared version", kv.Key), wire.AbortWritePrepared
+			return fmt.Sprintf("write key %q has a prepared version", kv.Key), wire.AbortWritePrepared, -1
 		}
 		if km.latestRead.Compare(newVersion) >= 0 {
-			return fmt.Sprintf("write key %q read at %v ≥ commit %v", kv.Key, km.latestRead, newVersion), wire.AbortLateWriteRead
+			return fmt.Sprintf("write key %q read at %v ≥ commit %v", kv.Key, km.latestRead, newVersion), wire.AbortLateWriteRead, tickMargin(km.latestRead, newVersion)
 		}
 		if km.latestCommitted.Compare(newVersion) >= 0 {
-			return fmt.Sprintf("write key %q committed at %v ≥ commit %v", kv.Key, km.latestCommitted, newVersion), wire.AbortLateWrite
+			return fmt.Sprintf("write key %q committed at %v ≥ commit %v", kv.Key, km.latestCommitted, newVersion), wire.AbortLateWrite, tickMargin(km.latestCommitted, newVersion)
 		}
 	}
-	return "", wire.AbortNone
+	return "", wire.AbortNone, -1
+}
+
+// tickMargin is how far winner leads loser on the tick axis (0 for a pure
+// client-ID tiebreak): the margin the loser's clock would have needed to
+// make up to win the race.
+func tickMargin(winner, loser clock.Timestamp) time.Duration {
+	d := winner.Ticks - loser.Ticks
+	if d < 0 {
+		d = 0
+	}
+	return time.Duration(d)
 }
 
 // releasePreparedLocked clears prepared marks owned by rec.

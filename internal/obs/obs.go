@@ -235,9 +235,26 @@ func (s Snapshot) SortedNames() []string {
 	return names
 }
 
-// withLabel splices an extra label into a possibly-labeled metric name:
-// withLabel(`x{a="b"}`, `q`, `0.5`) → `x{a="b",q="0.5"}`.
+// labelEscaper escapes a label value per the Prometheus text exposition
+// format: backslash, double quote, and newline must be escaped inside the
+// quoted value.
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+// EscapeLabelValue returns v escaped for use inside a quoted Prometheus
+// label value.
+func EscapeLabelValue(v string) string { return labelEscaper.Replace(v) }
+
+// WithLabel splices an extra label into a possibly-labeled metric name,
+// escaping the value: WithLabel(`x{a="b"}`, `q`, `0.5`) → `x{a="b",q="0.5"}`.
+// Callers building labeled metric names from runtime strings (stage names,
+// outcomes, request types) must use this rather than string concatenation,
+// or the /metrics exposition emits unparseable lines.
+func WithLabel(name, label, value string) string {
+	return withLabel(name, label, value)
+}
+
 func withLabel(name, label, value string) string {
+	value = labelEscaper.Replace(value)
 	if i := strings.LastIndexByte(name, '}'); i >= 0 {
 		return name[:i] + `,` + label + `="` + value + `"` + name[i:]
 	}

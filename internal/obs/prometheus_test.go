@@ -1,0 +1,91 @@
+package obs
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+)
+
+func TestEscapeLabelValue(t *testing.T) {
+	cases := map[string]string{
+		`plain`:        `plain`,
+		`back\slash`:   `back\\slash`,
+		`quo"te`:       `quo\"te`,
+		"new\nline":    `new\nline`,
+		`all\"` + "\n": `all\\\"\n`,
+	}
+	for in, want := range cases {
+		if got := EscapeLabelValue(in); got != want {
+			t.Fatalf("EscapeLabelValue(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestWithLabelEscapes(t *testing.T) {
+	if got := WithLabel("x", "a", "b"); got != `x{a="b"}` {
+		t.Fatalf("WithLabel = %q", got)
+	}
+	if got := WithLabel(`x{a="b"}`, "q", "0.5"); got != `x{a="b",q="0.5"}` {
+		t.Fatalf("splice = %q", got)
+	}
+	// Values containing the three exposition-format specials must arrive
+	// escaped, or the /metrics payload is unparseable.
+	if got := WithLabel("x", "err", `dial "host"`+"\n"+`path\x`); got != `x{err="dial \"host\"\npath\\x"}` {
+		t.Fatalf("escaped splice = %q", got)
+	}
+}
+
+// sampleLine matches one Prometheus text-exposition sample: a metric name,
+// an optional label block whose values may contain escaped specials but no
+// raw quote/newline, and an integer value.
+var sampleLine = regexp.MustCompile(
+	`^[a-zA-Z_:][a-zA-Z0-9_:]*` +
+		`(\{[a-zA-Z_][a-zA-Z0-9_]*="(\\\\|\\"|\\n|[^"\\])*"` +
+		`(,[a-zA-Z_][a-zA-Z0-9_]*="(\\\\|\\"|\\n|[^"\\])*")*\})?` +
+		` -?[0-9]+$`)
+
+var typeLine = regexp.MustCompile(`^# TYPE [a-zA-Z_:][a-zA-Z0-9_:]*_?[a-zA-Z0-9_:]* (counter|gauge|summary)$`)
+
+// TestWritePrometheusConformance registers metrics whose label values carry
+// every character the format requires escaping — quotes, backslashes,
+// newlines — and checks each rendered line parses.
+func TestWritePrometheusConformance(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter(WithLabel("aborts_total", "reason", `conflict on "key\1"`)).Add(3)
+	reg.Counter(WithLabel("errs_total", "msg", "dial\nrefused")).Inc()
+	reg.Gauge(WithLabel("offset_ns", "node", `shard0\r1`)).Set(-42)
+	h := reg.Histogram(WithLabel("lat_ns", "op", `multi"get`))
+	h.Observe(100)
+	h.Observe(2000)
+
+	var b strings.Builder
+	if err := reg.Snapshot().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) < 8 {
+		t.Fatalf("suspiciously short exposition:\n%s", out)
+	}
+	for _, line := range lines {
+		if strings.HasPrefix(line, "#") {
+			if !typeLine.MatchString(line) {
+				t.Errorf("bad comment line %q", line)
+			}
+			continue
+		}
+		if !sampleLine.MatchString(line) {
+			t.Errorf("unparseable sample line %q", line)
+		}
+	}
+	// Spot-check the escapes made it through verbatim.
+	for _, want := range []string{`\"key\\1\"`, `dial\nrefused`, `shard0\\r1`, `multi\"get`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing escaped fragment %q:\n%s", want, out)
+		}
+	}
+	// The histogram must expose quantile splices inside the same label block.
+	if !strings.Contains(out, `lat_ns{op="multi\"get",quantile="0.5"}`) {
+		t.Errorf("quantile splice broken:\n%s", out)
+	}
+}

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/clock"
 	"repro/internal/cluster"
+	"repro/internal/obs"
 	"repro/internal/transport"
 	"repro/internal/wire"
 )
@@ -26,6 +27,9 @@ type Client struct {
 	dir *cluster.Directory
 	// retries bounds retransmissions of a timed-out or misrouted request.
 	retries int
+	// spans, when set via EnableTracing, makes every single-key operation
+	// a sampled distributed trace rooted at this client.
+	spans *obs.SpanStore
 }
 
 // NewClient builds a SEMEL client. The clock's client ID becomes part of
@@ -40,13 +44,38 @@ func (c *Client) ID() uint32 { return c.clk.Client() }
 // Clock returns the client's clock.
 func (c *Client) Clock() clock.Clock { return c.clk }
 
+// EnableTracing makes every subsequent single-key operation a distributed
+// trace: the RPC carries a TraceContext (so the primary, its replication
+// batcher, and the backups record spans under it), and the client keeps the
+// root span. The newest root span in Spans() names the latest trace ID.
+func (c *Client) EnableTracing(ring int) {
+	c.spans = obs.NewSpanStore(fmt.Sprintf("client-%d", c.ID()), ring)
+}
+
+// Spans returns the client's root-span store (nil until EnableTracing).
+func (c *Client) Spans() *obs.SpanStore { return c.spans }
+
 func (c *Client) primaryFor(key []byte) (string, error) {
 	return c.dir.Primary(c.dir.ShardFor(key))
 }
 
 // call retries through directory refreshes so a request survives a
-// failover that happens mid-flight.
+// failover that happens mid-flight. With tracing enabled it opens a root
+// span (trace ID = span ID) covering all attempts, stamped with the
+// client's clock.
 func (c *Client) call(ctx context.Context, key []byte, req any) (any, error) {
+	if c.spans != nil {
+		id := c.spans.NextID()
+		ctx = obs.WithTrace(ctx, obs.TraceContext{TraceID: id, SpanID: id, Sampled: true})
+		start := c.clk.Now().Ticks
+		defer func() {
+			c.spans.Add(obs.SpanRecord{
+				TraceID: id, SpanID: id,
+				Node: c.spans.Node(), Name: spanName(req),
+				Start: start, End: c.clk.Now().Ticks,
+			})
+		}()
+	}
 	var lastErr error
 	for attempt := 0; attempt <= c.retries; attempt++ {
 		addr, err := c.primaryFor(key)

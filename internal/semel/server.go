@@ -15,6 +15,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -79,6 +80,18 @@ type ServerOptions struct {
 	// keys one after another instead (the pre-pipelining behaviour;
 	// kept as a baseline for benchmarks).
 	SerialReads bool
+	// TraceRing bounds the ring of spans retained for TraceRequest
+	// stitching. 0 means 4096; negative disables span recording.
+	TraceRing int
+	// SlowRequestThreshold makes any RPC whose serve latency exceeds it
+	// log one structured line including its trace ID, so traces and logs
+	// cross-reference. 0 disables.
+	SlowRequestThreshold time.Duration
+	// SkewWindow is the timestamp-race margin within which a Late* abort
+	// is attributed to clock skew rather than a true data conflict
+	// (abort-provenance counters). 0 attributes every abort to conflict.
+	// Use 2× the clock profile's Epsilon: a race involves two clocks.
+	SkewWindow time.Duration
 }
 
 // serverStats holds the replica's operation counters (see wire.StatsResponse).
@@ -93,6 +106,13 @@ type serverMetrics struct {
 	prepare, decision, status            *obs.Histogram
 	replAck                              *obs.Histogram
 	watermarkTs                          *obs.Gauge
+	slowRequests                         *obs.Counter
+
+	// time-health gauges, refreshed by timeHealthLoop and on demand by
+	// TimeHealth (§2.1: transaction behaviour is a function of clock
+	// precision, so the clock's sync state is first-class telemetry).
+	clockOffset, clockDrift, clockUncertainty *obs.Gauge
+	clockSinceSync, watermarkLag              *obs.Gauge
 }
 
 // Server is one shard replica.
@@ -103,7 +123,8 @@ type Server struct {
 	stats serverStats
 	reg   *obs.Registry
 	om    serverMetrics
-	repl  *batcher // nil when ReplBatch.Disabled
+	repl  *batcher       // nil when ReplBatch.Disabled
+	spans *obs.SpanStore // nil when TraceRing < 0
 
 	mu          sync.Mutex
 	primary     bool
@@ -144,9 +165,24 @@ func NewServer(opt ServerOptions) (*Server, error) {
 		status:      s.reg.Histogram(`semel_serve_ns{op="status"}`),
 		replAck:     s.reg.Histogram("semel_replication_ack_ns"),
 		watermarkTs: s.reg.Gauge("semel_watermark_ticks"),
+
+		slowRequests:     s.reg.Counter("semel_slow_requests_total"),
+		clockOffset:      s.reg.Gauge("clock_offset_ns"),
+		clockDrift:       s.reg.Gauge("clock_drift_since_sync_ns"),
+		clockUncertainty: s.reg.Gauge("clock_uncertainty_ns"),
+		clockSinceSync:   s.reg.Gauge("clock_since_sync_ns"),
+		watermarkLag:     s.reg.Gauge("semel_watermark_lag_ns"),
+	}
+	if opt.TraceRing >= 0 {
+		ring := opt.TraceRing
+		if ring == 0 {
+			ring = 4096
+		}
+		s.spans = obs.NewSpanStore(opt.Addr, ring)
 	}
 	s.mgr = milana.NewManager(s)
 	s.mgr.SetMetrics(s.reg)
+	s.mgr.SetSkewWindow(opt.SkewWindow)
 	// Backends that can report device/GC metrics join the same registry.
 	if ms, ok := opt.Backend.(interface{ SetMetrics(*obs.Registry) }); ok {
 		ms.SetMetrics(s.reg)
@@ -209,6 +245,8 @@ func (s *Server) startLoops() {
 		s.wg.Add(1)
 		go s.antiEntropyLoop()
 	}
+	s.wg.Add(1)
+	go s.timeHealthLoop()
 }
 
 // antiEntropyLoop runs on backups: it periodically pulls the versions and
@@ -390,8 +428,13 @@ func (s *Server) ReplicateToBackups(ctx context.Context, msg any) error {
 	// client that cancels its context right after its call returns would
 	// otherwise silently kill the delivery to the remaining backups,
 	// leaving them permanently short of acknowledged operations. Only the
-	// *wait* below honours the caller's context.
-	sendCtx, cancelSends := context.WithTimeout(context.Background(), replicationSendTimeout)
+	// *wait* below honours the caller's context. The trace context crosses
+	// the detach — it carries no cancellation, only causality.
+	base := context.Background()
+	if tc, ok := obs.TraceFrom(ctx); ok {
+		base = obs.WithTrace(base, tc)
+	}
+	sendCtx, cancelSends := context.WithTimeout(base, replicationSendTimeout)
 	env := wire.Replicated{Epoch: rs.Epoch, Msg: msg}
 	ackStart := time.Now()
 	acks := make(chan error, len(peers))
@@ -456,14 +499,80 @@ func (s *Server) serveHist(req any) *obs.Histogram {
 	}
 }
 
+// spanName maps a request to the operation name its span carries; "" means
+// the request records no span (the Replicated envelope defers to its inner
+// message, ReplicateData defers to its per-op contexts, and infrastructure
+// traffic is not worth a span).
+func spanName(req any) string {
+	switch req.(type) {
+	case wire.GetRequest:
+		return "get"
+	case wire.MultiGetRequest:
+		return "multiget"
+	case wire.PutRequest:
+		return "put"
+	case wire.DeleteRequest:
+		return "delete"
+	case wire.PrepareRequest:
+		return "prepare"
+	case wire.DecisionRequest:
+		return "decision"
+	case wire.StatusRequest:
+		return "status"
+	case wire.ReplicatePrepare:
+		return "replicate-prepare"
+	case wire.ReplicateDecision:
+		return "replicate-decision"
+	default:
+		return ""
+	}
+}
+
 // Serve handles one request; it implements transport.Handler. Timed request
 // types feed semel_serve_ns{op=...}; the Replicated envelope recurses so the
-// inner operation is the one measured.
+// inner operation is the one measured. When the caller's context carries a
+// sampled trace, the server records a span stamped with its *own* clock —
+// skew and all; the collector aligns it later — and re-parents the context so
+// downstream fan-out (replication) nests beneath this span. Requests slower
+// than SlowRequestThreshold additionally log one line with their trace ID.
 func (s *Server) Serve(ctx context.Context, req any) (any, error) {
-	if h := s.serveHist(req); h != nil {
-		start := time.Now()
-		defer h.ObserveSince(start)
+	name := spanName(req)
+	tc, traced := obs.TraceFrom(ctx)
+	record := traced && name != "" && s.spans != nil
+	var spanID uint64
+	var startTicks int64
+	if record {
+		spanID = s.spans.NextID()
+		ctx = obs.WithTrace(ctx, obs.TraceContext{TraceID: tc.TraceID, SpanID: spanID, Sampled: true})
+		startTicks = s.opt.Clock.Now().Ticks
 	}
+	start := time.Now()
+	resp, err := s.dispatch(ctx, req)
+	elapsed := time.Since(start)
+	if h := s.serveHist(req); h != nil {
+		h.Observe(int64(elapsed))
+	}
+	if record {
+		outcome := ""
+		if err != nil {
+			outcome = err.Error()
+		}
+		s.spans.Add(obs.SpanRecord{
+			TraceID: tc.TraceID, SpanID: spanID, Parent: tc.SpanID,
+			Node: s.opt.Addr, Name: name,
+			Start: startTicks, End: s.opt.Clock.Now().Ticks,
+			Outcome: outcome,
+		})
+	}
+	if thr := s.opt.SlowRequestThreshold; thr > 0 && elapsed >= thr && name != "" {
+		s.om.slowRequests.Inc()
+		log.Printf("semel: slow-request node=%s op=%s trace=%016x span=%016x dur=%s err=%v",
+			s.opt.Addr, name, tc.TraceID, spanID, elapsed, err)
+	}
+	return resp, err
+}
+
+func (s *Server) dispatch(ctx context.Context, req any) (any, error) {
 	switch r := req.(type) {
 	case wire.Replicated:
 		// Fence replication from a deposed regime (§4.5 in spirit): a
@@ -549,6 +658,14 @@ func (s *Server) Serve(ctx context.Context, req any) (any, error) {
 			resp.Obs = s.reg.Snapshot()
 		}
 		return resp, nil
+	case wire.TraceRequest:
+		return wire.TraceResponse{
+			Addr:  s.opt.Addr,
+			Spans: s.spans.ForTrace(r.TraceID),
+			Clock: s.clockHealth(),
+		}, nil
+	case wire.TimeHealthRequest:
+		return s.TimeHealth(), nil
 	case wire.RecoveryPullRequest:
 		return s.handleRecoveryPull(r)
 	case wire.PromoteRequest:
@@ -562,6 +679,58 @@ func (s *Server) Serve(ctx context.Context, req any) (any, error) {
 }
 
 var _ transport.Handler = (*Server)(nil)
+
+// Spans exposes the server's span ring (trace collection and tests).
+func (s *Server) Spans() *obs.SpanStore { return s.spans }
+
+// clockHealth reports the local clock's sync state; clocks that cannot
+// report (no HealthReporter) read as perfectly synchronized.
+func (s *Server) clockHealth() clock.Health {
+	if hr, ok := s.opt.Clock.(clock.HealthReporter); ok {
+		return hr.Health()
+	}
+	return clock.Health{}
+}
+
+// TimeHealth builds this node's time-health report and refreshes the
+// corresponding gauges, so /metrics and /debug/timehealth agree.
+func (s *Server) TimeHealth() wire.TimeHealthResponse {
+	h := s.clockHealth()
+	now := s.opt.Clock.Now()
+	wm := s.wm.Watermark()
+	resp := wire.TimeHealthResponse{
+		Addr:      s.opt.Addr,
+		Shard:     int(s.opt.Shard),
+		Primary:   s.IsPrimary(),
+		Clock:     h,
+		Now:       now,
+		Watermark: wm,
+	}
+	if !wm.IsZero() {
+		resp.WatermarkLagNs = now.Ticks - wm.Ticks
+	}
+	s.om.clockOffset.Set(h.OffsetNs)
+	s.om.clockDrift.Set(h.DriftNs)
+	s.om.clockUncertainty.Set(h.UncertaintyNs)
+	s.om.clockSinceSync.Set(h.SinceSyncNs)
+	s.om.watermarkLag.Set(resp.WatermarkLagNs)
+	return resp
+}
+
+// timeHealthLoop keeps the time-health gauges fresh for /metrics scrapes.
+func (s *Server) timeHealthLoop() {
+	defer s.wg.Done()
+	t := time.NewTicker(time.Second)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stopRenewal:
+			return
+		case <-t.C:
+			s.TimeHealth()
+		}
+	}
+}
 
 // checkPrimaryLease verifies this replica may serve reads.
 func (s *Server) checkPrimaryLease() error {
@@ -673,6 +842,12 @@ func (s *Server) writeVersion(ctx context.Context, key, val []byte, ver clock.Ti
 		return wire.PutResponse{}, err
 	}
 	op := wire.DataOp{Key: key, Val: val, Version: ver, Tombstone: tombstone}
+	// Stamp the op with this request's trace context (the ctx already
+	// carries the put/delete span as parent): the batcher coalesces ops from
+	// many writers, so causality must ride per op, not per envelope.
+	if tc, ok := obs.TraceFrom(ctx); ok {
+		op.TC = tc
+	}
 	if s.repl != nil {
 		// Batched path: enqueue and wait for this op's own quorum. The
 		// batcher coalesces concurrent writes into one ReplicateData
@@ -696,10 +871,32 @@ func (s *Server) writeVersion(ctx context.Context, key, val []byte, ver clock.Ti
 // demultiplex quorums: one rejected op must not fail its batchmates.
 func (s *Server) handleReplicateData(r wire.ReplicateData) (any, error) {
 	apply := func(op wire.DataOp) error {
-		if op.Tombstone {
-			return s.opt.Backend.Delete(op.Key, op.Version)
+		var startTicks int64
+		record := op.TC.Sampled && s.spans != nil
+		if record {
+			startTicks = s.opt.Clock.Now().Ticks
 		}
-		return s.opt.Backend.Put(op.Key, op.Val, op.Version)
+		var err error
+		if op.Tombstone {
+			err = s.opt.Backend.Delete(op.Key, op.Version)
+		} else {
+			err = s.opt.Backend.Put(op.Key, op.Val, op.Version)
+		}
+		if record {
+			// One span per sampled op: a batch interleaves many writers'
+			// traffic, and each writer's trace sees only its own op.
+			outcome := ""
+			if err != nil {
+				outcome = err.Error()
+			}
+			s.spans.Add(obs.SpanRecord{
+				TraceID: op.TC.TraceID, SpanID: s.spans.NextID(), Parent: op.TC.SpanID,
+				Node: s.opt.Addr, Name: "replicate-op",
+				Start: startTicks, End: s.opt.Clock.Now().Ticks,
+				Outcome: outcome,
+			})
+		}
+		return err
 	}
 	if len(r.Ops) <= 1 {
 		// Single-op (legacy / unbatched) path keeps Ack-or-error

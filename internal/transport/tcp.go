@@ -7,6 +7,8 @@ import (
 	"fmt"
 	"net"
 	"sync"
+
+	"repro/internal/obs"
 )
 
 // RegisterType registers a concrete request/response type with the wire
@@ -14,7 +16,11 @@ import (
 func RegisterType(v any) { gob.Register(v) }
 
 type wireRequest struct {
-	ID      uint64
+	ID uint64
+	// TC carries the caller's trace context across the connection; the
+	// server reconstructs a ctx from it, so context-based propagation works
+	// identically over TCP and the in-process bus.
+	TC      obs.TraceContext
 	Payload any
 }
 
@@ -146,7 +152,11 @@ func (s *TCPServer) serveConn(conn net.Conn) {
 				defer func() { <-s.sem }()
 			}
 			resp := wireResponse{ID: req.ID}
-			payload, err := s.h.Serve(context.Background(), req.Payload)
+			ctx := context.Background()
+			if req.TC.Sampled {
+				ctx = obs.WithTrace(ctx, req.TC)
+			}
+			payload, err := s.h.Serve(ctx, req.Payload)
 			if err != nil {
 				resp.Err = err.Error()
 			} else {
@@ -209,8 +219,9 @@ func (c *TCPClient) Call(ctx context.Context, addr string, req any) (any, error)
 		tc.mu.Unlock()
 		return nil, fmt.Errorf("transport: connection to %s lost", addr)
 	}
+	trace, _ := obs.TraceFrom(ctx)
 	tc.pending[id] = ch
-	err := tc.enc.Encode(&wireRequest{ID: id, Payload: req})
+	err := tc.enc.Encode(&wireRequest{ID: id, TC: trace, Payload: req})
 	if err == nil {
 		err = tc.bw.Flush()
 	}

@@ -78,12 +78,17 @@ type DeleteResponse struct {
 
 // ---- replication (primary → backup, unordered; §3.2) ----
 
-// DataOp is one replicated version write.
+// DataOp is one replicated version write. TC is the originating request's
+// trace context: the replication batcher coalesces ops from many concurrent
+// writers into one ReplicateData envelope, so causality must travel per op,
+// not per envelope — each op on a backup records its span under the writer
+// that produced it.
 type DataOp struct {
 	Key       []byte
 	Val       []byte
 	Version   clock.Timestamp
 	Tombstone bool
+	TC        obs.TraceContext
 }
 
 // ReplicateData applies version writes on a backup, in any order.
@@ -134,6 +139,13 @@ type TxnID struct {
 
 // String renders the ID as "client.seq".
 func (id TxnID) String() string { return fmt.Sprintf("%d.%d", id.Client, id.Seq) }
+
+// TraceID derives the deterministic trace ID of this transaction's spans:
+// anyone holding the TxnID (e.g. `milctl trace <client.seq>`) can compute it
+// without a lookup. The top bit keeps it disjoint from SpanStore.NextID.
+func (id TxnID) TraceID() uint64 {
+	return 1<<63 | uint64(id.Client)<<40 | (id.Seq & (1<<40 - 1))
+}
 
 // TxnStatus is a transaction's state in a primary's transaction table.
 type TxnStatus int
@@ -327,6 +339,38 @@ type StatsResponse struct {
 	Obs       obs.Snapshot
 }
 
+// TraceRequest asks a replica for its retained spans of one trace.
+type TraceRequest struct {
+	TraceID uint64
+}
+
+// TraceResponse carries the replica's spans — stamped with its own, possibly
+// skewed, clock — plus its clock-health estimate so the collector can align
+// them and annotate the residual uncertainty.
+type TraceResponse struct {
+	Addr  string
+	Spans []obs.SpanRecord
+	Clock clock.Health
+}
+
+// TimeHealthRequest asks a replica for its time-health report.
+type TimeHealthRequest struct{}
+
+// TimeHealthResponse is one node's time-health report: clock sync state,
+// its current clock reading, and how far its watermark trails its clock
+// (the window of replicated-but-not-yet-GC-safe versions, §3.1).
+type TimeHealthResponse struct {
+	Addr    string
+	Shard   int
+	Primary bool
+	Clock   clock.Health
+	Now     clock.Timestamp
+	// Watermark is the node's current watermark; WatermarkLagNs is
+	// Now.Ticks - Watermark.Ticks (0 when no watermark has been observed).
+	Watermark      clock.Timestamp
+	WatermarkLagNs int64
+}
+
 // PromoteRequest tells a backup it is now the primary of its shard; it
 // triggers the recovery merge before the new primary serves traffic.
 type PromoteRequest struct{}
@@ -345,6 +389,7 @@ func init() {
 		ReplicatePrepare{}, ReplicateDecision{}, LeaseRequest{}, LeaseResponse{},
 		RecoveryPullRequest{}, RecoveryPullResponse{}, PromoteRequest{}, PromoteResponse{},
 		StatsRequest{}, StatsResponse{},
+		TraceRequest{}, TraceResponse{}, TimeHealthRequest{}, TimeHealthResponse{},
 	} {
 		transport.RegisterType(v)
 	}
