@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check cover bench benchall
+.PHONY: all build vet test race check cover stress bench benchall
 
 all: check
 
@@ -16,10 +16,12 @@ test:
 race:
 	$(GO) test -race ./...
 
-# cover enforces a statement-coverage floor on the observability and wire
-# layers — the packages whose regressions (an unparseable /metrics line, a
-# field dropped from a gob envelope) otherwise slip through unexercised.
-COVER_PKGS = ./internal/obs ./internal/wire
+# cover enforces a statement-coverage floor on the observability, wire,
+# fault-injection, and history-checking layers — the packages whose
+# regressions (an unparseable /metrics line, a field dropped from a gob
+# envelope, a checker that stops finding cycles) otherwise slip through
+# unexercised.
+COVER_PKGS = ./internal/obs ./internal/wire ./internal/faults ./internal/check
 COVER_MIN  = 70
 cover:
 	$(GO) test -coverprofile=cover.out $(COVER_PKGS)
@@ -29,12 +31,26 @@ cover:
 		{ echo "coverage $$total% below floor $(COVER_MIN)%"; exit 1; }
 
 # check is the PR verify gate: everything must build, vet clean, pass the
-# full test suite under the race detector, and hold the coverage floor.
+# full test suite under the race detector (which includes a small
+# 2-seed × 3-profile chaos sweep via TestStressChaosSweep), and hold the
+# coverage floor.
 check:
 	$(GO) build ./...
 	$(GO) vet ./...
 	$(GO) test -race ./...
 	$(MAKE) cover
+
+# stress is the seeded chaos sweep: CHAOS_ROUNDS seeds (starting at
+# CHAOS_SEED) × {NTP, PTP-HW, DTP} clock profiles, each run under the race
+# detector with fault injection (drops, duplicates, delays, partitions,
+# crashes, clock steps) and the serializability checker on the recorded
+# history. A failing seed prints its replay command and chaos schedule;
+# replay with CHAOS_SEED=<seed> CHAOS_ROUNDS=1 make stress.
+CHAOS_SEED   ?= 1
+CHAOS_ROUNDS ?= 20
+stress:
+	CHAOS_SEED=$(CHAOS_SEED) CHAOS_ROUNDS=$(CHAOS_ROUNDS) \
+		$(GO) test -race -timeout 30m -run 'TestStress' -v ./internal/core/
 
 # bench runs the write/read-path perf scenarios and records the trajectory
 # (ops/sec + p50/p95 from the obs histograms) in BENCH_2.json.

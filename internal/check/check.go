@@ -1,0 +1,119 @@
+// Package check records transaction histories and decides whether they
+// are serializable.
+//
+// A History is populated by the MILANA client (milana.Client.SetHistory):
+// every finished transaction lands in it with the client-observed begin
+// and commit timestamps, the exact version stamps its reads returned, the
+// keys it wrote, and its outcome. Serializability then searches for a
+// valid serial order over the committed transactions — Porcupine-style,
+// but specialised to the versioned reads MILANA histories carry. The
+// MILANA commit-timestamp order is tried first (one linear replay; §4
+// promises it is a valid serial order, so the fast path almost always
+// certifies the run). Only when that replay fails is the direct
+// serialization graph built, whose cycles are exactly the serializability
+// anomalies; the shortest cycle is reported so a failing schedule names
+// the concrete transactions and conflict edges at fault.
+package check
+
+import (
+	"sync"
+
+	"repro/internal/clock"
+	"repro/internal/wire"
+)
+
+// Outcome is the client-observed fate of a transaction.
+type Outcome int
+
+const (
+	// Committed: the client learned a commit decision.
+	Committed Outcome = iota
+	// Aborted: the client learned an abort (validation failure, explicit
+	// abort vote, or application abort). Its writes must never be read.
+	Aborted
+	// Unknown: the client could not learn the outcome (2PC votes lost in
+	// transit). The transaction may later commit via cooperative
+	// termination; the checker treats it as committed iff some committed
+	// transaction observed one of its writes.
+	Unknown
+)
+
+// String names the outcome.
+func (o Outcome) String() string {
+	switch o {
+	case Committed:
+		return "committed"
+	case Aborted:
+		return "aborted"
+	default:
+		return "unknown"
+	}
+}
+
+// Read is one read-set entry: the version stamp the read observed. The
+// zero Version means "not found" — the key's initial state.
+type Read struct {
+	Key     string
+	Version clock.Timestamp
+}
+
+// Txn is one recorded transaction.
+type Txn struct {
+	ID    wire.TxnID
+	Begin clock.Timestamp
+	// Commit is the transaction's serialization point: the 2PC commit
+	// timestamp, or Begin for a read-only transaction that validated
+	// locally (§4.3 serializes those at their snapshot). Zero for
+	// transactions aborted before a commit timestamp was assigned.
+	Commit  clock.Timestamp
+	Reads   []Read
+	Writes  []string
+	Outcome Outcome
+}
+
+// History is a thread-safe recorder shared by any number of clients.
+type History struct {
+	mu   sync.Mutex
+	txns []Txn
+}
+
+// NewHistory returns an empty history.
+func NewHistory() *History { return &History{} }
+
+// Record appends one finished transaction.
+func (h *History) Record(t Txn) {
+	h.mu.Lock()
+	h.txns = append(h.txns, t)
+	h.mu.Unlock()
+}
+
+// Len reports the number of recorded transactions.
+func (h *History) Len() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.txns)
+}
+
+// Txns returns a copy of the recorded transactions.
+func (h *History) Txns() []Txn {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return append([]Txn(nil), h.txns...)
+}
+
+// Outcomes counts recorded transactions by outcome.
+func (h *History) Outcomes() (committed, aborted, unknown int) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for _, t := range h.txns {
+		switch t.Outcome {
+		case Committed:
+			committed++
+		case Aborted:
+			aborted++
+		default:
+			unknown++
+		}
+	}
+	return
+}

@@ -1,0 +1,223 @@
+package check
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/clock"
+	"repro/internal/wire"
+)
+
+func ts(ticks int64, client uint32) clock.Timestamp {
+	return clock.Timestamp{Ticks: ticks, Client: client}
+}
+
+func id(client uint32, seq uint64) wire.TxnID { return wire.TxnID{Client: client, Seq: seq} }
+
+func TestHistoryRecordAndOutcomes(t *testing.T) {
+	h := NewHistory()
+	h.Record(Txn{ID: id(1, 1), Outcome: Committed})
+	h.Record(Txn{ID: id(1, 2), Outcome: Aborted})
+	h.Record(Txn{ID: id(2, 1), Outcome: Unknown})
+	if h.Len() != 3 {
+		t.Fatalf("Len = %d", h.Len())
+	}
+	c, a, u := h.Outcomes()
+	if c != 1 || a != 1 || u != 1 {
+		t.Fatalf("Outcomes = %d/%d/%d", c, a, u)
+	}
+	if got := len(h.Txns()); got != 3 {
+		t.Fatalf("Txns = %d entries", got)
+	}
+}
+
+func TestEmptyAndAbortedOnlyHistoriesAreSerializable(t *testing.T) {
+	if rep := Serializability(nil); !rep.Serializable {
+		t.Fatalf("empty: %v", rep)
+	}
+	rep := Serializability([]Txn{
+		{ID: id(1, 1), Begin: ts(5, 1), Commit: ts(10, 1), Writes: []string{"k"}, Outcome: Aborted},
+	})
+	if !rep.Serializable || rep.Checked != 0 {
+		t.Fatalf("aborted-only: %v", rep)
+	}
+}
+
+func TestTimestampOrderFastPath(t *testing.T) {
+	// T1 installs k@10, T2 reads it and installs k@20, T3 reads k@20.
+	rep := Serializability([]Txn{
+		{ID: id(1, 1), Begin: ts(5, 1), Commit: ts(10, 1), Writes: []string{"k"}, Outcome: Committed},
+		{ID: id(2, 1), Begin: ts(15, 2), Commit: ts(20, 2), Reads: []Read{{Key: "k", Version: ts(10, 1)}}, Writes: []string{"k"}, Outcome: Committed},
+		{ID: id(3, 1), Begin: ts(25, 3), Commit: ts(25, 3), Reads: []Read{{Key: "k", Version: ts(20, 2)}}, Outcome: Committed},
+	})
+	if !rep.Serializable || !rep.TimestampOrder || rep.Checked != 3 {
+		t.Fatalf("got %v", rep)
+	}
+}
+
+func TestSerializableViaGraphWhenTimestampOrderFails(t *testing.T) {
+	// A read-only transaction with a late commit timestamp but an old
+	// snapshot: legal (serialize it before the writer), but not in
+	// timestamp order.
+	rep := Serializability([]Txn{
+		{ID: id(1, 1), Commit: ts(10, 1), Writes: []string{"k"}, Outcome: Committed},
+		{ID: id(2, 1), Commit: ts(20, 2), Writes: []string{"k"}, Outcome: Committed},
+		{ID: id(3, 1), Begin: ts(12, 3), Commit: ts(30, 3), Reads: []Read{{Key: "k", Version: ts(10, 1)}}, Outcome: Committed},
+	})
+	if !rep.Serializable {
+		t.Fatalf("should be serializable via graph: %v", rep)
+	}
+	if rep.TimestampOrder {
+		t.Fatalf("timestamp order should have failed: %v", rep)
+	}
+}
+
+func TestLostUpdateProducesMinimalCycle(t *testing.T) {
+	// T2 and T3 both read k@10 and both overwrite it — the anomaly a
+	// skipped read validation admits.
+	rep := Serializability([]Txn{
+		{ID: id(1, 1), Commit: ts(10, 1), Writes: []string{"k"}, Outcome: Committed},
+		{ID: id(2, 1), Commit: ts(20, 2), Reads: []Read{{Key: "k", Version: ts(10, 1)}}, Writes: []string{"k"}, Outcome: Committed},
+		{ID: id(3, 1), Commit: ts(30, 3), Reads: []Read{{Key: "k", Version: ts(10, 1)}}, Writes: []string{"k"}, Outcome: Committed},
+	})
+	if rep.Serializable {
+		t.Fatalf("lost update not detected: %v", rep)
+	}
+	if len(rep.Cycle) != 2 {
+		t.Fatalf("want minimal 2-cycle, got %v", rep)
+	}
+	kinds := map[string]bool{}
+	for i, e := range rep.Cycle {
+		kinds[e.Kind] = true
+		next := rep.Cycle[(i+1)%len(rep.Cycle)]
+		if e.To != next.From {
+			t.Fatalf("cycle edges do not chain: %v", rep.Cycle)
+		}
+	}
+	if !kinds["ww"] || !kinds["rw"] {
+		t.Fatalf("lost update should be a ww/rw cycle: %v", rep.Cycle)
+	}
+}
+
+func TestWriteSkewDetected(t *testing.T) {
+	// Classic write skew: both read {x,y} initial, T1 writes x, T2
+	// writes y. Not serializable (rw/rw cycle).
+	rep := Serializability([]Txn{
+		{ID: id(1, 1), Commit: ts(10, 1),
+			Reads:  []Read{{Key: "x"}, {Key: "y"}},
+			Writes: []string{"x"}, Outcome: Committed},
+		{ID: id(2, 1), Commit: ts(11, 2),
+			Reads:  []Read{{Key: "x"}, {Key: "y"}},
+			Writes: []string{"y"}, Outcome: Committed},
+	})
+	if rep.Serializable {
+		t.Fatalf("write skew not detected: %v", rep)
+	}
+	for _, e := range rep.Cycle {
+		if e.Kind != "rw" {
+			t.Fatalf("write skew should be all anti-dependencies: %v", rep.Cycle)
+		}
+	}
+}
+
+func TestDirtyReadDetected(t *testing.T) {
+	rep := Serializability([]Txn{
+		{ID: id(1, 1), Commit: ts(10, 1), Writes: []string{"k"}, Outcome: Aborted},
+		{ID: id(2, 1), Commit: ts(20, 2), Reads: []Read{{Key: "k", Version: ts(10, 1)}}, Outcome: Committed},
+	})
+	if rep.Serializable || !strings.Contains(rep.Anomaly, "dirty read") {
+		t.Fatalf("got %v", rep)
+	}
+	if len(rep.Cycle) != 1 || rep.Cycle[0].Kind != "wr" {
+		t.Fatalf("dirty read should carry its wr edge: %v", rep.Cycle)
+	}
+}
+
+func TestUnknownOutcomePromotion(t *testing.T) {
+	// T1's outcome was lost at the client, but T2 read its write: T1
+	// must be treated as committed. T3 is unknown and unobserved — its
+	// fate is irrelevant either way.
+	rep := Serializability([]Txn{
+		{ID: id(1, 1), Commit: ts(10, 1), Writes: []string{"k"}, Outcome: Unknown},
+		{ID: id(2, 1), Commit: ts(20, 2), Reads: []Read{{Key: "k", Version: ts(10, 1)}}, Outcome: Committed},
+		{ID: id(3, 1), Commit: ts(15, 3), Writes: []string{"j"}, Outcome: Unknown},
+	})
+	if !rep.Serializable || rep.Promoted != 1 || rep.Checked != 2 {
+		t.Fatalf("got %v (promoted=%d checked=%d)", rep, rep.Promoted, rep.Checked)
+	}
+}
+
+func TestTransitiveUnknownPromotion(t *testing.T) {
+	// U1's write is read only by U2, whose write a committed txn read:
+	// promotion must reach a fixpoint.
+	rep := Serializability([]Txn{
+		{ID: id(1, 1), Commit: ts(10, 1), Writes: []string{"a"}, Outcome: Unknown},
+		{ID: id(2, 1), Commit: ts(20, 2), Reads: []Read{{Key: "a", Version: ts(10, 1)}}, Writes: []string{"b"}, Outcome: Unknown},
+		{ID: id(3, 1), Commit: ts(30, 3), Reads: []Read{{Key: "b", Version: ts(20, 2)}}, Outcome: Committed},
+	})
+	if !rep.Serializable || rep.Promoted != 2 {
+		t.Fatalf("got %v (promoted=%d)", rep, rep.Promoted)
+	}
+}
+
+func TestDuplicateVersionDetected(t *testing.T) {
+	rep := Serializability([]Txn{
+		{ID: id(1, 1), Commit: ts(10, 1), Writes: []string{"k"}, Outcome: Committed},
+		{ID: id(2, 1), Commit: ts(10, 1), Writes: []string{"k"}, Outcome: Committed},
+	})
+	if rep.Serializable || !strings.Contains(rep.Anomaly, "duplicate version") {
+		t.Fatalf("got %v", rep)
+	}
+}
+
+func TestReadOfUnrecordedVersionDetected(t *testing.T) {
+	rep := Serializability([]Txn{
+		{ID: id(1, 1), Commit: ts(20, 1), Reads: []Read{{Key: "k", Version: ts(7, 9)}}, Outcome: Committed},
+	})
+	if rep.Serializable || !strings.Contains(rep.Anomaly, "no recorded transaction") {
+		t.Fatalf("got %v", rep)
+	}
+}
+
+func TestDuplicateTxnIDDetected(t *testing.T) {
+	rep := Serializability([]Txn{
+		{ID: id(1, 1), Commit: ts(10, 1), Outcome: Committed},
+		{ID: id(1, 1), Commit: ts(20, 1), Outcome: Committed},
+	})
+	if rep.Serializable || !strings.Contains(rep.Anomaly, "recorded twice") {
+		t.Fatalf("got %v", rep)
+	}
+}
+
+func TestReportString(t *testing.T) {
+	ok := Report{Serializable: true, TimestampOrder: true, Checked: 4}
+	if !strings.Contains(ok.String(), "serializable") {
+		t.Fatalf("String = %q", ok.String())
+	}
+	bad := Report{Anomaly: "dependency cycle of length 2", Cycle: []Edge{
+		{From: id(1, 1), To: id(2, 1), Kind: "ww", Key: "k"},
+		{From: id(2, 1), To: id(1, 1), Kind: "rw", Key: "k"},
+	}}
+	s := bad.String()
+	if !strings.Contains(s, "NOT serializable") || !strings.Contains(s, "ww") {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+// TestLongerCycleIsMinimal builds a 3-cycle with no shortcut and checks
+// the reported cycle has exactly three edges.
+func TestLongerCycleIsMinimal(t *testing.T) {
+	// T1 reads a@0 writes b; T2 reads b@0 writes c; T3 reads c@0
+	// writes a — a pure rw 3-cycle (generalised write skew).
+	rep := Serializability([]Txn{
+		{ID: id(1, 1), Commit: ts(10, 1), Reads: []Read{{Key: "a"}}, Writes: []string{"b"}, Outcome: Committed},
+		{ID: id(2, 1), Commit: ts(11, 2), Reads: []Read{{Key: "b"}}, Writes: []string{"c"}, Outcome: Committed},
+		{ID: id(3, 1), Commit: ts(12, 3), Reads: []Read{{Key: "c"}}, Writes: []string{"a"}, Outcome: Committed},
+	})
+	if rep.Serializable {
+		t.Fatalf("3-cycle not detected: %v", rep)
+	}
+	if len(rep.Cycle) != 3 {
+		t.Fatalf("want 3-cycle, got %d edges: %v", len(rep.Cycle), rep.Cycle)
+	}
+}

@@ -1,0 +1,378 @@
+package check
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/clock"
+	"repro/internal/wire"
+)
+
+// Edge is one conflict dependency between two committed transactions:
+// From must precede To in any equivalent serial order.
+type Edge struct {
+	From, To wire.TxnID
+	// Kind is "wr" (To read From's write), "ww" (To overwrote From's
+	// version), or "rw" (From read the version To overwrote — an
+	// anti-dependency).
+	Kind string
+	Key  string
+}
+
+// String renders the edge as "a →kind[key]→ b".
+func (e Edge) String() string {
+	return fmt.Sprintf("%v →%s[%s]→ %v", e.From, e.Kind, e.Key, e.To)
+}
+
+// Report is the checker's verdict on a history.
+type Report struct {
+	// Serializable reports whether an equivalent serial order exists.
+	Serializable bool
+	// TimestampOrder reports that the MILANA commit-timestamp order
+	// itself is a valid serial order (the fast-path certificate). False
+	// with Serializable=true means a valid order exists but differs from
+	// timestamp order (legal: serializability does not imply strictness).
+	TimestampOrder bool
+	// Checked is the number of committed transactions checked, including
+	// promoted unknown-outcome ones.
+	Checked int
+	// Promoted is the number of unknown-outcome transactions treated as
+	// committed because a committed transaction observed their writes.
+	Promoted int
+	// Anomaly describes the violation when Serializable is false.
+	Anomaly string
+	// Cycle is the shortest dependency cycle witnessing the violation
+	// (a single wr edge for dirty reads).
+	Cycle []Edge
+}
+
+// String renders the verdict for test logs.
+func (r Report) String() string {
+	if r.Serializable {
+		how := "via dependency graph"
+		if r.TimestampOrder {
+			how = "in timestamp order"
+		}
+		return fmt.Sprintf("serializable %s (%d committed, %d promoted)", how, r.Checked, r.Promoted)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "NOT serializable: %s", r.Anomaly)
+	for _, e := range r.Cycle {
+		fmt.Fprintf(&b, "\n  %s", e)
+	}
+	return b.String()
+}
+
+// dsgEdge is an Edge in node-index form, for graph algorithms.
+type dsgEdge struct {
+	from, to  int
+	kind, key string
+}
+
+// Serializability decides whether the recorded history has an equivalent
+// serial order. Aborted transactions participate only as dirty-read
+// tripwires; unknown-outcome transactions are promoted to committed iff
+// their writes were observed by (transitively) committed readers, and
+// ignored otherwise — either fate is consistent with what the clients
+// were told.
+func Serializability(txns []Txn) Report {
+	var rep Report
+
+	// Index writers by the version stamp their commit would install.
+	// MILANA version stamps are the commit timestamps, which are unique
+	// across transactions (per-client clocks are strictly monotonic and
+	// carry the client ID), so a version identifies its writer.
+	writers := make(map[string]map[clock.Timestamp]int)
+	byID := make(map[wire.TxnID]int, len(txns))
+	for i, t := range txns {
+		if prev, dup := byID[t.ID]; dup {
+			rep.Anomaly = fmt.Sprintf("transaction %v recorded twice (records %d and %d)", t.ID, prev, i)
+			return rep
+		}
+		byID[t.ID] = i
+		if len(t.Writes) == 0 || t.Commit.IsZero() {
+			continue
+		}
+		for _, k := range t.Writes {
+			vs := writers[k]
+			if vs == nil {
+				vs = make(map[clock.Timestamp]int)
+				writers[k] = vs
+			}
+			if w, clash := vs[t.Commit]; clash {
+				if t.Outcome != Aborted && txns[w].Outcome != Aborted {
+					rep.Anomaly = fmt.Sprintf("duplicate version: %v and %v both installed %s@%v", txns[w].ID, t.ID, k, t.Commit)
+					return rep
+				}
+				if txns[w].Outcome != Aborted {
+					continue // keep the non-aborted writer
+				}
+			}
+			vs[t.Commit] = i
+		}
+	}
+
+	// Promote unknown-outcome transactions whose writes were observed by
+	// a committed reader, to a fixpoint (a promoted transaction's own
+	// reads can in turn prove another unknown one committed).
+	committed := make([]bool, len(txns))
+	var queue []int
+	for i, t := range txns {
+		if t.Outcome == Committed {
+			committed[i] = true
+			queue = append(queue, i)
+		}
+	}
+	for len(queue) > 0 {
+		i := queue[0]
+		queue = queue[1:]
+		for _, r := range txns[i].Reads {
+			if r.Version.IsZero() {
+				continue // initial state
+			}
+			w, ok := writers[r.Key][r.Version]
+			if !ok {
+				rep.Anomaly = fmt.Sprintf("%v read %s@%v, a version no recorded transaction installed", txns[i].ID, r.Key, r.Version)
+				return rep
+			}
+			switch {
+			case txns[w].Outcome == Aborted:
+				rep.Anomaly = fmt.Sprintf("dirty read: %v observed %s@%v written by aborted transaction %v", txns[i].ID, r.Key, r.Version, txns[w].ID)
+				rep.Cycle = []Edge{{From: txns[w].ID, To: txns[i].ID, Kind: "wr", Key: r.Key}}
+				return rep
+			case !committed[w]:
+				committed[w] = true
+				rep.Promoted++
+				queue = append(queue, w)
+			}
+		}
+	}
+
+	var nodes []int // indices of committed (incl. promoted) transactions
+	for i := range txns {
+		if committed[i] {
+			if txns[i].Commit.IsZero() && len(txns[i].Writes) > 0 {
+				rep.Anomaly = fmt.Sprintf("committed read-write transaction %v has no commit timestamp", txns[i].ID)
+				return rep
+			}
+			nodes = append(nodes, i)
+		}
+	}
+	rep.Checked = len(nodes)
+
+	if replayTimestampOrder(txns, nodes) {
+		rep.Serializable = true
+		rep.TimestampOrder = true
+		return rep
+	}
+
+	// Fast path failed: some read did not see the latest write preceding
+	// it in timestamp order. That alone is not a violation — build the
+	// direct serialization graph and look for a cycle.
+	edges := buildDSG(txns, nodes, committed)
+	if cyc := shortestCycle(edges); cyc != nil {
+		out := make([]Edge, len(cyc))
+		for i, e := range cyc {
+			out[i] = Edge{From: txns[e.from].ID, To: txns[e.to].ID, Kind: e.kind, Key: e.key}
+		}
+		rep.Anomaly = fmt.Sprintf("dependency cycle of length %d", len(out))
+		rep.Cycle = out
+		return rep
+	}
+	rep.Serializable = true
+	return rep
+}
+
+// replayTimestampOrder replays the committed transactions in commit-
+// timestamp order and reports whether every read observed exactly the
+// version the preceding writes in that order left behind.
+func replayTimestampOrder(txns []Txn, nodes []int) bool {
+	order := append([]int(nil), nodes...)
+	sort.Slice(order, func(a, b int) bool {
+		return txns[order[a]].Commit.Before(txns[order[b]].Commit)
+	})
+	state := make(map[string]clock.Timestamp)
+	for _, i := range order {
+		t := txns[i]
+		for _, r := range t.Reads {
+			if state[r.Key] != r.Version {
+				return false
+			}
+		}
+		for _, k := range t.Writes {
+			state[k] = t.Commit
+		}
+	}
+	return true
+}
+
+// buildDSG builds the direct serialization graph over the committed
+// transactions: per key, the installed versions ordered by timestamp give
+// the ww chain; each version's writer points to its readers (wr); and
+// each reader of a version points to the writer of the next version (rw,
+// the anti-dependency). Reads of the initial state anti-depend on the
+// key's first writer. Only committed transactions contribute versions or
+// reads; excluded unknown-outcome transactions installed nothing anyone
+// saw, so dropping them preserves the version chains transitively.
+func buildDSG(txns []Txn, nodes []int, committed []bool) []dsgEdge {
+	type keyInfo struct {
+		versions []clock.Timestamp
+		writer   map[clock.Timestamp]int
+		readers  map[clock.Timestamp][]int
+	}
+	keys := make(map[string]*keyInfo)
+	info := func(k string) *keyInfo {
+		ki := keys[k]
+		if ki == nil {
+			ki = &keyInfo{writer: make(map[clock.Timestamp]int), readers: make(map[clock.Timestamp][]int)}
+			keys[k] = ki
+		}
+		return ki
+	}
+	for _, i := range nodes {
+		t := txns[i]
+		for _, k := range t.Writes {
+			ki := info(k)
+			ki.versions = append(ki.versions, t.Commit)
+			ki.writer[t.Commit] = i
+		}
+		for _, r := range t.Reads {
+			ki := info(r.Key)
+			ki.readers[r.Version] = append(ki.readers[r.Version], i)
+		}
+	}
+	_ = committed
+
+	var edges []dsgEdge
+	add := func(from, to int, kind, key string) {
+		if from == to {
+			return
+		}
+		edges = append(edges, dsgEdge{from: from, to: to, kind: kind, key: key})
+	}
+	for k, ki := range keys {
+		sort.Slice(ki.versions, func(a, b int) bool { return ki.versions[a].Before(ki.versions[b]) })
+		for idx, v := range ki.versions {
+			w := ki.writer[v]
+			if idx > 0 {
+				add(ki.writer[ki.versions[idx-1]], w, "ww", k)
+			}
+			for _, r := range ki.readers[v] {
+				add(w, r, "wr", k)
+			}
+			// Readers of the previous version (or of the initial
+			// state, for the first version) anti-depend on w.
+			var prev clock.Timestamp
+			if idx > 0 {
+				prev = ki.versions[idx-1]
+			}
+			for _, r := range ki.readers[prev] {
+				add(r, w, "rw", k)
+			}
+		}
+	}
+	return edges
+}
+
+// shortestCycle returns the shortest cycle in the graph, or nil if it is
+// acyclic. Acyclicity is decided first by Kahn peeling (O(V+E) — the
+// common case: serializable histories whose serial order merely differs
+// from timestamp order). Only the nodes left unpeeled lie on cycles; the
+// shortest one is then found by BFS from each of them, over edges
+// deduplicated per (from, to) pair and restricted to the cyclic core.
+func shortestCycle(edges []dsgEdge) []dsgEdge {
+	succ := make(map[int][]dsgEdge)
+	seen := make(map[[2]int]bool)
+	indeg := make(map[int]int)
+	for _, e := range edges {
+		if _, ok := indeg[e.from]; !ok {
+			indeg[e.from] = 0
+		}
+		if seen[[2]int{e.from, e.to}] {
+			continue
+		}
+		seen[[2]int{e.from, e.to}] = true
+		succ[e.from] = append(succ[e.from], e)
+		indeg[e.to]++
+	}
+	peel := make([]int, 0, len(indeg))
+	for n, d := range indeg {
+		if d == 0 {
+			peel = append(peel, n)
+		}
+	}
+	remaining := len(indeg)
+	for len(peel) > 0 {
+		n := peel[0]
+		peel = peel[1:]
+		remaining--
+		for _, e := range succ[n] {
+			if indeg[e.to]--; indeg[e.to] == 0 {
+				peel = append(peel, e.to)
+			}
+		}
+	}
+	if remaining == 0 {
+		return nil // acyclic
+	}
+	core := make(map[int]bool, remaining)
+	for n, d := range indeg {
+		if d > 0 {
+			core[n] = true
+		}
+	}
+
+	var best []dsgEdge
+	for start := range core {
+		// BFS from start; the first path returning to start is the
+		// shortest cycle through it.
+		parent := make(map[int]dsgEdge)
+		queue := []int{start}
+		visited := map[int]bool{start: true}
+		var closing *dsgEdge
+	bfs:
+		for len(queue) > 0 {
+			n := queue[0]
+			queue = queue[1:]
+			for _, e := range succ[n] {
+				if e.to == start {
+					e := e
+					closing = &e
+					break bfs
+				}
+				if !core[e.to] {
+					continue
+				}
+				if !visited[e.to] {
+					visited[e.to] = true
+					parent[e.to] = e
+					queue = append(queue, e.to)
+				}
+			}
+		}
+		if closing == nil {
+			continue
+		}
+		// Reconstruct start → ... → closing.from, then the closing edge.
+		var path []dsgEdge
+		for n := closing.from; n != start; {
+			e := parent[n]
+			path = append(path, e)
+			n = e.from
+		}
+		// path is reversed (closing.from back to start's successor).
+		cyc := make([]dsgEdge, 0, len(path)+1)
+		for i := len(path) - 1; i >= 0; i-- {
+			cyc = append(cyc, path[i])
+		}
+		cyc = append(cyc, *closing)
+		if best == nil || len(cyc) < len(best) {
+			best = cyc
+			if len(best) == 2 {
+				break // can't beat a 2-cycle (self-loops are excluded)
+			}
+		}
+	}
+	return best
+}

@@ -154,6 +154,32 @@ func (s *Synchronizer) SyncOnce() {
 	s.syncRounds.Inc()
 }
 
+// Perturb applies one out-of-schedule offset step of up to ±max to every
+// clock, emulating a synchronization upset (a bad NTP sample, a PTP
+// grandmaster change, a VM migration pause). Steps are drawn from the
+// synchronizer's seeded stream, so chaos runs that Perturb replay
+// deterministically. The next regular sync round re-disciplines the
+// clocks back inside the profile's residual.
+func (s *Synchronizer) Perturb(max time.Duration) {
+	if max <= 0 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, c := range s.clocks {
+		step := time.Duration(s.rng.Int63n(int64(2*max)+1) - int64(max))
+		c.Discipline(step)
+	}
+}
+
+// Clocks returns the synchronizer's clocks (fault-injection hooks step
+// their offsets directly).
+func (s *Synchronizer) Clocks() []*Skewed {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]*Skewed(nil), s.clocks...)
+}
+
 // Stop terminates the sync loop started by Start and waits for it to exit.
 func (s *Synchronizer) Stop() {
 	close(s.stop)

@@ -1,0 +1,186 @@
+package clock
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestPerturbBoundedAndDeterministic: Perturb must step every clock by at
+// most ±max, and two synchronizers with the same seed must apply
+// identical steps — the property chaos replay relies on.
+func TestPerturbBoundedAndDeterministic(t *testing.T) {
+	run := func() []time.Duration {
+		src := NewManualSource(0)
+		var clocks []*Skewed
+		for i := uint32(1); i <= 4; i++ {
+			clocks = append(clocks, NewSkewed(src, i, 0, 0))
+		}
+		s := NewSynchronizer(NTP, 7, clocks...)
+		var offsets []time.Duration
+		for round := 0; round < 10; round++ {
+			s.Perturb(time.Millisecond)
+			for _, c := range clocks {
+				off := c.Offset()
+				if off > time.Millisecond || off < -time.Millisecond {
+					t.Fatalf("offset %v exceeds ±1ms bound", off)
+				}
+				offsets = append(offsets, off)
+			}
+		}
+		return offsets
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("perturb streams diverge at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestPerturbZeroMaxIsNoop(t *testing.T) {
+	src := NewManualSource(0)
+	c := NewSkewed(src, 1, 123*time.Nanosecond, 0)
+	s := NewSynchronizer(NTP, 1, c)
+	s.Perturb(0)
+	s.Perturb(-time.Millisecond)
+	if got := c.Offset(); got != 123*time.Nanosecond {
+		t.Fatalf("offset changed by no-op Perturb: %v", got)
+	}
+}
+
+// TestDisciplineStepAtSyncBoundary races SyncOnce, Perturb, and readers:
+// whatever interleaving of re-discipline steps the scheduler produces,
+// every clock's timestamps must stay strictly monotonic. This is the
+// "offset steps backwards exactly when someone is reading" edge that the
+// slewing logic exists for.
+func TestDisciplineStepAtSyncBoundary(t *testing.T) {
+	src := NewSystemSource()
+	var clocks []*Skewed
+	for i := uint32(1); i <= 3; i++ {
+		clocks = append(clocks, NewSkewed(src, i, 0, 20))
+	}
+	s := NewSynchronizer(NTP, 3, clocks...)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				s.SyncOnce()
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				s.Perturb(time.Millisecond)
+			}
+		}
+	}()
+	for _, c := range clocks {
+		c := c
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			last := c.Now()
+			for i := 0; i < 20000; i++ {
+				now := c.Now()
+				if !last.Before(now) {
+					t.Errorf("clock %d went backwards: %v then %v", c.Client(), last, now)
+					return
+				}
+				last = now
+			}
+		}()
+	}
+	time.Sleep(20 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+}
+
+// TestMonotonicUnderNegativeRediscipline applies ever-more-negative
+// offsets on a frozen source — the worst case for the slew: real time
+// contributes nothing, every step pulls backwards.
+func TestMonotonicUnderNegativeRediscipline(t *testing.T) {
+	src := NewManualSource(1000)
+	c := NewSkewed(src, 1, 0, 0)
+	last := c.Now()
+	for i := 1; i <= 100; i++ {
+		c.Discipline(-time.Duration(i) * time.Microsecond)
+		now := c.Now()
+		if !last.Before(now) {
+			t.Fatalf("step %d: %v then %v", i, last, now)
+		}
+		last = now
+	}
+	// Once the source advances past the accumulated slew, readings track
+	// the (disciplined) offset again instead of the +1 ramp.
+	src.Advance(time.Second)
+	now := c.Now()
+	want := src.Now() + int64(-100*time.Microsecond)
+	if now.Ticks != want {
+		t.Fatalf("after advance: ticks=%d want %d", now.Ticks, want)
+	}
+}
+
+// TestWatermarkLagUnderDrift: a client whose clock runs far behind drags
+// the shard watermark with it — the §3.1 behavior that bounds version GC
+// — and catches up only when its clock is re-disciplined.
+func TestWatermarkLagUnderDrift(t *testing.T) {
+	src := NewManualSource(0)
+	fast := NewSkewed(src, 1, 0, 0)
+	slow := NewSkewed(src, 2, -time.Millisecond, -500) // behind and drifting further
+	w := NewWatermarkTracker()
+	src.Advance(10 * time.Millisecond)
+
+	w.Report(1, fast.Now())
+	w.Report(2, slow.Now())
+	wm := w.Watermark()
+	if wm.Client != 2 {
+		t.Fatalf("watermark should be pinned by the slow clock, got %v", wm)
+	}
+	lag := src.Now() - wm.Ticks
+	if lag < int64(time.Millisecond) {
+		t.Fatalf("lag %dns, want >= 1ms of skew", lag)
+	}
+
+	// Re-disciplining the slow clock releases the watermark: after the
+	// next reports, the lag collapses to the residual.
+	slow.Discipline(0)
+	src.Advance(10 * time.Millisecond)
+	w.Report(1, fast.Now())
+	w.Report(2, slow.Now())
+	newLag := src.Now() - w.Watermark().Ticks
+	if newLag >= lag {
+		t.Fatalf("watermark lag did not shrink after re-discipline: %d → %d", lag, newLag)
+	}
+	// Monotonicity: the watermark never retreats.
+	if !wm.Before(w.Watermark()) {
+		t.Fatalf("watermark retreated: %v then %v", wm, w.Watermark())
+	}
+}
+
+// TestSynchronizerClocksSnapshot: Clocks returns a copy — mutating it
+// must not affect the synchronizer's set.
+func TestSynchronizerClocksSnapshot(t *testing.T) {
+	src := NewManualSource(0)
+	a := NewSkewed(src, 1, 0, 0)
+	s := NewSynchronizer(NTP, 1, a)
+	got := s.Clocks()
+	if len(got) != 1 || got[0] != a {
+		t.Fatalf("Clocks = %v", got)
+	}
+	got[0] = nil
+	if s.Clocks()[0] != a {
+		t.Fatal("mutating the snapshot reached the synchronizer")
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/check"
 	"repro/internal/clock"
 	"repro/internal/cluster"
 	"repro/internal/milana"
@@ -46,8 +47,10 @@ func chaosRound(t *testing.T, seed int64) {
 	})
 	ctx := context.Background()
 	acct := func(i int) []byte { return []byte(fmt.Sprintf("acct:%d", i)) }
+	hist := check.NewHistory()
 
 	setup := c.NewTxnClient(100)
+	setup.SetHistory(hist)
 	setup.SyncDecisions = true
 	if err := setup.RunTransaction(ctx, func(tx *milana.Txn) error {
 		for i := 0; i < accounts; i++ {
@@ -70,6 +73,7 @@ func chaosRound(t *testing.T, seed int64) {
 		go func(w int) {
 			defer wg.Done()
 			txc := c.NewTxnClient(uint32(w + 1))
+			txc.SetHistory(hist)
 			r := rand.New(rand.NewSource(seed*100 + int64(w)))
 			for !stop.Load() {
 				from, to := r.Intn(accounts), r.Intn(accounts)
@@ -133,6 +137,7 @@ func chaosRound(t *testing.T, seed int64) {
 	// Give in-flight decisions and the sweeper time to settle in-doubt
 	// transactions, then audit until the total converges.
 	auditor := c.NewTxnClient(50)
+	auditor.SetHistory(hist)
 	deadline := time.Now().Add(8 * time.Second)
 	var total int
 	for {
@@ -183,6 +188,11 @@ func chaosRound(t *testing.T, seed int64) {
 	}
 	if transfer.Load() == 0 {
 		t.Fatal("no transfer ever committed; chaos too aggressive to be meaningful")
+	}
+	// Conservation alone would miss reorderings that happen to preserve
+	// sums; the recorded history must also be serializable.
+	if rep := check.Serializability(hist.Txns()); !rep.Serializable {
+		t.Fatalf("failover history not serializable: %v", rep)
 	}
 }
 
@@ -284,7 +294,9 @@ func TestChaosFailoverFlashBackend(t *testing.T) {
 	})
 	ctx := context.Background()
 	acct := func(i int) []byte { return []byte(fmt.Sprintf("acct:%d", i)) }
+	hist := check.NewHistory()
 	setup := c.NewTxnClient(100)
+	setup.SetHistory(hist)
 	setup.SyncDecisions = true
 	if err := setup.RunTransaction(ctx, func(tx *milana.Txn) error {
 		for i := 0; i < accounts; i++ {
@@ -303,6 +315,7 @@ func TestChaosFailoverFlashBackend(t *testing.T) {
 	go func() {
 		defer wg.Done()
 		txc := c.NewTxnClient(1)
+		txc.SetHistory(hist)
 		r := rand.New(rand.NewSource(9))
 		for !stop.Load() {
 			from, to := r.Intn(accounts), r.Intn(accounts)
@@ -343,6 +356,7 @@ func TestChaosFailoverFlashBackend(t *testing.T) {
 	wg.Wait()
 
 	auditor := c.NewTxnClient(50)
+	auditor.SetHistory(hist)
 	deadline := time.Now().Add(8 * time.Second)
 	for {
 		total := 0
@@ -364,6 +378,9 @@ func TestChaosFailoverFlashBackend(t *testing.T) {
 		})
 		cancel()
 		if err == nil && total == accounts*initial {
+			if rep := check.Serializability(hist.Txns()); !rep.Serializable {
+				t.Fatalf("flash failover history not serializable: %v", rep)
+			}
 			return
 		}
 		if time.Now().After(deadline) {

@@ -87,6 +87,12 @@ type ClusterOptions struct {
 	SlowRequestThreshold time.Duration
 	// Seed makes latency jitter and clock skew reproducible.
 	Seed int64
+	// NetWrapper, when set, wraps every endpoint's view of the transport —
+	// the fault-injection hook (faults.Injector.Wrap). It is called once
+	// per server (name = the server's bus address) and once per client
+	// (name = "client-<id>"); the returned client carries all of that
+	// endpoint's outgoing traffic.
+	NetWrapper func(name string, inner transport.Client) transport.Client
 }
 
 // Cluster is an embedded SEMEL/MILANA deployment.
@@ -184,12 +190,16 @@ func NewCluster(opt ClusterOptions) (*Cluster, error) {
 				// 2·Epsilon are plausibly skew artifacts.
 				skewWindow = 2 * opt.ClockProfile.Epsilon()
 			}
+			var net transport.Client = c.Bus
+			if opt.NetWrapper != nil {
+				net = opt.NetWrapper(addr, c.Bus)
+			}
 			srv, err := semel.NewServer(semel.ServerOptions{
 				Addr:                 addr,
 				Shard:                cluster.ShardID(s),
 				Primary:              r == 0,
 				Backend:              backend,
-				Net:                  c.Bus,
+				Net:                  net,
 				Dir:                  dir,
 				Clock:                srvClock,
 				LeaseDuration:        opt.LeaseDuration,
@@ -325,14 +335,32 @@ func (c *Cluster) MergedSnapshot() obs.Snapshot {
 // synchronization profile (for baselines that bring their own client).
 func (c *Cluster) ClientClock(id uint32) clock.Clock { return c.clientClock(id) }
 
+// clientNet returns client id's view of the transport, fault-wrapped
+// when the cluster has a NetWrapper.
+func (c *Cluster) clientNet(id uint32) transport.Client {
+	if c.opt.NetWrapper == nil {
+		return c.Bus
+	}
+	return c.opt.NetWrapper(fmt.Sprintf("client-%d", id), c.Bus)
+}
+
 // NewSemelClient builds a plain key-value client.
 func (c *Cluster) NewSemelClient(id uint32) *semel.Client {
-	return semel.NewClient(c.clientClock(id), c.Bus, c.Dir)
+	return semel.NewClient(c.clientClock(id), c.clientNet(id), c.Dir)
 }
 
 // NewTxnClient builds a transaction client.
 func (c *Cluster) NewTxnClient(id uint32) *milana.Client {
-	return milana.NewClient(c.clientClock(id), c.Bus, c.Dir)
+	return milana.NewClient(c.clientClock(id), c.clientNet(id), c.Dir)
+}
+
+// Clocks snapshots every skewed clock created so far (servers first when
+// SkewServers is set, then clients in creation order) — the hook chaos
+// drivers use to step clock offsets mid-run.
+func (c *Cluster) Clocks() []*clock.Skewed {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]*clock.Skewed(nil), c.clocks...)
 }
 
 // Server returns the replica at addr (tests and experiment drivers).

@@ -562,12 +562,20 @@ func TestLeaseBlocksDeposedPrimaryReads(t *testing.T) {
 		t.Fatal(err)
 	}
 	// The deposed primary is partitioned; once its lease runs out, even a
-	// direct call (bypassing the partition) must refuse reads.
-	time.Sleep(250 * time.Millisecond)
+	// direct call (bypassing the partition) must refuse reads. Poll
+	// instead of sleeping a fixed lease-length: reads may legitimately
+	// succeed while the old lease is still valid.
 	c.Bus.SetDown(old, false)
-	_, err := c.Bus.Call(ctx, old, wire.GetRequest{Key: []byte("k"), At: cl.Clock().Now()})
-	if err == nil {
-		t.Fatal("deposed primary served a read after its lease expired")
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		_, err := c.Bus.Call(ctx, old, wire.GetRequest{Key: []byte("k"), At: cl.Clock().Now()})
+		if err != nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("deposed primary still served reads long after its lease expired")
+		}
+		time.Sleep(5 * time.Millisecond)
 	}
 	_ = oldSrv
 }

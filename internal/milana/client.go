@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/check"
 	"repro/internal/clock"
 	"repro/internal/cluster"
 	"repro/internal/obs"
@@ -19,6 +20,13 @@ import (
 // ErrAborted is returned when a transaction fails validation (a
 // serializability conflict) and must be retried by the application.
 var ErrAborted = errors.New("milana: transaction aborted")
+
+// ErrUnknown is returned when the client could not learn a transaction's
+// outcome: a prepare vote was lost in transit, no participant voted
+// ABORT, and §4.5's cooperative termination may later commit the fully
+// prepared transaction. The application must NOT retry as if aborted —
+// the writes may yet take effect.
+var ErrUnknown = errors.New("milana: transaction outcome unknown")
 
 // ErrTxnDone guards against reusing a finished transaction.
 var ErrTxnDone = errors.New("milana: transaction already committed or aborted")
@@ -77,6 +85,10 @@ type Client struct {
 	// server they touch records spans, and the client records the root
 	// span stamped with its own (skewed) clock. Nil disables (default).
 	spans *obs.SpanStore
+
+	// history, when attached via SetHistory, records every finished
+	// transaction for offline serializability checking. Nil = off.
+	history *check.History
 
 	seq atomic.Uint64
 
@@ -150,6 +162,14 @@ func (c *Client) EnableTracing(ring int) {
 // Spans returns the client's root-span store (nil until EnableTracing).
 func (c *Client) Spans() *obs.SpanStore { return c.spans }
 
+// SetHistory attaches a history recorder: every transaction this client
+// finishes is recorded with its begin and commit timestamps, the exact
+// versions its reads observed, the keys it wrote, and its outcome
+// (committed / aborted / unknown), ready for check.Serializability. Many
+// clients may share one History. Call before issuing transactions; not
+// safe to swap concurrently with them.
+func (c *Client) SetHistory(h *check.History) { c.history = h }
+
 // Clock exposes the client's clock (trace collection reads its Health to
 // align the client's spans with the servers').
 func (c *Client) Clock() clock.Clock { return c.clk }
@@ -221,6 +241,12 @@ type Txn struct {
 	// tc is the transaction's distributed-trace context (EnableTracing):
 	// every RPC carries it, and spanEnd records the root span under it.
 	tc obs.TraceContext
+	// commitTs is the serialization point recorded into the history: the
+	// 2PC commit timestamp, or begin for a locally validated read-only
+	// transaction. Zero until assigned.
+	commitTs clock.Timestamp
+	// unknown marks a transaction whose outcome the client never learned.
+	unknown bool
 }
 
 // Begin starts a transaction at the client's current time.
@@ -370,6 +396,23 @@ func (t *Txn) finish(committed bool) {
 	if t.ReadOnly() {
 		t.c.readOnly.Add(1)
 	}
+	if h := t.c.history; h != nil {
+		out := check.Aborted
+		switch {
+		case committed:
+			out = check.Committed
+		case t.unknown:
+			out = check.Unknown
+		}
+		rec := check.Txn{ID: t.id, Begin: t.begin, Commit: t.commitTs, Outcome: out}
+		for k, ri := range t.reads {
+			rec.Reads = append(rec.Reads, check.Read{Key: k, Version: ri.ver})
+		}
+		for k := range t.write {
+			rec.Writes = append(rec.Writes, k)
+		}
+		h.Record(rec)
+	}
 	// Fallback span end for paths that didn't set a richer outcome
 	// (application Abort, snapshot-miss aborts).
 	if committed {
@@ -421,6 +464,7 @@ func (t *Txn) Commit(ctx context.Context) error {
 		}
 		t.c.localValidated.Add(1)
 		t.c.noteDecided(t.begin)
+		t.commitTs = t.begin // §4.3: the snapshot is the serialization point
 		t.spanEnd("commit-local")
 		t.finish(true)
 		return nil
@@ -432,6 +476,7 @@ func (t *Txn) Commit(ctx context.Context) error {
 func (t *Txn) commit2PC(ctx context.Context) error {
 	ctx = t.traceCtx(ctx)
 	commitTs := t.c.clk.Now()
+	t.commitTs = commitTs
 	t.sp.Record("read", t.readTime)
 	t.sp.Stage("prepare")
 
@@ -525,17 +570,23 @@ func (t *Txn) commit2PC(ctx context.Context) error {
 		t.c.abortReasons[reason].Add(1)
 	}
 
-	// A single-participant prepare whose outcome we never learned
-	// (transport error, not an ABORT vote) must be left in doubt: §4.5's
-	// recovery rule auto-commits prepared single-shard transactions, so
-	// issuing an abort here could contradict a commit the participant
-	// (or its successor after failover) already performed. The outcome
-	// is reported as unknown; the transaction is NOT retried as a
-	// conflict abort.
-	if !commit && !explicitAbort && len(participants) == 1 {
+	// A prepare whose outcome we never learned (transport error, not an
+	// ABORT vote) must be left in doubt — for any participant count.
+	// §4.5's recovery rules auto-commit a prepared single-shard
+	// transaction, and the Cooperative Termination Protocol commits a
+	// multi-shard transaction all of whose participants prepared; a lost
+	// *reply* means exactly that may have happened. Issuing an abort
+	// decision here (the messages could be lost too) while reporting
+	// "aborted" to the application would let CTP contradict us — the
+	// retried transaction plus the recovered original is a lost-update
+	// anomaly the fault injector reliably produces. The outcome is
+	// reported unknown; the prepared records, if any, are terminated by
+	// the participants' sweepers.
+	if !commit && !explicitAbort {
+		t.unknown = true
 		t.spanEnd("unknown")
 		t.finish(false)
-		return fmt.Errorf("milana: transaction %v outcome unknown: %w", t.id, firstErr)
+		return fmt.Errorf("%w: transaction %v: %v", ErrUnknown, t.id, firstErr)
 	}
 	// The decision stage covers phase two: synchronous notification when
 	// SyncDecisions is set, otherwise just the async dispatch.

@@ -98,6 +98,10 @@ type Manager struct {
 	// attributed to clock skew (see SetSkewWindow). Atomic: read per abort.
 	skewWindow atomic.Int64
 
+	// skipReadValidation deliberately disables Algorithm 1's read-set
+	// checks (see MutateSkipReadValidation). Tests only.
+	skipReadValidation atomic.Bool
+
 	mu        sync.Mutex
 	keys      map[string]*keyMeta
 	table     map[wire.TxnID]*txnState
@@ -274,17 +278,30 @@ func (m *Manager) Prepare(ctx context.Context, req wire.PrepareRequest) (wire.Pr
 	return wire.PrepareResponse{OK: true}, nil
 }
 
+// MutateSkipReadValidation deliberately weakens Algorithm 1 by skipping
+// the read-set checks (read-prepared, read-stale). It exists ONLY so the
+// serializability checker's mutation test can prove it detects the
+// resulting anomalies: without read validation, two transactions that both
+// read a key's old version and then overwrite it can both commit — the
+// classic lost update, a ww/rw cycle in the dependency graph. Never set
+// outside tests.
+func (m *Manager) MutateSkipReadValidation(skip bool) {
+	m.skipReadValidation.Store(skip)
+}
+
 // validateLocked is Algorithm 1. It returns ("", AbortNone, -1) on success
 // or an abort reason with its classification and, for the Late* reasons, the
 // margin by which the commit timestamp lost its race (abort provenance).
 func (m *Manager) validateLocked(req wire.PrepareRequest) (string, wire.AbortReason, time.Duration) {
-	for _, rk := range req.ReadSet {
-		km := m.metaLocked(rk.Key)
-		if km.hasPrepared && km.preparedBy != req.ID {
-			return fmt.Sprintf("read key %q has a prepared version", rk.Key), wire.AbortReadPrepared, -1
-		}
-		if km.latestCommitted != rk.Version {
-			return fmt.Sprintf("read key %q changed: read %v, latest %v", rk.Key, rk.Version, km.latestCommitted), wire.AbortReadStale, -1
+	if !m.skipReadValidation.Load() {
+		for _, rk := range req.ReadSet {
+			km := m.metaLocked(rk.Key)
+			if km.hasPrepared && km.preparedBy != req.ID {
+				return fmt.Sprintf("read key %q has a prepared version", rk.Key), wire.AbortReadPrepared, -1
+			}
+			if km.latestCommitted != rk.Version {
+				return fmt.Sprintf("read key %q changed: read %v, latest %v", rk.Key, rk.Version, km.latestCommitted), wire.AbortReadStale, -1
+			}
 		}
 	}
 	newVersion := req.CommitTs
@@ -492,20 +509,28 @@ type SweepResult struct {
 func (r SweepResult) Terminated() int { return r.RecoveredCommit + r.RecoveredAbort }
 
 // SweepPrepared terminates transactions that have been prepared for longer
-// than timeout, for which this shard is the designated backup coordinator
-// (the lowest-numbered participant). It implements the Cooperative
-// Termination Protocol and reports the per-outcome breakdown, which also
-// feeds the milana_sweep_total{outcome=...} counters.
+// than timeout, implementing the Cooperative Termination Protocol. The
+// designated backup coordinator (the lowest-numbered participant) sweeps
+// first; the other participants hold off for one extra timeout and then
+// run CTP themselves — without that second line, a transaction whose
+// coordinator shard already decided (a client decision that reached only
+// some participants before its messages were lost) leaves the others
+// prepared forever, since the coordinator's table no longer holds it. CTP's
+// rules are participant-symmetric, so any participant may terminate: a
+// decision seen anywhere is adopted, and concurrent terminations converge.
+// Reports the per-outcome breakdown, which also feeds the
+// milana_sweep_total{outcome=...} counters.
 func (m *Manager) SweepPrepared(ctx context.Context, timeout time.Duration) SweepResult {
 	m.mu.Lock()
 	var stale []wire.TxnRecord
-	cutoff := time.Now().Add(-timeout)
+	now := time.Now()
 	for _, st := range m.table {
-		if !st.preparedAt.Before(cutoff) {
+		age := now.Sub(st.preparedAt)
+		if age <= timeout {
 			continue
 		}
-		if coordinatorShard(st.rec.Participants) != m.host.ShardID() {
-			continue
+		if coordinatorShard(st.rec.Participants) != m.host.ShardID() && age <= 2*timeout {
+			continue // give the designated coordinator the first shot
 		}
 		stale = append(stale, st.rec)
 	}

@@ -334,24 +334,50 @@ func TestSweepPreparedCTP(t *testing.T) {
 	}
 }
 
-func TestSweepOnlyByBackupCoordinator(t *testing.T) {
+// TestSweepNonCoordinatorDefersThenTerminates: the designated backup
+// coordinator (lowest participant shard) gets the first timeout window;
+// a non-coordinator holds off for one extra timeout, then runs CTP
+// itself — otherwise a transaction the coordinator already decided (and
+// forgot) would stay prepared here forever.
+func TestSweepNonCoordinatorDefersThenTerminates(t *testing.T) {
 	h := newFakeHost()
 	h.shard = 1 // not the lowest participant
+	// CTP will ask shard 0 for its view; it already committed.
+	h.peers[0] = func(req any) (any, error) {
+		if _, ok := req.(wire.StatusRequest); ok {
+			return wire.StatusResponse{Status: wire.StatusCommitted}, nil
+		}
+		return nil, nil
+	}
 	m := NewManager(h)
 	req := wire.PrepareRequest{
 		ID:           wire.TxnID{Client: 7, Seq: 1},
 		CommitTs:     ts(100),
-		WriteSet:     []wire.KV{{Key: []byte("a")}},
+		WriteSet:     []wire.KV{{Key: []byte("a"), Val: []byte("v")}},
 		Participants: []int{0, 1},
 	}
 	if resp, _ := m.Prepare(context.Background(), req); !resp.OK {
 		t.Fatal("prepare")
 	}
-	if res := m.SweepPrepared(context.Background(), 0); res.Terminated() != 0 || res.StillPending != 0 {
-		t.Fatalf("non-coordinator touched the txn: %+v", res)
+	// Age is far below the timeout: nobody sweeps.
+	if res := m.SweepPrepared(context.Background(), time.Hour); res.Terminated() != 0 || res.StillPending != 0 {
+		t.Fatalf("fresh txn swept: %+v", res)
+	}
+	// Age is within (timeout, 2·timeout]: a non-coordinator defers.
+	time.Sleep(50 * time.Millisecond)
+	if res := m.SweepPrepared(context.Background(), 40*time.Millisecond); res.Terminated() != 0 || res.StillPending != 0 {
+		t.Fatalf("non-coordinator swept inside the coordinator's window: %+v", res)
 	}
 	if m.Status(req.ID) != wire.StatusPrepared {
 		t.Fatal("txn no longer prepared")
+	}
+	// Age exceeds 2·timeout: the non-coordinator terminates via CTP,
+	// adopting the decision shard 0 reports.
+	if res := m.SweepPrepared(context.Background(), 10*time.Millisecond); res.RecoveredCommit != 1 {
+		t.Fatalf("non-coordinator failed to terminate after 2x timeout: %+v", res)
+	}
+	if m.Status(req.ID) != wire.StatusCommitted {
+		t.Fatalf("status = %v", m.Status(req.ID))
 	}
 }
 

@@ -378,8 +378,12 @@ type PromoteRequest struct{}
 // PromoteResponse acknowledges completed recovery.
 type PromoteResponse struct{}
 
-func init() {
-	for _, v := range []any{
+// registeredMessages lists one zero value of every message type that
+// crosses the wire; init registers them with the gob codec, and the
+// round-trip test sweeps the same list so no type ships unregistered or
+// untested.
+func registeredMessages() []any {
+	return []any{
 		GetRequest{}, GetResponse{}, MultiGetRequest{}, MultiGetResponse{},
 		Replicated{},
 		PutRequest{}, PutResponse{},
@@ -390,7 +394,11 @@ func init() {
 		RecoveryPullRequest{}, RecoveryPullResponse{}, PromoteRequest{}, PromoteResponse{},
 		StatsRequest{}, StatsResponse{},
 		TraceRequest{}, TraceResponse{}, TimeHealthRequest{}, TimeHealthResponse{},
-	} {
+	}
+}
+
+func init() {
+	for _, v := range registeredMessages() {
 		transport.RegisterType(v)
 	}
 }

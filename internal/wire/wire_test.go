@@ -3,6 +3,7 @@ package wire
 import (
 	"bytes"
 	"encoding/gob"
+	"reflect"
 	"testing"
 
 	"repro/internal/clock"
@@ -51,8 +52,13 @@ func TestGobRoundTrip(t *testing.T) {
 		PutResponse{Rejected: true},
 		DeleteRequest{Key: []byte("k"), Version: ts},
 		DeleteResponse{},
-		ReplicateData{Ops: []DataOp{{Key: []byte("k"), Version: ts, Tombstone: true}}},
+		ReplicateData{Ops: []DataOp{
+			{Key: []byte("k"), Val: []byte("v"), Version: ts, Tombstone: true,
+				TC: obs.TraceContext{TraceID: 8, SpanID: 9, Sampled: true}},
+		}},
+		Replicated{Epoch: 7, Msg: ReplicateData{Ops: []DataOp{{Key: []byte("k"), Version: ts}}}},
 		Ack{},
+		BatchAck{Errs: []string{"", "rejected: stale version", ""}},
 		WatermarkBroadcast{Client: 1, Ts: ts},
 		PrepareRequest{ID: TxnID{Client: 1, Seq: 2}, CommitTs: ts, ReadSet: []ReadKey{{Key: []byte("r"), Version: ts}}, WriteSet: []KV{{Key: []byte("w"), Val: []byte("x")}}, Participants: []int{0, 1}},
 		PrepareResponse{OK: false, Reason: "x", Code: AbortLateWrite},
@@ -68,6 +74,14 @@ func TestGobRoundTrip(t *testing.T) {
 		RecoveryPullResponse{Txns: []TxnRecord{{ID: TxnID{Client: 9}}}, LeaseExpiry: ts},
 		PromoteRequest{},
 		PromoteResponse{},
+		TraceRequest{TraceID: 11},
+		TraceResponse{Addr: "shard0/r1",
+			Spans: []obs.SpanRecord{{TraceID: 11, SpanID: 2, Parent: 1, Node: "shard0/r1", Name: "serve", Start: 5, End: 9, Outcome: "ok"}},
+			Clock: clock.Health{OffsetNs: 120, ResidualNs: 50, DriftNs: 10, SinceSyncNs: 100, UncertaintyNs: 60}},
+		TimeHealthRequest{},
+		TimeHealthResponse{Addr: "shard0/r0", Shard: 0, Primary: true,
+			Clock: clock.Health{OffsetNs: -40, ResidualNs: -20, UncertaintyNs: 20},
+			Now:   ts, Watermark: clock.Timestamp{Ticks: 90, Client: 3}, WatermarkLagNs: 9},
 		StatsRequest{Detailed: true},
 		StatsResponse{Addr: "a", Primary: true, Gets: 5, Watermark: ts,
 			Obs: obs.Snapshot{
@@ -78,7 +92,9 @@ func TestGobRoundTrip(t *testing.T) {
 				},
 			}},
 	}
+	covered := map[reflect.Type]bool{}
 	for _, msg := range msgs {
+		covered[reflect.TypeOf(msg)] = true
 		var buf bytes.Buffer
 		// Encode as interface, the way the TCP frame carries payloads.
 		env := struct{ Payload any }{Payload: msg}
@@ -92,17 +108,21 @@ func TestGobRoundTrip(t *testing.T) {
 		if out.Payload == nil {
 			t.Fatalf("%T: payload lost", msg)
 		}
-		if _, ok := out.Payload.(Ack); msg == (Ack{}) && !ok {
-			t.Fatalf("Ack decoded as %T", out.Payload)
+		if reflect.TypeOf(out.Payload) != reflect.TypeOf(msg) {
+			t.Fatalf("%T decoded as %T", msg, out.Payload)
 		}
-		if sr, ok := out.Payload.(StatsResponse); ok {
-			h, found := sr.Obs.Hists[`semel_serve_ns{op="get"}`]
-			if !found || h.Count != 1 || len(h.Buckets) != 1 || h.Buckets[0].N != 1 {
-				t.Fatalf("StatsResponse.Obs lost in transit: %+v", sr.Obs)
-			}
-			if sr.Obs.Counters[`milana_aborts_total{reason="READ_STALE"}`] != 2 {
-				t.Fatalf("StatsResponse.Obs counters lost: %+v", sr.Obs.Counters)
-			}
+		// Field-exact round trip: a silently dropped or renamed field is
+		// a protocol bug even if nothing crashes.
+		if !reflect.DeepEqual(out.Payload, msg) {
+			t.Fatalf("%T round trip altered the message:\n in: %+v\nout: %+v", msg, msg, out.Payload)
+		}
+	}
+
+	// Every type the transport registers must appear above — adding a
+	// message to wire.go without extending this test is an error.
+	for _, v := range registeredMessages() {
+		if !covered[reflect.TypeOf(v)] {
+			t.Errorf("registered message %T has no round-trip case", v)
 		}
 	}
 }
