@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check cover stress bench benchall
+.PHONY: all build vet test race check cover audit stress bench benchall
 
 all: check
 
@@ -21,7 +21,7 @@ race:
 # regressions (an unparseable /metrics line, a field dropped from a gob
 # envelope, a checker that stops finding cycles) otherwise slip through
 # unexercised.
-COVER_PKGS = ./internal/obs ./internal/wire ./internal/faults ./internal/check
+COVER_PKGS = ./internal/obs ./internal/wire ./internal/faults ./internal/check ./internal/audit
 COVER_MIN  = 70
 cover:
 	$(GO) test -coverprofile=cover.out $(COVER_PKGS)
@@ -30,10 +30,19 @@ cover:
 	awk -v t="$$total" -v min=$(COVER_MIN) 'BEGIN { exit (t+0 < min) ? 1 : 0 }' || \
 		{ echo "coverage $$total% below floor $(COVER_MIN)%"; exit 1; }
 
+# audit runs the online-audit gate under the race detector: chaos runs with
+# the streaming auditor attached must stay silent (zero convictions, zero
+# ε violations), a mutated cluster must be convicted online, the streaming
+# verdict must match the offline checker across the seed sweep, and cluster
+# teardown must not leak a single goroutine (flusher, batcher, tickers).
+audit:
+	CHAOS_SEED=$(CHAOS_SEED) CHAOS_ROUNDS=$(CHAOS_ROUNDS) \
+		$(GO) test -race -timeout 30m -run 'TestAudit' -v ./internal/core/ ./internal/audit/
+
 # check is the PR verify gate: everything must build, vet clean, pass the
 # full test suite under the race detector (which includes a small
-# 2-seed × 3-profile chaos sweep via TestStressChaosSweep), and hold the
-# coverage floor.
+# 2-seed × 3-profile chaos sweep via TestStressChaosSweep and the online
+# audit suite), and hold the coverage floor.
 check:
 	$(GO) build ./...
 	$(GO) vet ./...
@@ -50,7 +59,7 @@ CHAOS_SEED   ?= 1
 CHAOS_ROUNDS ?= 20
 stress:
 	CHAOS_SEED=$(CHAOS_SEED) CHAOS_ROUNDS=$(CHAOS_ROUNDS) \
-		$(GO) test -race -timeout 30m -run 'TestStress' -v ./internal/core/
+		$(GO) test -race -timeout 30m -run 'TestStress|TestAudit' -v ./internal/core/
 
 # bench runs the write/read-path perf scenarios and records the trajectory
 # (ops/sec + p50/p95 from the obs histograms) in BENCH_2.json.

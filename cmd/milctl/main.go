@@ -12,6 +12,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -20,6 +21,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/audit"
 	"repro/internal/clock"
 	"repro/internal/cluster"
 	"repro/internal/milana"
@@ -35,11 +37,13 @@ func main() {
 		timeout  = flag.Duration("timeout", 5*time.Second, "per-command timeout")
 		id       = flag.Uint("id", 1, "client id (must be unique per concurrent client)")
 		traceTxn = flag.Bool("trace", false, "with txn: propagate a trace context and print the stitched cross-node timeline")
+		interval = flag.Duration("interval", time.Second, "with top: refresh period")
+		rounds   = flag.Int("rounds", 0, "with top: number of refreshes (0 = until interrupted)")
 	)
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
-		fmt.Fprintln(os.Stderr, "usage: milctl [flags] get|put|del|txn|stats|trace|timehealth ...")
+		fmt.Fprintln(os.Stderr, "usage: milctl [flags] get|put|del|txn|stats|trace|timehealth|audit|top ...")
 		os.Exit(2)
 	}
 
@@ -200,6 +204,12 @@ func main() {
 		printLatencyTable("server op latency (cluster-wide)", merged, "semel_serve_ns")
 		printCounterTable("abort reasons", merged, "milana_aborts_total")
 		printCounterTable("sweep outcomes", merged, "milana_sweep_total")
+		printExemplars(merged, "semel_serve_ns")
+	case "audit":
+		raw := len(args) > 1 && args[1] == "json"
+		runAudit(ctx, net, dir, raw)
+	case "top":
+		runTop(net, dir, *timeout, *interval, *rounds)
 	default:
 		fmt.Fprintf(os.Stderr, "unknown command %q\n", args[0])
 		os.Exit(2)
@@ -311,6 +321,201 @@ func printCounterTable(title string, snap obs.Snapshot, prefix string) {
 	fmt.Printf("\n%s\n", title)
 	for _, name := range names {
 		fmt.Printf("  %-24s %d\n", labelValue(name), snap.Counters[name])
+	}
+}
+
+// printExemplars renders the slowest remembered traces for every histogram
+// under prefix, so a tail spike in the latency table above is one
+// `milctl trace` away from its stitched timeline.
+func printExemplars(snap obs.Snapshot, prefix string) {
+	var names []string
+	for name, h := range snap.Hists {
+		if strings.HasPrefix(name, prefix) && len(h.TopExemplars(1)) > 0 {
+			names = append(names, name)
+		}
+	}
+	if len(names) == 0 {
+		return
+	}
+	sort.Strings(names)
+	fmt.Printf("\nslowest traced requests (inspect with: milctl trace <id>)\n")
+	for _, name := range names {
+		for _, ex := range snap.Hists[name].TopExemplars(3) {
+			fmt.Printf("  %-16s %12v-%-12v trace %016x\n",
+				labelValue(name), time.Duration(ex.LoNs), time.Duration(ex.HiNs), ex.TraceID)
+		}
+	}
+}
+
+// forEachReplica calls fn with every replica address of every shard.
+func forEachReplica(dir *cluster.Directory, fn func(shard int, addr string)) {
+	for i := 0; i < dir.NumShards(); i++ {
+		rs, err := dir.Shard(cluster.ShardID(i))
+		exitOn(err)
+		for _, addr := range rs.Replicas() {
+			fn(i, addr)
+		}
+	}
+}
+
+// runAudit pulls the online-audit state from every replica: a per-node
+// summary line, then every retained flight-recorder artifact. With raw set,
+// artifacts are dumped as their original JSON instead of the condensed view.
+func runAudit(ctx context.Context, net transport.Client, dir *cluster.Directory, raw bool) {
+	fmt.Printf("%-20s %-8s %-10s %8s %8s %8s %8s %6s %6s\n",
+		"replica", "enabled", "profile", "pending", "unknown", "checked", "skipped", "convc", "epsv")
+	type nodeArt struct {
+		addr string
+		blob []byte
+	}
+	var arts []nodeArt
+	forEachReplica(dir, func(_ int, addr string) {
+		resp, err := net.Call(ctx, addr, wire.AuditRequest{})
+		if err != nil {
+			fmt.Printf("%-20s unreachable: %v\n", addr, err)
+			return
+		}
+		ar, ok := resp.(wire.AuditResponse)
+		if !ok {
+			fmt.Printf("%-20s error: unexpected reply %T\n", addr, resp)
+			return
+		}
+		fmt.Printf("%-20s %-8v %-10s %8d %8d %8d %8d %6d %6d\n",
+			ar.Addr, ar.Enabled, ar.Profile, ar.Pending, ar.UnknownRetained,
+			ar.WindowsChecked, ar.WindowsSkipped, ar.Convictions, ar.EpsilonViolations)
+		for _, blob := range ar.Artifacts {
+			arts = append(arts, nodeArt{addr: ar.Addr, blob: blob})
+		}
+	})
+	if len(arts) == 0 {
+		fmt.Println("\nno artifacts recorded")
+		return
+	}
+	fmt.Printf("\n%d artifact(s)\n", len(arts))
+	for _, na := range arts {
+		if raw {
+			fmt.Printf("--- %s ---\n%s\n", na.addr, na.blob)
+			continue
+		}
+		var art audit.Artifact
+		if err := json.Unmarshal(na.blob, &art); err != nil {
+			fmt.Printf("  %s: undecodable artifact: %v\n", na.addr, err)
+			continue
+		}
+		fmt.Printf("  [%s #%d] %s %s\n", na.addr, art.Seq, art.Kind, art.Wallclock)
+		switch art.Kind {
+		case audit.KindConviction:
+			fmt.Printf("    anomaly: %s\n", art.Anomaly)
+			if len(art.Cycle) > 0 {
+				fmt.Printf("    cycle:")
+				for _, e := range art.Cycle {
+					fmt.Printf(" %v-%s->%v", e.From, e.Kind, e.To)
+				}
+				fmt.Println()
+			}
+			fmt.Printf("    window: %d txns, cut %v, %d span(s) attached\n",
+				len(art.Window), art.Cut, len(art.Spans))
+		case audit.KindEpsilonViolation:
+			fmt.Printf("    txn %v commit_ts %v exceeded bound by %v (epsilon %v)\n",
+				art.TxnID, art.CommitTs, time.Duration(-art.MarginNs), time.Duration(art.Epsilon))
+		}
+	}
+}
+
+// topSample is one refresh worth of cluster-wide observations.
+type topSample struct {
+	when      time.Time
+	commits   int64
+	aborts    int64
+	merged    obs.Snapshot
+	wmLagMax  time.Duration
+	epsViol   int64
+	convc     int64
+	unreached int
+}
+
+// gatherTop polls every replica once for stats, time health, and audit state.
+func gatherTop(ctx context.Context, net transport.Client, dir *cluster.Directory) topSample {
+	s := topSample{when: time.Now()}
+	forEachReplica(dir, func(_ int, addr string) {
+		resp, err := net.Call(ctx, addr, wire.StatsRequest{Detailed: true})
+		if err != nil {
+			s.unreached++
+			return
+		}
+		st, ok := resp.(wire.StatsResponse)
+		if !ok {
+			s.unreached++
+			return
+		}
+		// Commit/abort decisions are recorded on primaries; backups see
+		// only replication traffic, so summing across roles is safe.
+		if st.Primary {
+			s.commits += int64(st.Commits)
+			s.aborts += int64(st.Aborts)
+		}
+		s.merged.Merge(st.Obs)
+		if resp, err := net.Call(ctx, addr, wire.TimeHealthRequest{}); err == nil {
+			if th, ok := resp.(wire.TimeHealthResponse); ok {
+				if lag := time.Duration(th.WatermarkLagNs); lag > s.wmLagMax {
+					s.wmLagMax = lag
+				}
+			}
+		}
+		if resp, err := net.Call(ctx, addr, wire.AuditRequest{}); err == nil {
+			if ar, ok := resp.(wire.AuditResponse); ok && ar.Enabled {
+				s.epsViol += ar.EpsilonViolations
+				s.convc += ar.Convictions
+			}
+		}
+	})
+	return s
+}
+
+// runTop renders a single-screen, auto-refreshing cluster view. Each refresh
+// repolls every replica with a fresh timeout; throughput is the commit delta
+// between consecutive refreshes.
+func runTop(net transport.Client, dir *cluster.Directory, timeout, interval time.Duration, rounds int) {
+	var prev *topSample
+	for n := 0; rounds == 0 || n < rounds; n++ {
+		ctx, cancel := context.WithTimeout(context.Background(), timeout)
+		s := gatherTop(ctx, net, dir)
+		cancel()
+
+		fmt.Print("\033[2J\033[H") // clear screen, cursor home
+		fmt.Printf("milctl top — %s  (refresh %v", s.when.Format("15:04:05"), interval)
+		if s.unreached > 0 {
+			fmt.Printf(", %d replica(s) unreachable", s.unreached)
+		}
+		fmt.Println(")")
+
+		if prev != nil {
+			dt := s.when.Sub(prev.when).Seconds()
+			if dt > 0 {
+				fmt.Printf("\nthroughput: %8.1f commits/s  %8.1f aborts/s\n",
+					float64(s.commits-prev.commits)/dt, float64(s.aborts-prev.aborts)/dt)
+			}
+		} else {
+			fmt.Printf("\nthroughput: (first sample: %d commits, %d aborts total)\n", s.commits, s.aborts)
+		}
+
+		var stages obs.HistogramSnapshot
+		for name, h := range s.merged.Hists {
+			if strings.HasPrefix(name, "milana_txn_stage_ns") {
+				stages.Merge(h)
+			}
+		}
+		p50, p95, p99, _ := stages.Percentiles()
+		fmt.Printf("latency:    p50=%-10v p95=%-10v p99=%-10v (all txn stages)\n",
+			time.Duration(p50), time.Duration(p95), time.Duration(p99))
+		fmt.Printf("watermark:  max lag %v\n", s.wmLagMax)
+		fmt.Printf("audit:      %d epsilon violation(s), %d conviction(s)\n", s.epsViol, s.convc)
+		printCounterTable("abort reasons", s.merged, "milana_aborts_total")
+
+		prev = &s
+		if rounds == 0 || n < rounds-1 {
+			time.Sleep(interval)
+		}
 	}
 }
 

@@ -23,7 +23,9 @@ import (
 	"os/signal"
 	"strings"
 	"syscall"
+	"time"
 
+	"repro/internal/audit"
 	"repro/internal/clock"
 	"repro/internal/cluster"
 	"repro/internal/core"
@@ -41,9 +43,13 @@ func main() {
 		peers   = flag.String("peers", "", "comma-separated replica addresses of this shard, primary first")
 		shards  = flag.String("shards", "", "full shard map: ';'-separated shards, each a ','-separated address list")
 		backend = flag.String("backend", core.BackendDRAM, "storage backend: dram|mftl|vftl|sftl")
-		metrics = flag.String("metrics", "", "address for the HTTP debug endpoint (/metrics, /metrics.json, /debug/timehealth, /debug/pprof/); empty disables")
+		metrics = flag.String("metrics", "", "address for the HTTP debug endpoint (/metrics, /metrics.json, /debug/timehealth, /debug/audit, /debug/pprof/); empty disables")
 		slowlog = flag.Duration("slowlog", 0, "log one structured line for any RPC slower than this (0 disables)")
 		skewWin = flag.Duration("skew-window", 0, "validation-abort margins within this window count as skew-induced in abort provenance (0 = all conflict)")
+
+		auditSample  = flag.Float64("audit-sample", 0, "online-audit window sampling rate in [0,1]; 0 disables the auditor")
+		auditEpsilon = flag.Duration("audit-epsilon", 500*time.Microsecond, "commit-wait bound epsilon assumed by the auditor's receive-timestamp invariant monitor")
+		auditDir     = flag.String("audit-dir", "", "directory for anomaly flight-recorder artifacts (empty keeps them in memory only)")
 	)
 	flag.Parse()
 
@@ -82,7 +88,7 @@ func main() {
 	}
 	addr := replicas[*replica]
 
-	srv, err := semel.NewServer(semel.ServerOptions{
+	opts := semel.ServerOptions{
 		Addr:                 addr,
 		Shard:                cluster.ShardID(*shard),
 		Primary:              *replica == 0,
@@ -92,9 +98,33 @@ func main() {
 		Clock:                clock.NewPerfect(clock.NewSystemSource(), uint32(1<<20+*shard*100+*replica)),
 		SlowRequestThreshold: *slowlog,
 		SkewWindow:           *skewWin,
-	})
+	}
+	// The standalone daemon has no true-clock oracle, so the auditor runs in
+	// receive-timestamp mode: commit timestamps carried by prepares are
+	// checked against this replica's receipt time plus 2ε. Auditor and
+	// server share one registry so audit_* metrics ride /metrics.
+	var aud *audit.Auditor
+	if *auditSample > 0 {
+		opts.Metrics = obs.NewRegistry()
+		aud = audit.New(audit.Options{
+			SampleRate:  *auditSample,
+			Epsilon:     *auditEpsilon,
+			Profile:     "tcp",
+			ArtifactDir: *auditDir,
+			Metrics:     opts.Metrics,
+		})
+		opts.Auditor = aud
+	}
+	srv, err := semel.NewServer(opts)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if aud != nil {
+		// The watermark and span ring only exist once the server does.
+		aud.SetWatermark(srv.Watermark)
+		aud.SetSpanSource(srv.Spans().ForTrace)
+		aud.Start()
+		defer aud.Close()
 	}
 	tcp, err := transport.NewTCPServer(*listen, srv)
 	if err != nil {
@@ -109,6 +139,15 @@ func main() {
 			enc.SetIndent("", "  ")
 			_ = enc.Encode(srv.TimeHealth())
 		})
+		mux.HandleFunc("/debug/audit", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			_ = enc.Encode(struct {
+				Summary   audit.Summary     `json:"summary"`
+				Artifacts []*audit.Artifact `json:"artifacts"`
+			}{aud.Stats(), aud.Artifacts()})
+		})
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -119,7 +158,7 @@ func main() {
 				log.Printf("semeld: metrics endpoint: %v", err)
 			}
 		}()
-		fmt.Printf("semeld: metrics on http://%s/metrics (also /debug/timehealth, /debug/pprof/)\n", *metrics)
+		fmt.Printf("semeld: metrics on http://%s/metrics (also /debug/timehealth, /debug/audit, /debug/pprof/)\n", *metrics)
 	}
 	fmt.Printf("semeld: shard %d replica %d (%s) serving on %s, backend %s\n",
 		*shard, *replica, map[bool]string{true: "primary", false: "backup"}[*replica == 0], tcp.Addr(), *backend)

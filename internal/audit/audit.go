@@ -1,0 +1,597 @@
+// Package audit is the online counterpart of internal/check: an always-on,
+// bounded-memory auditor that runs *inside* the cluster instead of after it.
+//
+// Three cooperating pieces:
+//
+//   - A streaming serializability spot-checker. Finished transactions stream
+//     in through the check.Sink interface; the auditor buffers them in a
+//     window and, whenever the replication watermark advances past a safe
+//     cut, runs the internal/check DSG machinery over the truncated prefix,
+//     then discards it. The per-key frontier (the youngest version at or
+//     below the cut) is all that survives a window, so memory stays
+//     O(window + live keys) forever. See DESIGN.md "Online auditing" for the
+//     truncation-soundness argument.
+//
+//   - A commit-wait/ε invariant monitor. Every commit timestamp is checked
+//     against the true-clock oracle (embedded clusters share a clock.Source)
+//     or, oracle-less (TCP mode), against the receiving server's own clock
+//     with a 2ε allowance — two clocks, each within ε of true time. Margins
+//     feed audit_commit_wait_margin{profile=...}; violations feed
+//     audit_epsilon_violations_total.
+//
+//   - An anomaly flight recorder. Any conviction or ε violation dumps the
+//     offending window — history slice, minimal anomaly cycle, the involved
+//     transactions' recent spans, and a clock-health snapshot — to a
+//     timestamped JSON artifact (see recorder.go), retained in a ring and
+//     optionally written to disk, retrievable via wire.AuditRequest,
+//     `milctl audit`, and /debug/audit.
+package audit
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/check"
+	"repro/internal/clock"
+	"repro/internal/obs"
+	"repro/internal/wire"
+)
+
+// Options configures an Auditor. The zero value audits with the defaults
+// below: every window checked, no ε monitoring (Epsilon 0), no oracle
+// (receive-bound mode), artifacts kept in memory only.
+type Options struct {
+	// SampleRate is the probability a closed window is actually checked
+	// (the "spot" in spot-checking). Sampling happens at *window*
+	// granularity, never per transaction: dropping individual writers would
+	// make their readers' versions look unrecorded and convict innocent
+	// histories. Unchecked windows still advance the frontier and evict.
+	// 0 means 1 (check everything); values outside (0,1] clamp.
+	SampleRate float64
+	// WindowMax forces a flush attempt when this many transactions are
+	// pending (memory backstop). 0 means 4096.
+	WindowMax int
+	// FlushInterval is the background flusher period (Start). 0 means 50ms.
+	FlushInterval time.Duration
+	// Epsilon is the clock-uncertainty bound the commit-wait invariant is
+	// checked against. 0 disables ε monitoring. Chaos tests that step
+	// clocks beyond the profile's ε must widen this accordingly.
+	Epsilon time.Duration
+	// Profile labels the margin histogram (e.g. "ntp", "ptp-hw", "dtp").
+	Profile string
+	// Oracle, when set, reads true time (the shared clock.Source of an
+	// embedded cluster): commit_ts must be ≤ oracle + ε. When nil the
+	// monitor falls back to the receive-timestamp bound: commit_ts must be
+	// ≤ receiver's clock + 2ε (each clock within ε of true time).
+	Oracle func() int64
+	// Watermark reports the replication watermark the truncation cut is
+	// derived from. Nil disables automatic truncation (Drain still works).
+	Watermark func() clock.Timestamp
+	// Metrics receives the audit counters, gauges and histograms. Nil
+	// means a private registry.
+	Metrics *obs.Registry
+	// ArtifactDir, when set, additionally writes every flight-recorder
+	// artifact to an atomically renamed JSON file in this directory.
+	ArtifactDir string
+	// ArtifactRing bounds the in-memory artifact ring. 0 means 32.
+	ArtifactRing int
+	// Seed makes window sampling reproducible.
+	Seed int64
+	// SpanSource, when set, resolves a trace ID to its retained spans
+	// (cluster-wide), for flight-recorder artifacts.
+	SpanSource func(traceID uint64) []obs.SpanRecord
+	// Health, when set, snapshots every node's clock health for artifacts.
+	Health func() map[string]clock.Health
+	// OnViolation, when set, is called (synchronously, off the auditor
+	// lock) with every artifact as it is recorded.
+	OnViolation func(*Artifact)
+}
+
+func (o Options) withDefaults() Options {
+	if o.SampleRate <= 0 || o.SampleRate > 1 {
+		o.SampleRate = 1
+	}
+	if o.WindowMax <= 0 {
+		o.WindowMax = 4096
+	}
+	if o.FlushInterval <= 0 {
+		o.FlushInterval = 50 * time.Millisecond
+	}
+	if o.ArtifactRing <= 0 {
+		o.ArtifactRing = 32
+	}
+	if o.Metrics == nil {
+		o.Metrics = obs.NewRegistry()
+	}
+	if o.Profile == "" {
+		o.Profile = "unknown"
+	}
+	return o
+}
+
+// frontierVersion is the youngest surviving version of one key at or below
+// the last cut: enough to rebuild the head of the key's version chain when
+// the next window is checked.
+type frontierVersion struct {
+	ts clock.Timestamp
+	id wire.TxnID
+}
+
+// Auditor is the online audit pipeline. It is safe for concurrent use by
+// any number of clients (Record/TxnBegan), servers (ObservePrepare) and the
+// background flusher. All methods are nil-safe, so call sites need no
+// "auditing enabled?" branches.
+type Auditor struct {
+	opt Options
+
+	mu       sync.Mutex
+	pending  []check.Txn                    // finished, not yet past a cut
+	unknowns []check.Txn                    // outcome never learned; retained forever
+	inflight map[wire.TxnID]clock.Timestamp // begun, not yet finished → begin ts
+	frontier map[string]frontierVersion
+	lastCut  clock.Timestamp
+	rng      *rand.Rand
+
+	windowsChecked atomic.Int64
+	windowsSkipped atomic.Int64
+	convictions    atomic.Int64
+	epsViolations  atomic.Int64
+	evicted        atomic.Int64
+
+	rec *recorder
+
+	// metrics
+	mPending     *obs.Gauge
+	mUnknowns    *obs.Gauge
+	mChecked     *obs.Counter
+	mSkipped     *obs.Counter
+	mConvictions *obs.Counter
+	mEvicted     *obs.Counter
+	mEpsViol     *obs.Counter
+	mMargin      *obs.Histogram
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+	started  bool
+}
+
+// New builds an Auditor. Call Start to run the background flusher, or drive
+// Flush/Drain manually (tests).
+func New(opt Options) *Auditor {
+	opt = opt.withDefaults()
+	a := &Auditor{
+		opt:      opt,
+		inflight: make(map[wire.TxnID]clock.Timestamp),
+		frontier: make(map[string]frontierVersion),
+		rng:      rand.New(rand.NewSource(opt.Seed + 7)),
+		rec:      newRecorder(opt.ArtifactDir, opt.ArtifactRing),
+		stop:     make(chan struct{}),
+
+		mPending:     opt.Metrics.Gauge("audit_pending_txns"),
+		mUnknowns:    opt.Metrics.Gauge("audit_unknown_retained"),
+		mChecked:     opt.Metrics.Counter("audit_windows_checked_total"),
+		mSkipped:     opt.Metrics.Counter("audit_windows_skipped_total"),
+		mConvictions: opt.Metrics.Counter("audit_convictions_total"),
+		mEvicted:     opt.Metrics.Counter("audit_evicted_total"),
+		mEpsViol:     opt.Metrics.Counter("audit_epsilon_violations_total"),
+		mMargin:      opt.Metrics.Histogram(`audit_commit_wait_margin{profile="` + obs.EscapeLabelValue(opt.Profile) + `"}`),
+	}
+	return a
+}
+
+// SetWatermark late-binds the truncation watermark source, for callers that
+// must construct the Auditor before the object owning the watermark exists
+// (semeld hands the auditor to NewServer, then binds the server's watermark).
+// Call before Start and before any traffic reaches the auditor.
+func (a *Auditor) SetWatermark(wm func() clock.Timestamp) {
+	if a == nil {
+		return
+	}
+	a.opt.Watermark = wm
+}
+
+// SetSpanSource late-binds the trace-span resolver; same contract as
+// SetWatermark.
+func (a *Auditor) SetSpanSource(src func(traceID uint64) []obs.SpanRecord) {
+	if a == nil {
+		return
+	}
+	a.opt.SpanSource = src
+}
+
+// Start launches the window flusher; it runs until Close.
+func (a *Auditor) Start() {
+	if a == nil {
+		return
+	}
+	a.mu.Lock()
+	if a.started {
+		a.mu.Unlock()
+		return
+	}
+	a.started = true
+	a.mu.Unlock()
+	a.wg.Add(1)
+	go a.run()
+}
+
+// Close stops the flusher and waits for it. It does not drain: callers that
+// want a final full check run Drain first.
+func (a *Auditor) Close() {
+	if a == nil {
+		return
+	}
+	a.stopOnce.Do(func() { close(a.stop) })
+	a.wg.Wait()
+}
+
+func (a *Auditor) run() {
+	defer a.wg.Done()
+	t := time.NewTicker(a.opt.FlushInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-a.stop:
+			return
+		case <-t.C:
+			a.Flush()
+		}
+	}
+}
+
+// TxnBegan notes a transaction in flight (check.BeginSink): its begin
+// timestamp pins the truncation cut until the transaction finishes, so no
+// recorded-later transaction can ever span an already-checked cut.
+func (a *Auditor) TxnBegan(id wire.TxnID, begin clock.Timestamp) {
+	if a == nil {
+		return
+	}
+	a.mu.Lock()
+	a.inflight[id] = begin
+	a.mu.Unlock()
+}
+
+// Record ingests one finished transaction (check.Sink). Commit timestamps
+// of committed transactions are also checked against the commit-wait
+// invariant when an oracle is available (the 2PC path is checked earlier and
+// tighter by ObservePrepare; this catches locally validated read-only
+// commits, which never send a prepare).
+func (a *Auditor) Record(t check.Txn) {
+	if a == nil {
+		return
+	}
+	if t.Outcome == check.Committed && !t.Commit.IsZero() && a.opt.Oracle != nil {
+		a.observeCommitTs(t.Commit, a.opt.Oracle(), a.opt.Epsilon, t.ID)
+	}
+	var over bool
+	a.mu.Lock()
+	delete(a.inflight, t.ID)
+	if t.Outcome == check.Unknown {
+		a.unknowns = append(a.unknowns, t)
+		a.mUnknowns.Set(int64(len(a.unknowns)))
+	} else {
+		a.pending = append(a.pending, t)
+		a.mPending.Set(int64(len(a.pending)))
+		over = len(a.pending) > a.opt.WindowMax
+	}
+	a.mu.Unlock()
+	if over {
+		a.Flush()
+	}
+}
+
+// ObservePrepare checks one incoming 2PC commit timestamp against the
+// commit-wait invariant at the earliest possible instant: request receipt.
+// With an oracle, commit_ts ≤ oracle + ε must hold; without one, the
+// receive-timestamp bound commit_ts ≤ recvNow + 2ε (sender and receiver
+// each within ε of true time). Multi-shard transactions are observed once
+// per participant primary; the counter counts observations, not
+// transactions.
+func (a *Auditor) ObservePrepare(id wire.TxnID, commitTs, recvNow clock.Timestamp) {
+	if a == nil {
+		return
+	}
+	if a.opt.Oracle != nil {
+		a.observeCommitTs(commitTs, a.opt.Oracle(), a.opt.Epsilon, id)
+		return
+	}
+	a.observeCommitTs(commitTs, recvNow.Ticks, 2*a.opt.Epsilon, id)
+}
+
+// observeCommitTs applies the invariant commit_ts ≤ ref + bound and records
+// the margin. A negative margin is a violation.
+func (a *Auditor) observeCommitTs(commitTs clock.Timestamp, ref int64, bound time.Duration, id wire.TxnID) {
+	if bound <= 0 {
+		return
+	}
+	margin := ref + int64(bound) - commitTs.Ticks
+	a.mMargin.Observe(margin)
+	if margin >= 0 {
+		return
+	}
+	a.epsViolations.Add(1)
+	a.mEpsViol.Inc()
+	art := &Artifact{
+		Kind:     KindEpsilonViolation,
+		Profile:  a.opt.Profile,
+		Epsilon:  bound,
+		TxnID:    id,
+		CommitTs: commitTs,
+		MarginNs: margin,
+		Anomaly:  "commit timestamp exceeds the clock-uncertainty bound",
+	}
+	a.finishArtifact(art, []wire.TxnID{id})
+}
+
+// pred returns the greatest timestamp strictly below t in the total order.
+func pred(t clock.Timestamp) clock.Timestamp {
+	if t.Client > 0 {
+		return clock.Timestamp{Ticks: t.Ticks, Client: t.Client - 1}
+	}
+	return clock.Timestamp{Ticks: t.Ticks - 1, Client: ^uint32(0)}
+}
+
+// spans reports whether a committed transaction straddles the cut
+// (Begin ≤ cut < Commit) — the one configuration that makes a cut unsafe.
+func spansCut(t check.Txn, cut clock.Timestamp) bool {
+	if t.Outcome != check.Committed || t.Commit.IsZero() {
+		return false
+	}
+	return t.Begin.AtOrBefore(cut) && cut.Before(t.Commit)
+}
+
+// evictStamp is the timestamp past which a non-unknown transaction can be
+// discarded: its commit timestamp for committed transactions, the later of
+// begin and (assigned-then-rejected) commit for aborted ones.
+func evictStamp(t check.Txn) clock.Timestamp {
+	if t.Outcome == check.Committed {
+		return t.Commit
+	}
+	return clock.Max(t.Begin, t.Commit)
+}
+
+// computeCutLocked lowers the watermark to a safe cut: a timestamp no
+// recorded or in-flight transaction spans. Starting from the watermark it
+// repeatedly drops below the begin timestamp of any spanning transaction;
+// the loop only lowers, so it terminates.
+func (a *Auditor) computeCutLocked(wm clock.Timestamp) clock.Timestamp {
+	cut := wm
+	for {
+		changed := false
+		for _, b := range a.inflight {
+			if b.AtOrBefore(cut) {
+				cut = pred(b)
+				changed = true
+			}
+		}
+		for _, t := range a.pending {
+			if spansCut(t, cut) {
+				cut = pred(t.Begin)
+				changed = true
+			}
+		}
+		if !changed {
+			return cut
+		}
+	}
+}
+
+// Flush closes and (probabilistically) checks the window below the current
+// safe cut. It is a no-op without a Watermark source or before the
+// watermark first advances.
+func (a *Auditor) Flush() {
+	if a == nil || a.opt.Watermark == nil {
+		return
+	}
+	wm := a.opt.Watermark()
+	if wm.IsZero() {
+		return
+	}
+	a.mu.Lock()
+	cut := a.computeCutLocked(wm)
+	a.closeWindowLocked(cut, false)
+	a.mu.Unlock()
+}
+
+// Drain force-closes the full remaining window — cut at +∞, sampling
+// bypassed — and returns the final check report. Call after the workload
+// has quiesced (end of a run, tests); in-flight transactions are ignored.
+func (a *Auditor) Drain() check.Report {
+	if a == nil {
+		return check.Report{Serializable: true}
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	cut := clock.Timestamp{Ticks: int64(^uint64(0) >> 1), Client: ^uint32(0)}
+	return a.closeWindowLocked(cut, true)
+}
+
+// closeWindowLocked evicts everything at or below cut, runs the checker on
+// the evicted window (synthetic frontier transactions prepended, retained
+// unknowns included) unless window sampling skips it, advances the
+// frontier, and files a flight-recorder artifact on conviction.
+func (a *Auditor) closeWindowLocked(cut clock.Timestamp, force bool) check.Report {
+	var window, rest []check.Txn
+	for _, t := range a.pending {
+		if evictStamp(t).AtOrBefore(cut) {
+			window = append(window, t)
+		} else {
+			rest = append(rest, t)
+		}
+	}
+	rep := check.Report{Serializable: true}
+	if len(window) == 0 && !force {
+		return rep
+	}
+	a.pending = rest
+	a.lastCut = cut
+	a.evicted.Add(int64(len(window)))
+	a.mEvicted.Add(int64(len(window)))
+	a.mPending.Set(int64(len(a.pending)))
+
+	checkIt := force || a.rng.Float64() < a.opt.SampleRate
+	var art *Artifact
+	if checkIt {
+		txns := a.frontierTxnsLocked()
+		txns = append(txns, a.unknowns...)
+		txns = append(txns, window...)
+		rep = check.Serializability(txns)
+		a.windowsChecked.Add(1)
+		a.mChecked.Inc()
+		if !rep.Serializable {
+			a.convictions.Add(1)
+			a.mConvictions.Inc()
+			art = &Artifact{
+				Kind:    KindConviction,
+				Profile: a.opt.Profile,
+				Cut:     cut,
+				Anomaly: rep.Anomaly,
+				Cycle:   rep.Cycle,
+				Window:  txns,
+			}
+		}
+	} else {
+		a.windowsSkipped.Add(1)
+		a.mSkipped.Inc()
+	}
+
+	// Advance the frontier past the evicted committed writers. Aborted
+	// writers installed nothing; retained unknowns keep their own records.
+	for _, t := range window {
+		if t.Outcome != check.Committed || t.Commit.IsZero() {
+			continue
+		}
+		for _, k := range t.Writes {
+			if fv, ok := a.frontier[k]; !ok || fv.ts.Before(t.Commit) {
+				a.frontier[k] = frontierVersion{ts: t.Commit, id: t.ID}
+			}
+		}
+	}
+
+	if art != nil {
+		var ids []wire.TxnID
+		seen := make(map[wire.TxnID]bool)
+		for _, e := range rep.Cycle {
+			for _, id := range []wire.TxnID{e.From, e.To} {
+				if !seen[id] {
+					seen[id] = true
+					ids = append(ids, id)
+				}
+			}
+		}
+		// finishArtifact takes the recorder's own lock; drop ours around it
+		// so the OnViolation callback can read auditor state if it wants.
+		a.mu.Unlock()
+		a.finishArtifact(art, ids)
+		a.mu.Lock()
+	}
+	return rep
+}
+
+// frontierTxnsLocked synthesizes one committed transaction per surviving
+// frontier version (version stamps are unique per writer, so grouping by
+// stamp reconstructs the original writer exactly): the head of each key's
+// version chain, re-seeded into the next window's check.
+func (a *Auditor) frontierTxnsLocked() []check.Txn {
+	idx := make(map[clock.Timestamp]int)
+	var out []check.Txn
+	for k, fv := range a.frontier {
+		i, ok := idx[fv.ts]
+		if !ok {
+			i = len(out)
+			idx[fv.ts] = i
+			out = append(out, check.Txn{ID: fv.id, Begin: fv.ts, Commit: fv.ts, Outcome: check.Committed})
+		}
+		out[i].Writes = append(out[i].Writes, k)
+	}
+	return out
+}
+
+// finishArtifact attaches spans and clock health, then files the artifact.
+func (a *Auditor) finishArtifact(art *Artifact, ids []wire.TxnID) {
+	if a.opt.SpanSource != nil {
+		for _, id := range ids {
+			art.Spans = append(art.Spans, a.opt.SpanSource(id.TraceID())...)
+		}
+	}
+	if a.opt.Health != nil {
+		art.Clocks = a.opt.Health()
+	}
+	a.rec.file(art)
+	if a.opt.OnViolation != nil {
+		a.opt.OnViolation(art)
+	}
+}
+
+// Summary is a point-in-time view of the auditor's counters.
+type Summary struct {
+	Enabled           bool
+	Profile           string
+	Pending           int
+	UnknownRetained   int
+	WindowsChecked    int64
+	WindowsSkipped    int64
+	Convictions       int64
+	EpsilonViolations int64
+	Evicted           int64
+	LastCut           clock.Timestamp
+}
+
+// Stats snapshots the auditor. Nil-safe: a nil auditor reads as disabled.
+func (a *Auditor) Stats() Summary {
+	if a == nil {
+		return Summary{}
+	}
+	a.mu.Lock()
+	pending, unknowns, cut := len(a.pending), len(a.unknowns), a.lastCut
+	a.mu.Unlock()
+	return Summary{
+		Enabled:           true,
+		Profile:           a.opt.Profile,
+		Pending:           pending,
+		UnknownRetained:   unknowns,
+		WindowsChecked:    a.windowsChecked.Load(),
+		WindowsSkipped:    a.windowsSkipped.Load(),
+		Convictions:       a.convictions.Load(),
+		EpsilonViolations: a.epsViolations.Load(),
+		Evicted:           a.evicted.Load(),
+		LastCut:           cut,
+	}
+}
+
+// PendingLen reports the buffered (not yet evicted) transaction count — the
+// quantity the bounded-memory stress assertion watches.
+func (a *Auditor) PendingLen() int {
+	if a == nil {
+		return 0
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.pending)
+}
+
+// Artifacts returns the retained flight-recorder artifacts, oldest first.
+func (a *Auditor) Artifacts() []*Artifact {
+	if a == nil {
+		return nil
+	}
+	return a.rec.artifacts()
+}
+
+// ArtifactsJSON returns the retained artifacts JSON-encoded, oldest first —
+// the form wire.AuditResponse carries (wire cannot import audit: check
+// imports wire, and audit imports check).
+func (a *Auditor) ArtifactsJSON() [][]byte {
+	if a == nil {
+		return nil
+	}
+	return a.rec.artifactsJSON()
+}
+
+var (
+	_ check.Sink      = (*Auditor)(nil)
+	_ check.BeginSink = (*Auditor)(nil)
+)

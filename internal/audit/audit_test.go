@@ -1,0 +1,349 @@
+package audit
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/check"
+	"repro/internal/clock"
+	"repro/internal/wire"
+)
+
+func ts(ticks int64, client uint32) clock.Timestamp {
+	return clock.Timestamp{Ticks: ticks, Client: client}
+}
+
+func id(c uint32, seq uint64) wire.TxnID { return wire.TxnID{Client: c, Seq: seq} }
+
+// committed builds a committed write-only transaction.
+func committed(c uint32, seq uint64, begin, commit int64, writes ...string) check.Txn {
+	return check.Txn{
+		ID: id(c, seq), Begin: ts(begin, c), Commit: ts(commit, c),
+		Writes: writes, Outcome: check.Committed,
+	}
+}
+
+func TestPred(t *testing.T) {
+	a := ts(10, 5)
+	if p := pred(a); !p.Before(a) || p != ts(10, 4) {
+		t.Fatalf("pred(%v) = %v", a, p)
+	}
+	b := ts(10, 0)
+	if p := pred(b); !p.Before(b) || p != ts(9, ^uint32(0)) {
+		t.Fatalf("pred(%v) = %v", b, p)
+	}
+}
+
+func TestSpansCutAndEvictStamp(t *testing.T) {
+	x := committed(1, 1, 5, 15, "k")
+	if !spansCut(x, ts(10, 0)) {
+		t.Fatal("committed txn with Begin ≤ cut < Commit must span")
+	}
+	if spansCut(x, ts(4, 0)) || spansCut(x, ts(15, 1)) {
+		t.Fatal("txn outside [Begin, Commit) must not span")
+	}
+	ab := check.Txn{ID: id(1, 2), Begin: ts(5, 1), Outcome: check.Aborted}
+	if spansCut(ab, ts(10, 0)) {
+		t.Fatal("aborted txns never span a cut")
+	}
+	if evictStamp(x) != x.Commit {
+		t.Fatal("committed txns evict at their commit stamp")
+	}
+	abTs := check.Txn{ID: id(1, 3), Begin: ts(20, 1), Commit: ts(8, 1), Outcome: check.Aborted}
+	if evictStamp(abTs) != abTs.Begin {
+		t.Fatal("aborted txns evict at max(begin, commit)")
+	}
+}
+
+// The cut must drop below both in-flight begins and spanning committed
+// transactions, iterating to a fixpoint.
+func TestComputeCutFixpoint(t *testing.T) {
+	a := New(Options{})
+	a.TxnBegan(id(9, 1), ts(50, 9))
+	a.Record(committed(1, 1, 30, 70, "k")) // spans any cut in [30, 70)
+	a.mu.Lock()
+	cut := a.computeCutLocked(ts(100, 0))
+	a.mu.Unlock()
+	// 100 → below in-flight begin 50 → 50 is inside [30,70) → below 30.
+	if want := pred(ts(30, 1)); cut != want {
+		t.Fatalf("cut = %v, want %v", cut, want)
+	}
+}
+
+// A full drain of a serializable stream must stay silent; the frontier must
+// carry version chains across window boundaries so a later stale read that
+// names an evicted version still resolves instead of convicting.
+func TestWindowedCheckUsesFrontier(t *testing.T) {
+	a := New(Options{Watermark: func() clock.Timestamp { return ts(100, 0) }})
+	w := committed(1, 1, 10, 20, "k")
+	a.Record(w)
+	a.Flush() // evicts and checks the writer; only the frontier survives
+	if got := a.PendingLen(); got != 0 {
+		t.Fatalf("pending after flush = %d, want 0", got)
+	}
+	// A later committed reader of the evicted version: without the frontier
+	// this read would look like an unrecorded version and convict.
+	r := check.Txn{
+		ID: id(2, 1), Begin: ts(200, 2), Commit: ts(200, 2),
+		Reads:   []check.Read{{Key: "k", Version: w.Commit}},
+		Outcome: check.Committed,
+	}
+	a.Record(r)
+	rep := a.Drain()
+	if !rep.Serializable {
+		t.Fatalf("healthy windowed stream convicted: %s", rep.Anomaly)
+	}
+	if n := a.Stats().Convictions; n != 0 {
+		t.Fatalf("convictions = %d, want 0", n)
+	}
+}
+
+// A dirty read (committed reader of an aborted writer's version) must
+// convict within the online window and produce a conviction artifact with a
+// non-empty cycle.
+func TestOnlineConviction(t *testing.T) {
+	dir := t.TempDir()
+	a := New(Options{ArtifactDir: dir})
+	ab := check.Txn{
+		ID: id(1, 1), Begin: ts(10, 1), Commit: ts(20, 1),
+		Writes: []string{"k"}, Outcome: check.Aborted,
+	}
+	rd := check.Txn{
+		ID: id(2, 1), Begin: ts(30, 2), Commit: ts(30, 2),
+		Reads:   []check.Read{{Key: "k", Version: ab.Commit}},
+		Outcome: check.Committed,
+	}
+	a.Record(ab)
+	a.Record(rd)
+	rep := a.Drain()
+	if rep.Serializable {
+		t.Fatal("dirty read not convicted")
+	}
+	if a.Stats().Convictions != 1 {
+		t.Fatalf("convictions = %d, want 1", a.Stats().Convictions)
+	}
+	arts := a.Artifacts()
+	if len(arts) != 1 || arts[0].Kind != KindConviction {
+		t.Fatalf("artifacts = %+v, want one conviction", arts)
+	}
+	if len(arts[0].Cycle) == 0 || arts[0].Anomaly == "" {
+		t.Fatal("conviction artifact must carry the anomaly cycle")
+	}
+	// The artifact must also have been persisted as parseable JSON.
+	files, err := filepath.Glob(filepath.Join(dir, "audit-*.json"))
+	if err != nil || len(files) != 1 {
+		t.Fatalf("artifact files = %v (err %v), want 1", files, err)
+	}
+	raw, err := os.ReadFile(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Artifact
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatalf("persisted artifact not JSON: %v", err)
+	}
+	if back.Kind != KindConviction || len(back.Window) == 0 {
+		t.Fatalf("persisted artifact = %+v", back)
+	}
+}
+
+// Unknown-outcome transactions are retained across windows: a window checked
+// long after the unknown was recorded must still see it (cooperative
+// termination can commit it at any point).
+func TestUnknownRetention(t *testing.T) {
+	wm := ts(1000, 0)
+	a := New(Options{Watermark: func() clock.Timestamp { return wm }})
+	unk := check.Txn{
+		ID: id(1, 1), Begin: ts(10, 1), Commit: ts(20, 1),
+		Writes: []string{"k"}, Outcome: check.Unknown,
+	}
+	a.Record(unk)
+	a.Flush()
+	if got := a.Stats().UnknownRetained; got != 1 {
+		t.Fatalf("unknown retained = %d, want 1", got)
+	}
+	// A committed reader of the unknown's version windows later: the
+	// retained record lets the checker promote the unknown instead of
+	// convicting an unrecorded version.
+	rd := check.Txn{
+		ID: id(2, 1), Begin: ts(500, 2), Commit: ts(500, 2),
+		Reads:   []check.Read{{Key: "k", Version: unk.Commit}},
+		Outcome: check.Committed,
+	}
+	a.Record(rd)
+	if rep := a.Drain(); !rep.Serializable {
+		t.Fatalf("promoted unknown convicted: %s", rep.Anomaly)
+	}
+}
+
+// Window sampling skips checks but still evicts, and Drain bypasses it.
+func TestSamplingSkipsButEvicts(t *testing.T) {
+	wm := ts(0, 0)
+	a := New(Options{
+		// Never sampled: rng.Float64() < 0 is impossible only for rate 0,
+		// which clamps to 1 — use a tiny rate and a seed that skips.
+		SampleRate: 1e-12, Seed: 42,
+		Watermark: func() clock.Timestamp { return wm },
+	})
+	for i := int64(0); i < 10; i++ {
+		a.Record(committed(1, uint64(i+1), i*10, i*10+5, "k"))
+	}
+	wm = ts(1000, 0)
+	a.Flush()
+	s := a.Stats()
+	if s.Pending != 0 {
+		t.Fatalf("pending = %d, want 0 (skipped windows must still evict)", s.Pending)
+	}
+	if s.WindowsSkipped == 0 || s.WindowsChecked != 0 {
+		t.Fatalf("skipped=%d checked=%d, want the window skipped", s.WindowsSkipped, s.WindowsChecked)
+	}
+	if rep := a.Drain(); !rep.Serializable {
+		t.Fatal("drain after skipped windows must still pass on healthy history")
+	}
+	if a.Stats().WindowsChecked != 1 {
+		t.Fatal("drain must bypass sampling and check")
+	}
+}
+
+func TestEpsilonMonitorOracleMode(t *testing.T) {
+	now := int64(1000)
+	a := New(Options{
+		Epsilon: 100 * time.Nanosecond,
+		Oracle:  func() int64 { return now },
+	})
+	// Within bound: commit_ts ≤ oracle + ε.
+	a.ObservePrepare(id(1, 1), ts(1100, 1), ts(0, 0))
+	if n := a.Stats().EpsilonViolations; n != 0 {
+		t.Fatalf("violations = %d, want 0", n)
+	}
+	// Beyond bound.
+	a.ObservePrepare(id(1, 2), ts(1101, 1), ts(0, 0))
+	if n := a.Stats().EpsilonViolations; n != 1 {
+		t.Fatalf("violations = %d, want 1", n)
+	}
+	arts := a.Artifacts()
+	if len(arts) != 1 || arts[0].Kind != KindEpsilonViolation || arts[0].MarginNs != -1 {
+		t.Fatalf("artifacts = %+v", arts)
+	}
+	// Record-side check covers read-only commits that skip 2PC.
+	a.Record(check.Txn{ID: id(1, 3), Begin: ts(900, 1), Commit: ts(1200, 1), Outcome: check.Committed})
+	if n := a.Stats().EpsilonViolations; n != 2 {
+		t.Fatalf("violations after Record = %d, want 2", n)
+	}
+}
+
+func TestEpsilonMonitorReceiveMode(t *testing.T) {
+	a := New(Options{Epsilon: 100 * time.Nanosecond}) // no oracle → 2ε vs recvNow
+	a.ObservePrepare(id(1, 1), ts(1200, 1), ts(1000, 0))
+	if n := a.Stats().EpsilonViolations; n != 0 {
+		t.Fatalf("violations = %d, want 0 (commit_ts = recv + 2ε is allowed)", n)
+	}
+	a.ObservePrepare(id(1, 2), ts(1201, 1), ts(1000, 0))
+	if n := a.Stats().EpsilonViolations; n != 1 {
+		t.Fatalf("violations = %d, want 1", n)
+	}
+}
+
+func TestRecorderRingBound(t *testing.T) {
+	a := New(Options{Epsilon: time.Nanosecond, Oracle: func() int64 { return 0 }, ArtifactRing: 3})
+	for i := uint64(1); i <= 10; i++ {
+		a.ObservePrepare(id(1, i), ts(1000, 1), ts(0, 0))
+	}
+	arts := a.Artifacts()
+	if len(arts) != 3 {
+		t.Fatalf("ring holds %d, want 3", len(arts))
+	}
+	if arts[0].Seq != 8 || arts[2].Seq != 10 {
+		t.Fatalf("ring kept seqs %d..%d, want the newest (8..10)", arts[0].Seq, arts[2].Seq)
+	}
+	if len(a.ArtifactsJSON()) != 3 {
+		t.Fatal("ArtifactsJSON must mirror the ring")
+	}
+}
+
+// WindowMax triggers a flush from Record itself (memory backstop).
+func TestWindowMaxTriggersFlush(t *testing.T) {
+	wm := ts(1_000_000, 0)
+	a := New(Options{WindowMax: 8, Watermark: func() clock.Timestamp { return wm }})
+	for i := int64(0); i < 64; i++ {
+		a.Record(committed(1, uint64(i+1), i*10, i*10+5, "k"))
+	}
+	if got := a.PendingLen(); got > 8 {
+		t.Fatalf("pending = %d, want ≤ WindowMax", got)
+	}
+}
+
+// The background flusher must evict without explicit Flush calls, and Close
+// must be idempotent.
+func TestFlusherLifecycle(t *testing.T) {
+	wm := ts(1_000_000, 0)
+	a := New(Options{
+		FlushInterval: time.Millisecond,
+		Watermark:     func() clock.Timestamp { return wm },
+	})
+	a.Start()
+	a.Start() // second Start is a no-op
+	a.Record(committed(1, 1, 10, 20, "k"))
+	deadline := time.Now().Add(2 * time.Second)
+	for a.PendingLen() > 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if got := a.PendingLen(); got != 0 {
+		t.Fatalf("flusher never evicted: pending = %d", got)
+	}
+	a.Close()
+	a.Close()
+}
+
+// Every exported method must be callable on a nil *Auditor, so call sites
+// need no enabled-checks.
+func TestNilAuditorSafe(t *testing.T) {
+	var a *Auditor
+	a.Start()
+	a.TxnBegan(id(1, 1), ts(1, 1))
+	a.Record(check.Txn{})
+	a.ObservePrepare(id(1, 1), ts(1, 1), ts(1, 1))
+	a.Flush()
+	if rep := a.Drain(); !rep.Serializable {
+		t.Fatal("nil Drain must report serializable")
+	}
+	if s := a.Stats(); s.Enabled {
+		t.Fatal("nil auditor must read as disabled")
+	}
+	if a.PendingLen() != 0 || a.Artifacts() != nil || a.ArtifactsJSON() != nil {
+		t.Fatal("nil accessors must be empty")
+	}
+	a.SetWatermark(nil)
+	a.SetSpanSource(nil)
+	a.Close()
+}
+
+// The synthetic frontier groups keys by version stamp, reconstructing each
+// evicted writer exactly once.
+func TestFrontierSynthesis(t *testing.T) {
+	a := New(Options{Watermark: func() clock.Timestamp { return ts(100, 0) }})
+	a.Record(committed(1, 1, 10, 20, "a", "b"))
+	a.Record(committed(2, 1, 11, 21, "c"))
+	a.Flush()
+	a.mu.Lock()
+	syn := a.frontierTxnsLocked()
+	a.mu.Unlock()
+	if len(syn) != 2 {
+		t.Fatalf("synthesized %d frontier txns, want 2", len(syn))
+	}
+	byID := map[wire.TxnID]check.Txn{}
+	for _, s := range syn {
+		byID[s.ID] = s
+	}
+	if len(byID[id(1, 1)].Writes) != 2 || len(byID[id(2, 1)].Writes) != 1 {
+		t.Fatalf("frontier writes wrong: %+v", byID)
+	}
+	for _, s := range syn {
+		if s.Outcome != check.Committed || s.Begin != s.Commit {
+			t.Fatalf("synthetic txn malformed: %+v", s)
+		}
+	}
+}

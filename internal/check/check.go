@@ -71,6 +71,22 @@ type Txn struct {
 	Outcome Outcome
 }
 
+// Sink receives finished transactions as they complete. History implements
+// it for offline checking; the online auditor (internal/audit) implements
+// it for streaming windowed checks. Implementations must be safe for
+// concurrent use by many clients.
+type Sink interface {
+	Record(Txn)
+}
+
+// BeginSink is optionally implemented by sinks that track in-flight
+// transactions (the online auditor pins its truncation cut below the oldest
+// running transaction's begin timestamp). TxnBegan is called when a
+// transaction starts; the matching Record call retires it.
+type BeginSink interface {
+	TxnBegan(id wire.TxnID, begin clock.Timestamp)
+}
+
 // History is a thread-safe recorder shared by any number of clients.
 type History struct {
 	mu   sync.Mutex
@@ -100,6 +116,8 @@ func (h *History) Txns() []Txn {
 	defer h.mu.Unlock()
 	return append([]Txn(nil), h.txns...)
 }
+
+var _ Sink = (*History)(nil)
 
 // Outcomes counts recorded transactions by outcome.
 func (h *History) Outcomes() (committed, aborted, unknown int) {

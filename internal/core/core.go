@@ -21,6 +21,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/audit"
 	"repro/internal/clock"
 	"repro/internal/cluster"
 	"repro/internal/flash"
@@ -93,6 +94,15 @@ type ClusterOptions struct {
 	// (name = "client-<id>"); the returned client carries all of that
 	// endpoint's outgoing traffic.
 	NetWrapper func(name string, inner transport.Client) transport.Client
+	// Audit, when set, enables the online audit pipeline: one shared
+	// audit.Auditor is created for the cluster, attached to every server
+	// (commit-wait monitoring, wire.AuditRequest service) and to every
+	// transaction client NewTxnClient builds (streaming history intake).
+	// NewCluster fills the cluster-derived fields — Oracle (the shared
+	// clock source), Watermark (min over the replicas), Health, SpanSource,
+	// Metrics, Profile, and Epsilon (the clock profile's ε) — unless the
+	// caller set them explicitly.
+	Audit *audit.Options
 }
 
 // Cluster is an embedded SEMEL/MILANA deployment.
@@ -107,10 +117,12 @@ type Cluster struct {
 	Source  clock.Source
 	servers map[string]*semel.Server
 	devices map[string]*flash.Device
+	auditor *audit.Auditor
 
-	mu     sync.Mutex
-	rng    *rand.Rand
-	clocks []*clock.Skewed
+	mu        sync.Mutex
+	rng       *rand.Rand
+	clocks    []*clock.Skewed
+	syncStops []func()
 }
 
 // Addr names replica r of shard s.
@@ -165,6 +177,37 @@ func NewCluster(opt ClusterOptions) (*Cluster, error) {
 	}
 	c.Dir = dir
 
+	if opt.Audit != nil {
+		ao := *opt.Audit
+		if ao.Oracle == nil {
+			// The embedded cluster's shared source IS true time: every
+			// emulated clock is a perturbation of it.
+			ao.Oracle = c.Source.Now
+		}
+		if ao.Watermark == nil {
+			ao.Watermark = c.minWatermark
+		}
+		if ao.Health == nil {
+			ao.Health = c.clockHealthSnapshot
+		}
+		if ao.SpanSource == nil {
+			ao.SpanSource = c.spansForTrace
+		}
+		if ao.Metrics == nil {
+			ao.Metrics = c.Obs
+		}
+		if ao.Profile == "" {
+			ao.Profile = opt.ClockProfile.Name
+		}
+		if ao.Epsilon == 0 {
+			ao.Epsilon = opt.ClockProfile.Epsilon()
+		}
+		if ao.Seed == 0 {
+			ao.Seed = opt.Seed
+		}
+		c.auditor = audit.New(ao)
+	}
+
 	serverID := uint32(1 << 20) // server clock IDs far above client IDs
 	for s := 0; s < opt.Shards; s++ {
 		for r := 0; r < opt.Replicas; r++ {
@@ -209,6 +252,7 @@ func NewCluster(opt ClusterOptions) (*Cluster, error) {
 				SerialReads:          opt.SerialReads,
 				SkewWindow:           skewWindow,
 				SlowRequestThreshold: opt.SlowRequestThreshold,
+				Auditor:              c.auditor,
 			})
 			if err != nil {
 				c.Close()
@@ -219,8 +263,54 @@ func NewCluster(opt ClusterOptions) (*Cluster, error) {
 			c.Bus.Register(addr, srv)
 		}
 	}
+	c.auditor.Start() // nil-safe: no-op when auditing is off
 	return c, nil
 }
+
+// minWatermark is the cluster-wide replication watermark: the minimum over
+// every replica's tracker. Zero until every replica has observed at least
+// one client watermark broadcast — truncating earlier could discard history
+// some replica's garbage collector has not yet been promised is stable.
+func (c *Cluster) minWatermark() clock.Timestamp {
+	var wm clock.Timestamp
+	first := true
+	for _, s := range c.servers {
+		w := s.Watermark()
+		if w.IsZero() {
+			return clock.Timestamp{}
+		}
+		if first || w.Before(wm) {
+			wm, first = w, false
+		}
+	}
+	return wm
+}
+
+// clockHealthSnapshot reports every emulated clock's sync state: servers by
+// address, skewed client/server clocks by ID (flight-recorder context).
+func (c *Cluster) clockHealthSnapshot() map[string]clock.Health {
+	out := make(map[string]clock.Health)
+	for addr, s := range c.servers {
+		out[addr] = s.TimeHealth().Clock
+	}
+	for _, sk := range c.Clocks() {
+		out[fmt.Sprintf("clock-%d", sk.Client())] = sk.Health()
+	}
+	return out
+}
+
+// spansForTrace gathers the retained spans of one trace across every
+// replica's span ring.
+func (c *Cluster) spansForTrace(traceID uint64) []obs.SpanRecord {
+	var out []obs.SpanRecord
+	for _, s := range c.servers {
+		out = append(out, s.Spans().ForTrace(traceID)...)
+	}
+	return out
+}
+
+// Auditor returns the cluster's online auditor (nil when auditing is off).
+func (c *Cluster) Auditor() *audit.Auditor { return c.auditor }
 
 // newBackend builds one replica's storage backend.
 func (c *Cluster) newBackend() (storage.Backend, *flash.Device, error) {
@@ -305,7 +395,9 @@ func (c *Cluster) clientClock(id uint32) clock.Clock {
 
 // StartSynchronizer runs the cluster's clock-synchronization daemons over
 // every skewed client clock created so far. Call after creating clients;
-// returns a stop function (no-op when clocks are perfect).
+// returns a stop function (no-op when clocks are perfect). The stop is
+// idempotent and also registered with Close, so a forgotten stop cannot leak
+// the sync goroutine past cluster teardown.
 func (c *Cluster) StartSynchronizer() func() {
 	c.mu.Lock()
 	clocks := append([]*clock.Skewed(nil), c.clocks...)
@@ -316,7 +408,12 @@ func (c *Cluster) StartSynchronizer() func() {
 	s := clock.NewSynchronizer(c.opt.ClockProfile, c.opt.Seed+99, clocks...)
 	s.SetMetrics(c.Obs)
 	s.Start()
-	return s.Stop
+	var once sync.Once
+	stop := func() { once.Do(s.Stop) }
+	c.mu.Lock()
+	c.syncStops = append(c.syncStops, stop)
+	c.mu.Unlock()
+	return stop
 }
 
 // MergedSnapshot merges the cluster registry with every server's registry
@@ -349,9 +446,14 @@ func (c *Cluster) NewSemelClient(id uint32) *semel.Client {
 	return semel.NewClient(c.clientClock(id), c.clientNet(id), c.Dir)
 }
 
-// NewTxnClient builds a transaction client.
+// NewTxnClient builds a transaction client. With auditing enabled the
+// client streams every transaction it finishes into the cluster's auditor.
 func (c *Cluster) NewTxnClient(id uint32) *milana.Client {
-	return milana.NewClient(c.clientClock(id), c.clientNet(id), c.Dir)
+	cl := milana.NewClient(c.clientClock(id), c.clientNet(id), c.Dir)
+	if c.auditor != nil {
+		cl.AddSink(c.auditor)
+	}
+	return cl
 }
 
 // Clocks snapshots every skewed clock created so far (servers first when
@@ -402,8 +504,16 @@ func (c *Cluster) KillPrimary(ctx context.Context, shard cluster.ShardID) (strin
 	return promoted, nil
 }
 
-// Close shuts down every server and the bus.
+// Close shuts down the auditor, every server, and the bus.
 func (c *Cluster) Close() {
+	c.auditor.Close() // nil-safe
+	c.mu.Lock()
+	stops := c.syncStops
+	c.syncStops = nil
+	c.mu.Unlock()
+	for _, stop := range stops {
+		stop()
+	}
 	for _, s := range c.servers {
 		s.Close()
 	}

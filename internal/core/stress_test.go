@@ -5,7 +5,6 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
-	"os"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -34,21 +33,7 @@ func TestStressChaosSweep(t *testing.T) {
 	if testing.Short() {
 		t.Skip("stress sweep skipped in -short mode")
 	}
-	base, rounds := int64(1), 2
-	if s := os.Getenv("CHAOS_SEED"); s != "" {
-		v, err := strconv.ParseInt(s, 10, 64)
-		if err != nil {
-			t.Fatalf("bad CHAOS_SEED %q: %v", s, err)
-		}
-		base = v
-	}
-	if s := os.Getenv("CHAOS_ROUNDS"); s != "" {
-		v, err := strconv.Atoi(s)
-		if err != nil {
-			t.Fatalf("bad CHAOS_ROUNDS %q: %v", s, err)
-		}
-		rounds = v
-	}
+	base, rounds := chaosEnv(t, 1, 2)
 	profiles := []clock.Profile{clock.NTP, clock.PTPHardware, clock.DTP}
 	for i := 0; i < rounds; i++ {
 		seed := base + int64(i)

@@ -86,9 +86,13 @@ type Client struct {
 	// span stamped with its own (skewed) clock. Nil disables (default).
 	spans *obs.SpanStore
 
-	// history, when attached via SetHistory, records every finished
-	// transaction for offline serializability checking. Nil = off.
-	history *check.History
+	// sinks receive every finished transaction: the offline History
+	// (SetHistory) and the online auditor (AddSink) both plug in here.
+	// Empty = off.
+	sinks []check.Sink
+	// beginSinks is the subset of sinks also wanting begin notifications
+	// (check.BeginSink — the online auditor's in-flight tracking).
+	beginSinks []check.BeginSink
 
 	seq atomic.Uint64
 
@@ -168,7 +172,26 @@ func (c *Client) Spans() *obs.SpanStore { return c.spans }
 // (committed / aborted / unknown), ready for check.Serializability. Many
 // clients may share one History. Call before issuing transactions; not
 // safe to swap concurrently with them.
-func (c *Client) SetHistory(h *check.History) { c.history = h }
+func (c *Client) SetHistory(h *check.History) {
+	if h == nil {
+		return
+	}
+	c.AddSink(h)
+}
+
+// AddSink attaches one more transaction sink (the online auditor, a test
+// recorder, ...). Sinks that also implement check.BeginSink are notified
+// when transactions begin. Call before issuing transactions; not safe to
+// add concurrently with them.
+func (c *Client) AddSink(s check.Sink) {
+	if s == nil {
+		return
+	}
+	c.sinks = append(c.sinks, s)
+	if bs, ok := s.(check.BeginSink); ok {
+		c.beginSinks = append(c.beginSinks, bs)
+	}
+}
 
 // Clock exposes the client's clock (trace collection reads its Health to
 // align the client's spans with the servers').
@@ -263,6 +286,9 @@ func (c *Client) Begin() *Txn {
 	}
 	if c.spans != nil {
 		t.tc = obs.TraceContext{TraceID: t.id.TraceID(), SpanID: c.spans.NextID(), Sampled: true}
+	}
+	for _, bs := range c.beginSinks {
+		bs.TxnBegan(t.id, t.begin)
 	}
 	return t
 }
@@ -396,7 +422,7 @@ func (t *Txn) finish(committed bool) {
 	if t.ReadOnly() {
 		t.c.readOnly.Add(1)
 	}
-	if h := t.c.history; h != nil {
+	if len(t.c.sinks) > 0 {
 		out := check.Aborted
 		switch {
 		case committed:
@@ -411,7 +437,9 @@ func (t *Txn) finish(committed bool) {
 		for k := range t.write {
 			rec.Writes = append(rec.Writes, k)
 		}
-		h.Record(rec)
+		for _, s := range t.c.sinks {
+			s.Record(rec)
+		}
 	}
 	// Fallback span end for paths that didn't set a richer outcome
 	// (application Abort, snapshot-miss aborts).

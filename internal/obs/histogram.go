@@ -60,6 +60,10 @@ type Histogram struct {
 	count   atomic.Uint64
 	sum     atomic.Int64
 	buckets [numBuckets]atomic.Uint64
+	// exemplars remembers, per bucket, the most recent trace ID observed
+	// there (0 = none): a p99 spike in a snapshot is then one `milctl
+	// trace` away from its stitched timeline.
+	exemplars [numBuckets]atomic.Uint64
 }
 
 // NewHistogram creates an empty histogram. Standalone histograms (outside a
@@ -79,16 +83,36 @@ func (h *Histogram) Observe(v int64) {
 	h.sum.Add(v)
 }
 
+// ObserveExemplar records one value and, when traceID is non-zero, stamps
+// the value's bucket with it as the most recent exemplar.
+func (h *Histogram) ObserveExemplar(v int64, traceID uint64) {
+	if h == nil {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	idx := bucketIndex(v)
+	h.buckets[idx].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	if traceID != 0 {
+		h.exemplars[idx].Store(traceID)
+	}
+}
+
 // ObserveDuration records a duration in nanoseconds.
 func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(int64(d)) }
 
 // ObserveSince records the time elapsed since start.
 func (h *Histogram) ObserveSince(start time.Time) { h.ObserveDuration(time.Since(start)) }
 
-// Bucket is one non-empty histogram bucket in a snapshot.
+// Bucket is one non-empty histogram bucket in a snapshot. Exemplar is the
+// most recent trace ID observed in the bucket (0 = none).
 type Bucket struct {
-	Idx int32
-	N   uint64
+	Idx      int32
+	N        uint64
+	Exemplar uint64
 }
 
 // HistogramSnapshot is a sparse, mergeable copy of a histogram. All fields
@@ -107,7 +131,7 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 	s := HistogramSnapshot{Count: h.count.Load(), Sum: h.sum.Load()}
 	for i := range h.buckets {
 		if n := h.buckets[i].Load(); n > 0 {
-			s.Buckets = append(s.Buckets, Bucket{Idx: int32(i), N: n})
+			s.Buckets = append(s.Buckets, Bucket{Idx: int32(i), N: n, Exemplar: h.exemplars[i].Load()})
 		}
 	}
 	return s
@@ -126,7 +150,11 @@ func (s *HistogramSnapshot) Merge(o HistogramSnapshot) {
 		a, b := s.Buckets[i], o.Buckets[j]
 		switch {
 		case a.Idx == b.Idx:
-			merged = append(merged, Bucket{Idx: a.Idx, N: a.N + b.N})
+			ex := a.Exemplar
+			if b.Exemplar != 0 {
+				ex = b.Exemplar // recency across snapshots is unknowable; any is useful
+			}
+			merged = append(merged, Bucket{Idx: a.Idx, N: a.N + b.N, Exemplar: ex})
 			i++
 			j++
 		case a.Idx < b.Idx:
@@ -181,6 +209,30 @@ func (s HistogramSnapshot) Mean() float64 {
 // nanosecond-valued histograms.
 func (s HistogramSnapshot) QuantileDuration(q float64) time.Duration {
 	return time.Duration(s.Quantile(q))
+}
+
+// Exemplar is one remembered high-latency trace: the bucket's value range
+// and the most recent trace ID observed there.
+type Exemplar struct {
+	LoNs, HiNs int64 // inclusive bucket bounds
+	N          uint64
+	TraceID    uint64
+}
+
+// TopExemplars returns up to n exemplars from the highest-latency buckets
+// that remembered one, slowest first — the traces to pull when the tail
+// spikes.
+func (s HistogramSnapshot) TopExemplars(n int) []Exemplar {
+	var out []Exemplar
+	for i := len(s.Buckets) - 1; i >= 0 && len(out) < n; i-- {
+		b := s.Buckets[i]
+		if b.Exemplar == 0 {
+			continue
+		}
+		lo, hi := bucketBounds(int(b.Idx))
+		out = append(out, Exemplar{LoNs: lo, HiNs: hi, N: b.N, TraceID: b.Exemplar})
+	}
+	return out
 }
 
 // Percentiles returns the canonical reporting set: p50, p95, p99, p99.9.

@@ -116,6 +116,42 @@ func TestHistogramMerge(t *testing.T) {
 	}
 }
 
+func TestHistogramExemplars(t *testing.T) {
+	h := NewHistogram()
+	h.ObserveExemplar(10, 0xaaa) // fast bucket
+	h.ObserveExemplar(1_000_000, 0xbbb)
+	h.ObserveExemplar(1_000_001, 0xccc) // same bucket as 0xbbb: latest wins
+	h.ObserveExemplar(500, 0)           // no trace: bucket stays unstamped
+	h.Observe(1 << 40)                  // slower still, but untraced
+
+	top := h.Snapshot().TopExemplars(2)
+	if len(top) != 2 {
+		t.Fatalf("TopExemplars returned %d, want 2", len(top))
+	}
+	// Slowest stamped bucket first; the 1<<40 bucket has no exemplar and
+	// must not appear.
+	if top[0].TraceID != 0xccc || top[1].TraceID != 0xaaa {
+		t.Fatalf("top exemplars = %+v, want 0xccc then 0xaaa", top)
+	}
+	if top[0].LoNs > 1_000_001 || top[0].HiNs < 1_000_001 {
+		t.Fatalf("exemplar bounds %d..%d must cover the observation", top[0].LoNs, top[0].HiNs)
+	}
+
+	// Exemplars survive a merge; when both sides stamped a bucket, either
+	// trace is acceptable but it must be one of them.
+	o := NewHistogram()
+	o.ObserveExemplar(1_000_000, 0xddd)
+	merged := h.Snapshot()
+	merged.Merge(o.Snapshot())
+	got := merged.TopExemplars(1)
+	if len(got) != 1 || (got[0].TraceID != 0xccc && got[0].TraceID != 0xddd) {
+		t.Fatalf("merged exemplar = %+v", got)
+	}
+	if nilTop := (HistogramSnapshot{}).TopExemplars(3); nilTop != nil {
+		t.Fatalf("empty snapshot exemplars = %+v", nilTop)
+	}
+}
+
 func TestHistogramEmpty(t *testing.T) {
 	var s HistogramSnapshot
 	if s.Quantile(0.5) != 0 || s.Mean() != 0 {

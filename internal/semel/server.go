@@ -20,6 +20,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/audit"
 	"repro/internal/clock"
 	"repro/internal/cluster"
 	"repro/internal/milana"
@@ -92,6 +93,12 @@ type ServerOptions struct {
 	// (abort-provenance counters). 0 attributes every abort to conflict.
 	// Use 2× the clock profile's Epsilon: a race involves two clocks.
 	SkewWindow time.Duration
+	// Auditor, when set, is the online audit pipeline this replica feeds
+	// (every incoming prepare's commit timestamp is checked against the
+	// commit-wait invariant) and serves (wire.AuditRequest). The auditor is
+	// typically shared cluster-wide and owned by whoever created it — the
+	// server does not close it.
+	Auditor *audit.Auditor
 }
 
 // serverStats holds the replica's operation counters (see wire.StatsResponse).
@@ -550,7 +557,14 @@ func (s *Server) Serve(ctx context.Context, req any) (any, error) {
 	resp, err := s.dispatch(ctx, req)
 	elapsed := time.Since(start)
 	if h := s.serveHist(req); h != nil {
-		h.Observe(int64(elapsed))
+		// Traced requests stamp their latency bucket with the trace ID
+		// (exemplar): a tail spike in `milctl stats` names a trace to pull,
+		// and the slow-request log below prints the same ID.
+		if traced {
+			h.ObserveExemplar(int64(elapsed), tc.TraceID)
+		} else {
+			h.Observe(int64(elapsed))
+		}
 	}
 	if record {
 		outcome := ""
@@ -605,6 +619,9 @@ func (s *Server) dispatch(ctx context.Context, req any) (any, error) {
 		if !s.IsPrimary() {
 			return nil, ErrNotPrimary
 		}
+		// Feed the commit-wait monitor at the earliest observable instant:
+		// request receipt, stamped with this replica's own clock.
+		s.opt.Auditor.ObservePrepare(r.ID, r.CommitTs, s.opt.Clock.Now())
 		s.stats.prepares.Add(1)
 		resp, err := s.mgr.Prepare(ctx, r)
 		if err == nil && !resp.OK {
@@ -666,6 +683,8 @@ func (s *Server) dispatch(ctx context.Context, req any) (any, error) {
 		}, nil
 	case wire.TimeHealthRequest:
 		return s.TimeHealth(), nil
+	case wire.AuditRequest:
+		return s.handleAudit(), nil
 	case wire.RecoveryPullRequest:
 		return s.handleRecoveryPull(r)
 	case wire.PromoteRequest:
@@ -682,6 +701,29 @@ var _ transport.Handler = (*Server)(nil)
 
 // Spans exposes the server's span ring (trace collection and tests).
 func (s *Server) Spans() *obs.SpanStore { return s.spans }
+
+// Watermark reports the replica's current replication watermark (the
+// auditor's truncation source and the audit/timehealth reports read it).
+func (s *Server) Watermark() clock.Timestamp { return s.wm.Watermark() }
+
+// handleAudit reports the attached auditor's state; with no auditor the
+// response reads Enabled=false.
+func (s *Server) handleAudit() wire.AuditResponse {
+	sum := s.opt.Auditor.Stats()
+	return wire.AuditResponse{
+		Addr:              s.opt.Addr,
+		Enabled:           sum.Enabled,
+		Profile:           sum.Profile,
+		Pending:           sum.Pending,
+		UnknownRetained:   sum.UnknownRetained,
+		WindowsChecked:    sum.WindowsChecked,
+		WindowsSkipped:    sum.WindowsSkipped,
+		Convictions:       sum.Convictions,
+		EpsilonViolations: sum.EpsilonViolations,
+		LastCut:           sum.LastCut,
+		Artifacts:         s.opt.Auditor.ArtifactsJSON(),
+	}
+}
 
 // clockHealth reports the local clock's sync state; clocks that cannot
 // report (no HealthReporter) read as perfectly synchronized.

@@ -371,6 +371,38 @@ type TimeHealthResponse struct {
 	WatermarkLagNs int64
 }
 
+// AuditRequest asks a replica for its online-audit state: counters plus the
+// retained flight-recorder artifacts.
+type AuditRequest struct{}
+
+// AuditResponse is a replica's audit report. Artifacts carries the
+// flight-recorder dumps JSON-encoded (audit.Artifact), oldest first — wire
+// cannot name the audit types directly (audit builds on check, which builds
+// on wire), so they travel as opaque blobs and are decoded by the tools
+// that display them.
+type AuditResponse struct {
+	Addr    string
+	Enabled bool
+	Profile string
+	// Pending is the auditor's buffered (not yet truncated) transaction
+	// count; UnknownRetained counts outcome-unknown transactions retained
+	// indefinitely.
+	Pending         int
+	UnknownRetained int
+	// WindowsChecked / WindowsSkipped count closed windows by whether the
+	// sampling coin ran the checker on them.
+	WindowsChecked int64
+	WindowsSkipped int64
+	// Convictions counts windows the checker found non-serializable;
+	// EpsilonViolations counts commit timestamps that exceeded the
+	// clock-uncertainty bound.
+	Convictions       int64
+	EpsilonViolations int64
+	// LastCut is the timestamp of the most recent window truncation.
+	LastCut   clock.Timestamp
+	Artifacts [][]byte
+}
+
 // PromoteRequest tells a backup it is now the primary of its shard; it
 // triggers the recovery merge before the new primary serves traffic.
 type PromoteRequest struct{}
@@ -394,6 +426,7 @@ func registeredMessages() []any {
 		RecoveryPullRequest{}, RecoveryPullResponse{}, PromoteRequest{}, PromoteResponse{},
 		StatsRequest{}, StatsResponse{},
 		TraceRequest{}, TraceResponse{}, TimeHealthRequest{}, TimeHealthResponse{},
+		AuditRequest{}, AuditResponse{},
 	}
 }
 

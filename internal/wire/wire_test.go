@@ -82,6 +82,11 @@ func TestGobRoundTrip(t *testing.T) {
 		TimeHealthResponse{Addr: "shard0/r0", Shard: 0, Primary: true,
 			Clock: clock.Health{OffsetNs: -40, ResidualNs: -20, UncertaintyNs: 20},
 			Now:   ts, Watermark: clock.Timestamp{Ticks: 90, Client: 3}, WatermarkLagNs: 9},
+		AuditRequest{},
+		AuditResponse{Addr: "shard0/r0", Enabled: true, Profile: "ntp",
+			Pending: 3, UnknownRetained: 1, WindowsChecked: 4, WindowsSkipped: 2,
+			Convictions: 1, EpsilonViolations: 2, LastCut: ts,
+			Artifacts: [][]byte{[]byte(`{"kind":"conviction"}`)}},
 		StatsRequest{Detailed: true},
 		StatsResponse{Addr: "a", Primary: true, Gets: 5, Watermark: ts,
 			Obs: obs.Snapshot{
