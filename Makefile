@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check cover audit stress bench benchall
+.PHONY: all build vet test race check cover audit stress bench benchquick benchcmp benchall
 
 all: check
 
@@ -16,12 +16,12 @@ test:
 race:
 	$(GO) test -race ./...
 
-# cover enforces a statement-coverage floor on the observability, wire,
-# fault-injection, and history-checking layers — the packages whose
-# regressions (an unparseable /metrics line, a field dropped from a gob
-# envelope, a checker that stops finding cycles) otherwise slip through
-# unexercised.
-COVER_PKGS = ./internal/obs ./internal/wire ./internal/faults ./internal/check ./internal/audit
+# cover enforces a statement-coverage floor on the observability, wire
+# codec, transport framing, fault-injection, and history-checking layers —
+# the packages whose regressions (an unparseable /metrics line, a byte moved
+# in the frozen wire format, a checker that stops finding cycles) otherwise
+# slip through unexercised.
+COVER_PKGS = ./internal/obs ./internal/wire ./internal/faults ./internal/check ./internal/audit ./internal/transport
 COVER_MIN  = 70
 cover:
 	$(GO) test -coverprofile=cover.out $(COVER_PKGS)
@@ -61,10 +61,25 @@ stress:
 	CHAOS_SEED=$(CHAOS_SEED) CHAOS_ROUNDS=$(CHAOS_ROUNDS) \
 		$(GO) test -race -timeout 30m -run 'TestStress|TestAudit' -v ./internal/core/
 
-# bench runs the write/read-path perf scenarios and records the trajectory
-# (ops/sec + p50/p95 from the obs histograms) in BENCH_2.json.
+# bench runs the write/read-path perf scenarios plus the codec
+# microbenchmarks and records the trajectory (ops/sec + p50/p95 from the obs
+# histograms, allocs/op for the micros) in BENCH_7.json. Compare against the
+# previous trajectory with `make benchcmp`.
 bench:
-	$(GO) run ./cmd/bench -out BENCH_2.json
+	$(GO) run ./cmd/bench -out BENCH_7.json
+
+# benchquick is the short iteration loop: 1s per scenario, put/multiget TCP
+# scenarios only (the ones the wire codec moves), result left in /tmp so the
+# checked-in trajectory files stay stable.
+benchquick:
+	$(GO) run ./cmd/bench -dur 1s -only put/,multiget/ -out /tmp/benchquick.json
+
+# benchcmp prints a benchstat-style before/after table between the last two
+# recorded trajectories.
+OLD_BENCH ?= BENCH_2.json
+NEW_BENCH ?= BENCH_7.json
+benchcmp:
+	$(GO) run ./cmd/bench/compare $(OLD_BENCH) $(NEW_BENCH)
 
 # benchall runs every go test benchmark (paper tables/figures + micro).
 benchall:

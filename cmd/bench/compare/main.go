@@ -1,0 +1,112 @@
+// Command compare joins two bench trajectory files (cmd/bench JSON output)
+// by scenario name and prints a benchstat-style before/after table: ops/sec
+// old → new with the speedup ratio, p50 latency movement, and allocation
+// deltas for the codec microbenchmark rows.
+//
+//	go run ./cmd/bench/compare BENCH_2.json BENCH_7.json
+//
+// Rows present in only one file are listed separately, so renamed or newly
+// added scenarios are visible rather than silently dropped.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+type result struct {
+	Name        string  `json:"name"`
+	Concurrency int     `json:"concurrency"`
+	Ops         int64   `json:"ops"`
+	OpsPerSec   float64 `json:"ops_per_sec"`
+	P50Micros   float64 `json:"p50_us"`
+	P95Micros   float64 `json:"p95_us"`
+	NsPerOp     float64 `json:"ns_per_op,omitempty"`
+	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+	Notes       string  `json:"notes,omitempty"`
+}
+
+type report struct {
+	Generated   string   `json:"generated"`
+	Duration    string   `json:"duration_per_scenario"`
+	Environment string   `json:"environment"`
+	Results     []result `json:"results"`
+}
+
+func load(path string) report {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	var rep report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		fatal(fmt.Errorf("%s: %w", path, err))
+	}
+	return rep
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "compare:", err)
+	os.Exit(1)
+}
+
+func main() {
+	if len(os.Args) != 3 {
+		fmt.Fprintln(os.Stderr, "usage: compare OLD.json NEW.json")
+		os.Exit(2)
+	}
+	oldRep, newRep := load(os.Args[1]), load(os.Args[2])
+	oldBy := make(map[string]result, len(oldRep.Results))
+	for _, r := range oldRep.Results {
+		oldBy[r.Name] = r
+	}
+	newBy := make(map[string]result, len(newRep.Results))
+	for _, r := range newRep.Results {
+		newBy[r.Name] = r
+	}
+
+	fmt.Printf("old: %s (%s)\n", os.Args[1], oldRep.Generated)
+	fmt.Printf("new: %s (%s)\n\n", os.Args[2], newRep.Generated)
+
+	fmt.Printf("%-26s %12s %12s %8s %10s %10s\n", "scenario", "old ops/s", "new ops/s", "ratio", "old p50µs", "new p50µs")
+	var onlyOld, onlyNew []string
+	for _, r := range oldRep.Results {
+		n, ok := newBy[r.Name]
+		if !ok {
+			onlyOld = append(onlyOld, r.Name)
+			continue
+		}
+		ratio := 0.0
+		if r.OpsPerSec > 0 {
+			ratio = n.OpsPerSec / r.OpsPerSec
+		}
+		fmt.Printf("%-26s %12.0f %12.0f %7.2fx %10.0f %10.0f\n", r.Name, r.OpsPerSec, n.OpsPerSec, ratio, r.P50Micros, n.P50Micros)
+		if r.AllocsPerOp > 0 || n.AllocsPerOp > 0 {
+			fmt.Printf("%-26s %12d %12d          allocs/op\n", "", r.AllocsPerOp, n.AllocsPerOp)
+		}
+	}
+	for _, r := range newRep.Results {
+		if _, ok := oldBy[r.Name]; !ok {
+			onlyNew = append(onlyNew, r.Name)
+		}
+	}
+	if len(onlyOld) > 0 {
+		fmt.Printf("\nonly in %s:\n", os.Args[1])
+		for _, n := range onlyOld {
+			fmt.Printf("  %s\n", n)
+		}
+	}
+	if len(onlyNew) > 0 {
+		fmt.Printf("\nonly in %s:\n", os.Args[2])
+		for _, r := range onlyNew {
+			n := newBy[r]
+			if n.AllocsPerOp > 0 || n.NsPerOp > 0 {
+				fmt.Printf("  %-24s %12.0f ops/s  %8.0f ns/op  %6d B/op  %4d allocs/op\n", r, n.OpsPerSec, n.NsPerOp, n.BytesPerOp, n.AllocsPerOp)
+			} else {
+				fmt.Printf("  %-24s %12.0f ops/s  p50 %.0fµs\n", r, n.OpsPerSec, n.P50Micros)
+			}
+		}
+	}
+}

@@ -1,28 +1,32 @@
 // Command bench runs the write-path and read-path performance benchmarks
-// behind the pipelined-write-path work and emits a JSON perf trajectory
-// (BENCH_2.json by default): ops/sec plus p50/p95 service latencies pulled
-// from the obs histograms, so future PRs have concrete numbers to compare
-// against.
+// and emits a JSON perf trajectory (BENCH_7.json by default): ops/sec plus
+// p50/p95 service latencies pulled from the obs histograms, so future PRs
+// have concrete numbers to compare against. Compare two trajectory files
+// with `go run ./cmd/bench/compare OLD.json NEW.json`.
 //
-//	go run ./cmd/bench -out BENCH_2.json
+//	go run ./cmd/bench -out BENCH_7.json
 //
-// Scenario pairs (each "before" vs "after" on the same harness):
+// Scenario groups:
 //
 //   - put/unbatched vs put/batched — the replicated SEMEL write path
 //     (1 shard × 3 replicas, DRAM) over real loopback TCP at -conc
-//     concurrent clients. Over a real transport every message costs gob
-//     encoding and syscalls, so this isolates exactly what batching
-//     amortizes: per-write replication RPCs (an unbatched put is six
-//     messages; a batched put approaches two).
+//     concurrent clients. Over a real transport every message costs
+//     encoding and syscalls, so this isolates what batching and the binary
+//     wire codec amortize. put/batched-gob forces the gob fallback frames
+//     on the same harness: the batched-vs-batched-gob ratio is the codec's
+//     end-to-end win.
 //   - put/unbatched-flash vs put/batched-flash — the same comparison on
 //     MFTL with real flash sleeps and a data-center latency model. This
 //     is the end-to-end number; wins here are bounded by the physical
-//     critical path (client RPC + primary program + one replication
-//     round trip), which batching cannot remove.
-//   - multiget/serial vs multiget/parallel — snapshot reads of 16 keys
-//     per call against MFTL with real flash read sleeps: the serial
-//     baseline reads keys one after another, the parallel path fans them
-//     out so independent page reads overlap across the device's channels.
+//     critical path, which neither batching nor encoding can remove.
+//   - multiget/serial vs multiget/parallel — snapshot reads of 16 keys per
+//     call over loopback TCP against DRAM, so the RPC path is the cost.
+//     multiget/gob forces gob frames on the parallel harness (the codec
+//     comparison); the -flash variants rerun the pair against MFTL with
+//     real flash read sleeps, where the win is channel overlap, not CPU.
+//   - codec/* — message-level microbenchmarks (testing.Benchmark with
+//     allocation counts) for codec-v1 Append+Decode round trips vs the gob
+//     fallback, per-message and per-connection-stream flavors.
 package main
 
 import (
@@ -34,6 +38,7 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -54,6 +59,9 @@ type result struct {
 	OpsPerSec   float64 `json:"ops_per_sec"`
 	P50Micros   float64 `json:"p50_us"`
 	P95Micros   float64 `json:"p95_us"`
+	NsPerOp     float64 `json:"ns_per_op,omitempty"`
+	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
 	Notes       string  `json:"notes,omitempty"`
 }
 
@@ -67,11 +75,25 @@ type report struct {
 var debug = flag.Bool("debug", false, "dump merged metric snapshots after each scenario")
 
 func main() {
-	out := flag.String("out", "BENCH_2.json", "output JSON path")
+	out := flag.String("out", "BENCH_7.json", "output JSON path")
 	dur := flag.Duration("dur", 3*time.Second, "measured duration per scenario")
 	conc := flag.Int("conc", 64, "concurrent clients (>= 8 for the acceptance numbers)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile covering every scenario to this file (go tool pprof)")
+	only := flag.String("only", "", "comma-separated scenario filters (exact name, or substring match); empty runs everything")
 	flag.Parse()
+
+	want := func(name string) bool {
+		if *only == "" {
+			return true
+		}
+		for _, tok := range strings.Split(*only, ",") {
+			tok = strings.TrimSpace(tok)
+			if tok == name || (tok != "" && strings.Contains(name, tok)) {
+				return true
+			}
+		}
+		return false
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -95,23 +117,72 @@ func main() {
 
 	fmt.Printf("%s\n", rep.Environment)
 
+	// ran holds each executed scenario by name, for the ratio lines below.
+	ran := map[string]result{}
+	record := func(r result) {
+		rep.Results = append(rep.Results, r)
+		ran[r.Name] = r
+		fmt.Printf("  %-22s %9.0f ops/s   p50 %7.0fµs  p95 %7.0fµs\n", r.Name+":", r.OpsPerSec, r.P50Micros, r.P95Micros)
+	}
+	ratio := func(label, base, opt string) {
+		b, okB := ran[base]
+		o, okO := ran[opt]
+		if okB && okO && b.OpsPerSec > 0 {
+			fmt.Printf("  %-22s %.2fx (%s vs %s)\n", label+":", o.OpsPerSec/b.OpsPerSec, opt, base)
+		}
+	}
+
 	fmt.Printf("put path (DRAM over loopback TCP; isolates RPC amortization), conc=%d:\n", *conc)
-	un := runTCPPut("put/unbatched", true, *conc, *dur)
-	ba := runTCPPut("put/batched", false, *conc, *dur)
-	rep.Results = append(rep.Results, un, ba)
-	printPair("unbatched", un, "batched", ba)
+	if want("put/unbatched") {
+		record(runTCPPut("put/unbatched", true, false, *conc, *dur))
+	}
+	if want("put/batched") {
+		record(runTCPPut("put/batched", false, false, *conc, *dur))
+	}
+	if want("put/batched-gob") {
+		record(runTCPPut("put/batched-gob", false, true, *conc, *dur))
+	}
+	ratio("batching win", "put/unbatched", "put/batched")
+	ratio("codec win", "put/batched-gob", "put/batched")
 
 	fmt.Printf("put path (MFTL, real flash sleeps, DC latency; end-to-end), conc=%d:\n", *conc)
-	unf := runPut("put/unbatched-flash", flashPutOptions(true), *conc, *dur, "one replication RPC per put, MFTL + RealSleeper + DC latency")
-	baf := runPut("put/batched-flash", flashPutOptions(false), *conc, *dur, "replication batcher on, MFTL + RealSleeper + DC latency")
-	rep.Results = append(rep.Results, unf, baf)
-	printPair("unbatched", unf, "batched", baf)
+	if want("put/unbatched-flash") {
+		record(runPut("put/unbatched-flash", flashPutOptions(true), *conc, *dur, "one replication RPC per put, MFTL + RealSleeper + DC latency"))
+	}
+	if want("put/batched-flash") {
+		record(runPut("put/batched-flash", flashPutOptions(false), *conc, *dur, "replication batcher on, MFTL + RealSleeper + DC latency"))
+	}
+	ratio("batching win", "put/unbatched-flash", "put/batched-flash")
+
+	fmt.Printf("multiget fan-out (DRAM over loopback TCP, 16 keys per call), conc=%d:\n", *conc)
+	if want("multiget/serial") {
+		record(runTCPMultiGet("multiget/serial", true, false, *conc, *dur))
+	}
+	if want("multiget/parallel") {
+		record(runTCPMultiGet("multiget/parallel", false, false, *conc, *dur))
+	}
+	if want("multiget/gob") {
+		record(runTCPMultiGet("multiget/gob", false, true, *conc, *dur))
+	}
+	ratio("codec win", "multiget/gob", "multiget/parallel")
 
 	fmt.Printf("multiget fan-out (MFTL, real flash read sleeps, 16 keys per call), conc=4:\n")
-	gs := runMultiGet("multiget/serial", true, 4, *dur)
-	gp := runMultiGet("multiget/parallel", false, 4, *dur)
-	rep.Results = append(rep.Results, gs, gp)
-	printPair("serial", gs, "parallel", gp)
+	if want("multiget/serial-flash") {
+		record(runMultiGet("multiget/serial-flash", true, 4, *dur))
+	}
+	if want("multiget/parallel-flash") {
+		record(runMultiGet("multiget/parallel-flash", false, 4, *dur))
+	}
+	ratio("fan-out win", "multiget/serial-flash", "multiget/parallel-flash")
+
+	if want("codec/") {
+		fmt.Printf("codec microbenchmarks (message round trips, allocations counted):\n")
+		micro := codecMicrobenchmarks()
+		rep.Results = append(rep.Results, micro...)
+		for _, r := range micro {
+			fmt.Printf("  %-28s %9.0f ns/op  %6d B/op  %4d allocs/op\n", r.Name+":", r.NsPerOp, r.BytesPerOp, r.AllocsPerOp)
+		}
+	}
 
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -121,11 +192,6 @@ func main() {
 		fatal(err)
 	}
 	fmt.Printf("wrote %s\n", *out)
-}
-
-func printPair(an string, a result, bn string, b result) {
-	fmt.Printf("  %-10s %9.0f ops/s   p50 %7.0fµs  p95 %7.0fµs\n", an+":", a.OpsPerSec, a.P50Micros, a.P95Micros)
-	fmt.Printf("  %-10s %9.0f ops/s   p50 %7.0fµs  p95 %7.0fµs   (%.2fx)\n", bn+":", b.OpsPerSec, b.P50Micros, b.P95Micros, b.OpsPerSec/a.OpsPerSec)
 }
 
 // environment records the two machine properties that bound what these
@@ -180,8 +246,10 @@ func (l *lateHandler) Serve(ctx context.Context, req any) (any, error) {
 // runTCPPut measures the replicated put path over real loopback TCP: three
 // replicas, each its own TCP server, DRAM storage so the transport is the
 // only cost. Clients share one connection per server, as one application
-// process would.
-func runTCPPut(name string, disableBatch bool, conc int, dur time.Duration) result {
+// process would. forceGob pins every client (application and replication)
+// to the gob fallback frames, isolating the binary codec's contribution on
+// an otherwise identical harness.
+func runTCPPut(name string, disableBatch, forceGob bool, conc int, dur time.Duration) result {
 	const replicas = 3
 	handlers := make([]*lateHandler, replicas)
 	tcpSrvs := make([]*transport.TCPServer, replicas)
@@ -203,7 +271,7 @@ func runTCPPut(name string, disableBatch bool, conc int, dur time.Duration) resu
 	servers := make([]*semel.Server, replicas)
 	nets := make([]*transport.TCPClient, replicas)
 	for i := range servers {
-		nets[i] = transport.NewTCPClient()
+		nets[i] = transport.NewTCPClientOpts(transport.TCPClientOptions{ForceGob: forceGob})
 		srv, err := semel.NewServer(semel.ServerOptions{
 			Addr:                addrs[i],
 			Shard:               0,
@@ -214,7 +282,11 @@ func runTCPPut(name string, disableBatch bool, conc int, dur time.Duration) resu
 			Clock:               clock.NewPerfect(source, uint32(1<<20+i)),
 			LeaseDuration:       -1,
 			AntiEntropyInterval: -1,
-			ReplBatch:           semel.BatchOptions{Disabled: disableBatch},
+			// One in-flight flush slot is what makes this group commit: the
+			// next batch accumulates for exactly as long as the previous
+			// flush takes, so batch size tracks load instead of collapsing
+			// to one op per RPC when flushes are fast.
+			ReplBatch: semel.BatchOptions{Disabled: disableBatch, Workers: 1},
 		})
 		if err != nil {
 			fatal(err)
@@ -222,7 +294,7 @@ func runTCPPut(name string, disableBatch bool, conc int, dur time.Duration) resu
 		servers[i] = srv
 		handlers[i].set(srv)
 	}
-	cliNet := transport.NewTCPClient()
+	cliNet := transport.NewTCPClientOpts(transport.TCPClientOptions{ForceGob: forceGob})
 	defer func() {
 		for _, s := range servers {
 			s.Close()
@@ -270,9 +342,120 @@ func runTCPPut(name string, disableBatch bool, conc int, dur time.Duration) resu
 	if h, ok := snap.Hists[`semel_serve_ns{op="put"}`]; ok {
 		p50, p95 = float64(h.Quantile(0.50))/1e3, float64(h.Quantile(0.95))/1e3
 	}
+	if *debug {
+		if h, ok := snap.Hists["semel_repl_batch_ops"]; ok {
+			fmt.Printf("    batch ops: n=%d p50=%d p95=%d\n", h.Count, h.Quantile(0.50), h.Quantile(0.95))
+		}
+		for _, r := range []string{"size", "bytes", "linger", "drain"} {
+			fmt.Printf("    flush %-6s %d\n", r, snap.Counters[fmt.Sprintf("semel_repl_flush_total{reason=%q}", r)])
+		}
+	}
 	notes := "replication batcher on (group commit), DRAM over loopback TCP"
 	if disableBatch {
 		notes = "one replication RPC per put, DRAM over loopback TCP"
+	}
+	if forceGob {
+		notes += ", gob fallback frames forced (codec baseline)"
+	}
+	return result{
+		Name:        name,
+		Concurrency: conc,
+		Ops:         ops.Load(),
+		OpsPerSec:   float64(ops.Load()) / elapsed.Seconds(),
+		P50Micros:   p50,
+		P95Micros:   p95,
+		Notes:       notes,
+	}
+}
+
+// runTCPMultiGet measures snapshot multigets over real loopback TCP against
+// a single DRAM replica: 16 keys per call, so each RPC carries a fat
+// request and a fatter response and the encode/decode path dominates.
+// serialReads disables the server's per-key fan-out (the PR-2 baseline);
+// forceGob pins the connection to gob fallback frames (the codec baseline).
+func runTCPMultiGet(name string, serialReads, forceGob bool, conc int, dur time.Duration) result {
+	handler := &lateHandler{}
+	tcpSrv, err := transport.NewTCPServer("127.0.0.1:0", handler)
+	if err != nil {
+		fatal(err)
+	}
+	dir, err := cluster.New([]cluster.ReplicaSet{{Primary: tcpSrv.Addr()}})
+	if err != nil {
+		fatal(err)
+	}
+	source := clock.NewSystemSource()
+	srv, err := semel.NewServer(semel.ServerOptions{
+		Addr:                tcpSrv.Addr(),
+		Shard:               0,
+		Primary:             true,
+		Backend:             storage.NewDRAM(),
+		Net:                 transport.NewTCPClient(),
+		Dir:                 dir,
+		Clock:               clock.NewPerfect(source, 1<<20),
+		LeaseDuration:       -1,
+		AntiEntropyInterval: -1,
+		SerialReads:         serialReads,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	handler.set(srv)
+	cliNet := transport.NewTCPClientOpts(transport.TCPClientOptions{ForceGob: forceGob})
+	defer func() {
+		srv.Close()
+		tcpSrv.Close()
+		cliNet.Close()
+	}()
+
+	const keys = 1024
+	const perCall = 16
+	ctx := context.Background()
+	setup := semel.NewClient(clock.NewPerfect(source, 99), cliNet, dir)
+	val := make([]byte, 64)
+	for i := 0; i < keys; i++ {
+		if _, err := setup.Put(ctx, []byte(fmt.Sprintf("k%d", i)), val); err != nil {
+			fatal(err)
+		}
+	}
+	var (
+		ops atomic.Int64
+		wg  sync.WaitGroup
+	)
+	warmEnd := time.Now().Add(500 * time.Millisecond)
+	start := warmEnd
+	deadline := start.Add(dur)
+	for w := 0; w < conc; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			cl := semel.NewClient(clock.NewPerfect(source, uint32(200+w)), cliNet, dir)
+			batch := make([][]byte, perCall)
+			for i := 0; time.Now().Before(deadline); i++ {
+				for j := range batch {
+					batch[j] = []byte(fmt.Sprintf("k%d", (i*perCall+j*61+w*131)%keys))
+				}
+				if _, err := cl.MultiGet(ctx, batch); err != nil {
+					fatal(fmt.Errorf("tcp multiget: %w", err))
+				}
+				if time.Now().After(warmEnd) {
+					ops.Add(perCall)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	snap := srv.Metrics().Snapshot()
+	var p50, p95 float64
+	if h, ok := snap.Hists[`semel_serve_ns{op="multiget"}`]; ok {
+		p50, p95 = float64(h.Quantile(0.50))/1e3, float64(h.Quantile(0.95))/1e3
+	}
+	notes := fmt.Sprintf("%d keys per call, parallel key fan-out, DRAM over loopback TCP", perCall)
+	if serialReads {
+		notes = fmt.Sprintf("%d keys per call, serial per-key reads (baseline), DRAM over loopback TCP", perCall)
+	}
+	if forceGob {
+		notes += ", gob fallback frames forced (codec baseline)"
 	}
 	return result{
 		Name:        name,

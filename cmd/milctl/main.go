@@ -39,6 +39,7 @@ func main() {
 		traceTxn = flag.Bool("trace", false, "with txn: propagate a trace context and print the stitched cross-node timeline")
 		interval = flag.Duration("interval", time.Second, "with top: refresh period")
 		rounds   = flag.Int("rounds", 0, "with top: number of refreshes (0 = until interrupted)")
+		gobWire  = flag.Bool("gob", false, "force the gob wire codec (talks to pre-codec servers; normally the binary codec is negotiated per frame)")
 	)
 	flag.Parse()
 	args := flag.Args()
@@ -56,7 +57,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	net := transport.NewTCPClient()
+	net := transport.NewTCPClientOpts(transport.TCPClientOptions{ForceGob: *gobWire})
 	defer net.Close()
 	clk := clock.NewPerfect(clock.NewSystemSource(), uint32(*id))
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)

@@ -43,6 +43,7 @@ func main() {
 		peers   = flag.String("peers", "", "comma-separated replica addresses of this shard, primary first")
 		shards  = flag.String("shards", "", "full shard map: ';'-separated shards, each a ','-separated address list")
 		backend = flag.String("backend", core.BackendDRAM, "storage backend: dram|mftl|vftl|sftl")
+		gobWire = flag.Bool("gob", false, "force the gob wire codec on all connections (escape hatch for mixed-version clusters; normally the binary codec is negotiated per frame)")
 		metrics = flag.String("metrics", "", "address for the HTTP debug endpoint (/metrics, /metrics.json, /debug/timehealth, /debug/audit, /debug/pprof/); empty disables")
 		slowlog = flag.Duration("slowlog", 0, "log one structured line for any RPC slower than this (0 disables)")
 		skewWin = flag.Duration("skew-window", 0, "validation-abort margins within this window count as skew-induced in abort provenance (0 = all conflict)")
@@ -88,16 +89,22 @@ func main() {
 	}
 	addr := replicas[*replica]
 
+	// One registry feeds everything on /metrics: the semel server, the
+	// auditor, and the wire layer (wire_bytes_total{dir,codec} plus
+	// encode/decode histograms from both the replication client and the
+	// serving side).
+	reg := obs.NewRegistry()
 	opts := semel.ServerOptions{
 		Addr:                 addr,
 		Shard:                cluster.ShardID(*shard),
 		Primary:              *replica == 0,
 		Backend:              be,
-		Net:                  transport.NewTCPClient(),
+		Net:                  transport.NewTCPClientOpts(transport.TCPClientOptions{ForceGob: *gobWire, Metrics: reg}),
 		Dir:                  dir,
 		Clock:                clock.NewPerfect(clock.NewSystemSource(), uint32(1<<20+*shard*100+*replica)),
 		SlowRequestThreshold: *slowlog,
 		SkewWindow:           *skewWin,
+		Metrics:              reg,
 	}
 	// The standalone daemon has no true-clock oracle, so the auditor runs in
 	// receive-timestamp mode: commit timestamps carried by prepares are
@@ -105,7 +112,6 @@ func main() {
 	// server share one registry so audit_* metrics ride /metrics.
 	var aud *audit.Auditor
 	if *auditSample > 0 {
-		opts.Metrics = obs.NewRegistry()
 		aud = audit.New(audit.Options{
 			SampleRate:  *auditSample,
 			Epsilon:     *auditEpsilon,
@@ -126,7 +132,7 @@ func main() {
 		aud.Start()
 		defer aud.Close()
 	}
-	tcp, err := transport.NewTCPServer(*listen, srv)
+	tcp, err := transport.NewTCPServerOpts(*listen, srv, transport.TCPServerOptions{ForceGob: *gobWire, Metrics: reg})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -160,8 +166,12 @@ func main() {
 		}()
 		fmt.Printf("semeld: metrics on http://%s/metrics (also /debug/timehealth, /debug/audit, /debug/pprof/)\n", *metrics)
 	}
-	fmt.Printf("semeld: shard %d replica %d (%s) serving on %s, backend %s\n",
-		*shard, *replica, map[bool]string{true: "primary", false: "backup"}[*replica == 0], tcp.Addr(), *backend)
+	wireMode := "binary codec v1 (gob fallback)"
+	if *gobWire {
+		wireMode = "gob (forced)"
+	}
+	fmt.Printf("semeld: shard %d replica %d (%s) serving on %s, backend %s, wire %s\n",
+		*shard, *replica, map[bool]string{true: "primary", false: "backup"}[*replica == 0], tcp.Addr(), *backend, wireMode)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

@@ -1,0 +1,462 @@
+package transport
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// The TCP transport frames every message — in both directions — as
+//
+//	frame    := length(4, big-endian) body
+//	body     := tag(1) rest
+//	tag      := 0x00 gob fallback | 0x01 binary codec v1
+//
+//	v1 request  := id(uvarint) traceID(uvarint) spanID(uvarint) flags(1) msg
+//	               flags bit0 = trace sampled
+//	v1 response := id(uvarint) flags(1) rest
+//	               flags 0x00: rest = msg
+//	               flags 0x01: rest = error string (uvarint length + bytes)
+//	               flags 0x02: nil payload, rest empty
+//	gob request  := gob-stream bytes for one wireRequest
+//	gob response := gob-stream bytes for one wireResponse
+//
+// Gob frames are stateful: the tag-0 frame bodies flowing one direction over
+// one connection form a single gob stream (one persistent encoder/decoder
+// pair per direction), so type descriptors are transmitted once per
+// connection, not once per frame. Each Encode call's output is exactly one
+// frame, and frames are decoded in arrival order, which the single-writer /
+// single-reader loops guarantee. v1 frames carry no stream state and may
+// interleave freely.
+//
+// `msg` is opaque to the transport: it is produced and consumed by the
+// Codec registered with SetCodec (internal/wire's codec v1, which prefixes
+// a message-type id). The per-frame tag is what lets gob-only peers and
+// codec-v1 peers share a connection: each side decodes whatever tag
+// arrives and a server answers in the codec the request used, so a
+// mixed-version cluster degrades to gob instead of failing.
+const (
+	frameTagGob = 0x00
+	frameTagV1  = 0x01
+
+	// maxFrame bounds a frame body; anything larger is a protocol error
+	// (or an attack) and kills the connection.
+	maxFrame = 1 << 28
+
+	// frameHeaderLen is the fixed length prefix preceding every body.
+	frameHeaderLen = 4
+)
+
+// Codec is a pluggable binary codec for whole request/response payloads.
+// Append must encode msg (a registered wire message) onto buf and return
+// the extended slice, or ErrUnsupportedType when it has no explicit codec
+// for msg's type — the transport then falls back to gob for that frame.
+// Decode is the inverse and must consume exactly the bytes Append wrote.
+type Codec interface {
+	Append(buf []byte, msg any) ([]byte, error)
+	Decode(data []byte) (any, error)
+}
+
+// ErrUnsupportedType is returned by a Codec that has no explicit encoding
+// for a message type; the transport falls back to the gob frame tag.
+var ErrUnsupportedType = errors.New("transport: no binary codec for type")
+
+// codec is the process-wide payload codec, installed by internal/wire's
+// init. Nil means every frame uses the gob fallback (the transport's own
+// tests, which use unregistered types, run this way).
+var codec atomic.Pointer[Codec]
+
+// SetCodec installs the payload codec used for frame tag 0x01. It is meant
+// to be called once, from an init function.
+func SetCodec(c Codec) { codec.Store(&c) }
+
+func activeCodec() Codec {
+	p := codec.Load()
+	if p == nil {
+		return nil
+	}
+	return *p
+}
+
+// ---- pooled frame buffers ----
+
+// bufPool recycles frame buffers across encodes and reads. Buffers are
+// passed by pointer so the pool never allocates slice headers.
+var bufPool = sync.Pool{New: func() any { b := make([]byte, 0, 4096); return &b }}
+
+func getBuf() *[]byte { return bufPool.Get().(*[]byte) }
+
+func putBuf(b *[]byte) {
+	// Keep very large one-off buffers (a full recovery pull, a stats dump)
+	// out of the pool so steady-state frames stay small.
+	if cap(*b) > 1<<20 {
+		return
+	}
+	*b = (*b)[:0]
+	bufPool.Put(b)
+}
+
+// ---- wire metrics ----
+
+// wireMetrics is the transport's observability hook: bytes on the wire by
+// direction and codec, and encode/decode latency histograms.
+type wireMetrics struct {
+	txV1, txGob, rxV1, rxGob *obs.Counter
+	encNs, decNs             *obs.Histogram
+}
+
+func newWireMetrics(reg *obs.Registry) *wireMetrics {
+	if reg == nil {
+		return nil
+	}
+	return &wireMetrics{
+		txV1:  reg.Counter(`wire_bytes_total{dir="tx",codec="v1"}`),
+		txGob: reg.Counter(`wire_bytes_total{dir="tx",codec="gob"}`),
+		rxV1:  reg.Counter(`wire_bytes_total{dir="rx",codec="v1"}`),
+		rxGob: reg.Counter(`wire_bytes_total{dir="rx",codec="gob"}`),
+		encNs: reg.Histogram("wire_encode_ns"),
+		decNs: reg.Histogram("wire_decode_ns"),
+	}
+}
+
+// countTx records one outbound frame. The codec tag sits right after the
+// length prefix.
+func (m *wireMetrics) countTx(frame []byte) {
+	if m == nil || len(frame) <= frameHeaderLen {
+		return
+	}
+	if frame[frameHeaderLen] == frameTagV1 {
+		m.txV1.Add(int64(len(frame)))
+	} else {
+		m.txGob.Add(int64(len(frame)))
+	}
+}
+
+func (m *wireMetrics) countRx(body []byte) {
+	if m == nil || len(body) == 0 {
+		return
+	}
+	if body[0] == frameTagV1 {
+		m.rxV1.Add(int64(len(body) + frameHeaderLen))
+	} else {
+		m.rxGob.Add(int64(len(body) + frameHeaderLen))
+	}
+}
+
+// now returns the wall clock only when metrics are enabled, so the hot path
+// pays no clock reads when nobody is looking.
+func (m *wireMetrics) now() (t time.Time) {
+	if m != nil {
+		t = time.Now()
+	}
+	return
+}
+
+func (m *wireMetrics) observeEncode(start time.Time) {
+	if m != nil {
+		m.encNs.ObserveSince(start)
+	}
+}
+
+func (m *wireMetrics) observeDecode(start time.Time) {
+	if m != nil {
+		m.decNs.ObserveSince(start)
+	}
+}
+
+// ---- gob stream state ----
+
+// gobStreamEnc is one direction's persistent gob encoder. It must only be
+// used from a connection's single writer goroutine: gob streams are
+// stateful, so encode order must equal wire order. An Encode error leaves
+// the stream state unrecoverable (descriptors may have been emitted that the
+// peer will never see), so callers must tear the connection down on error.
+type gobStreamEnc struct {
+	cur *[]byte // frame buffer Encode appends into
+	enc *gob.Encoder
+}
+
+func newGobStreamEnc() *gobStreamEnc {
+	g := &gobStreamEnc{}
+	g.enc = gob.NewEncoder(g)
+	return g
+}
+
+func (g *gobStreamEnc) Write(p []byte) (int, error) {
+	*g.cur = append(*g.cur, p...)
+	return len(p), nil
+}
+
+// encodeFrame gob-encodes v as one tag-0 frame in a pooled buffer.
+func (g *gobStreamEnc) encodeFrame(v any, m *wireMetrics) (*[]byte, error) {
+	start := m.now()
+	bufp := getBuf()
+	*bufp = append((*bufp)[:0], 0, 0, 0, 0, frameTagGob)
+	g.cur = bufp
+	err := g.enc.Encode(v)
+	g.cur = nil
+	if err == nil {
+		var out []byte
+		if out, err = finishFrame(*bufp); err == nil {
+			*bufp = out
+			m.observeEncode(start)
+			return bufp, nil
+		}
+	}
+	putBuf(bufp)
+	return nil, err
+}
+
+// gobStreamDec is one direction's persistent gob decoder, fed tag-0 frame
+// bodies in arrival order by the connection's read loop.
+type gobStreamDec struct {
+	body []byte
+	dec  *gob.Decoder
+}
+
+func newGobStreamDec() *gobStreamDec {
+	g := &gobStreamDec{}
+	g.dec = gob.NewDecoder(g)
+	return g
+}
+
+func (g *gobStreamDec) Read(p []byte) (int, error) {
+	if len(g.body) == 0 {
+		return 0, io.EOF
+	}
+	n := copy(p, g.body)
+	g.body = g.body[n:]
+	return n, nil
+}
+
+// decode feeds one frame body to the stream and decodes one value from it.
+// A decoder that runs dry mid-value (frames out of order or truncated)
+// errors, which kills the connection.
+func (g *gobStreamDec) decode(body []byte, v any) error {
+	g.body = body
+	err := g.dec.Decode(v)
+	g.body = nil
+	return err
+}
+
+// ---- frame encode ----
+
+// finishFrame fills in the 4-byte length prefix reserved at the start of
+// buf. The body must already be in buf[frameHeaderLen:].
+func finishFrame(buf []byte) ([]byte, error) {
+	n := len(buf) - frameHeaderLen
+	if n > maxFrame {
+		return nil, fmt.Errorf("transport: frame body %d exceeds limit %d", n, maxFrame)
+	}
+	binary.BigEndian.PutUint32(buf[:frameHeaderLen], uint32(n))
+	return buf, nil
+}
+
+// encodeRequestV1 encodes one outbound request as a codec-v1 frame in a
+// pooled buffer. It returns ErrUnsupportedType (wrapped) when no codec is
+// installed or the codec cannot encode payload; the caller then routes the
+// request through the connection's gob stream instead.
+func encodeRequestV1(id uint64, tc obs.TraceContext, payload any, m *wireMetrics) (*[]byte, error) {
+	c := activeCodec()
+	if c == nil {
+		return nil, ErrUnsupportedType
+	}
+	start := m.now()
+	bufp := getBuf()
+	buf := append((*bufp)[:0], 0, 0, 0, 0)
+	buf = append(buf, frameTagV1)
+	buf = binary.AppendUvarint(buf, id)
+	buf = binary.AppendUvarint(buf, tc.TraceID)
+	buf = binary.AppendUvarint(buf, tc.SpanID)
+	var flags byte
+	if tc.Sampled {
+		flags |= 1
+	}
+	buf = append(buf, flags)
+	out, err := c.Append(buf, payload)
+	if err == nil {
+		out, err = finishFrame(out)
+	}
+	if err != nil {
+		putBuf(bufp)
+		return nil, err
+	}
+	*bufp = out
+	m.observeEncode(start)
+	return bufp, nil
+}
+
+// encodeResponseV1 encodes one outbound response as a codec-v1 frame. Error
+// and nil-payload responses always encode; a payload the codec cannot
+// handle returns ErrUnsupportedType and the caller falls back to the gob
+// stream. Callers must only use this when the request arrived as v1, so a
+// gob-only client always gets gob back.
+func encodeResponseV1(resp wireResponse, m *wireMetrics) (*[]byte, error) {
+	c := activeCodec()
+	if c == nil {
+		return nil, ErrUnsupportedType
+	}
+	start := m.now()
+	bufp := getBuf()
+	buf := append((*bufp)[:0], 0, 0, 0, 0)
+	buf = append(buf, frameTagV1)
+	buf = binary.AppendUvarint(buf, resp.ID)
+	var (
+		out []byte
+		err error
+	)
+	switch {
+	case resp.Err != "":
+		buf = append(buf, 0x01)
+		buf = binary.AppendUvarint(buf, uint64(len(resp.Err)))
+		out = append(buf, resp.Err...)
+	case resp.Payload == nil:
+		out = append(buf, 0x02)
+	default:
+		buf = append(buf, 0x00)
+		out, err = c.Append(buf, resp.Payload)
+	}
+	if err == nil {
+		out, err = finishFrame(out)
+	}
+	if err != nil {
+		putBuf(bufp)
+		return nil, err
+	}
+	*bufp = out
+	m.observeEncode(start)
+	return bufp, nil
+}
+
+// ---- frame read + decode ----
+
+// readFrame reads one length-prefixed frame body into a pooled buffer.
+// The caller must release the buffer with putBuf.
+func readFrame(br *bufio.Reader) (*[]byte, error) {
+	var hdr [frameHeaderLen]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return nil, fmt.Errorf("transport: frame body %d exceeds limit %d", n, maxFrame)
+	}
+	bufp := getBuf()
+	if cap(*bufp) < int(n) {
+		*bufp = make([]byte, n)
+	}
+	*bufp = (*bufp)[:n]
+	if _, err := io.ReadFull(br, *bufp); err != nil {
+		putBuf(bufp)
+		return nil, err
+	}
+	return bufp, nil
+}
+
+var errShortFrame = errors.New("transport: truncated frame")
+
+// decodeRequest parses one inbound request frame body. Byte slices inside
+// the returned payload are copies; body may be recycled immediately. gd is
+// the connection's inbound gob stream (tag-0 frames advance it).
+func decodeRequest(body []byte, gd *gobStreamDec, m *wireMetrics) (req wireRequest, tag byte, err error) {
+	start := m.now()
+	m.countRx(body)
+	if len(body) == 0 {
+		return req, 0, errShortFrame
+	}
+	tag = body[0]
+	rest := body[1:]
+	switch tag {
+	case frameTagV1:
+		c := activeCodec()
+		if c == nil {
+			return req, tag, errors.New("transport: v1 frame received but no codec installed")
+		}
+		var n, n2, n3 int
+		req.ID, n = binary.Uvarint(rest)
+		if n <= 0 {
+			return req, tag, errShortFrame
+		}
+		req.TC.TraceID, n2 = binary.Uvarint(rest[n:])
+		if n2 <= 0 {
+			return req, tag, errShortFrame
+		}
+		req.TC.SpanID, n3 = binary.Uvarint(rest[n+n2:])
+		if n3 <= 0 || len(rest) < n+n2+n3+1 {
+			return req, tag, errShortFrame
+		}
+		flags := rest[n+n2+n3]
+		req.TC.Sampled = flags&1 != 0
+		req.Payload, err = c.Decode(rest[n+n2+n3+1:])
+		if err != nil {
+			return req, tag, err
+		}
+	case frameTagGob:
+		if err := gd.decode(rest, &req); err != nil {
+			return req, tag, err
+		}
+	default:
+		return req, tag, fmt.Errorf("transport: unknown frame tag %#x", tag)
+	}
+	m.observeDecode(start)
+	return req, tag, nil
+}
+
+// decodeResponse parses one inbound response frame body. gd is the
+// connection's inbound gob stream.
+func decodeResponse(body []byte, gd *gobStreamDec, m *wireMetrics) (resp wireResponse, err error) {
+	start := m.now()
+	m.countRx(body)
+	if len(body) == 0 {
+		return resp, errShortFrame
+	}
+	tag := body[0]
+	rest := body[1:]
+	switch tag {
+	case frameTagV1:
+		c := activeCodec()
+		if c == nil {
+			return resp, errors.New("transport: v1 frame received but no codec installed")
+		}
+		var n int
+		resp.ID, n = binary.Uvarint(rest)
+		if n <= 0 || len(rest) < n+1 {
+			return resp, errShortFrame
+		}
+		flags := rest[n]
+		rest = rest[n+1:]
+		switch flags {
+		case 0x00:
+			resp.Payload, err = c.Decode(rest)
+			if err != nil {
+				return resp, err
+			}
+		case 0x01:
+			sl, n := binary.Uvarint(rest)
+			if n <= 0 || uint64(len(rest)-n) < sl {
+				return resp, errShortFrame
+			}
+			resp.Err = string(rest[n : n+int(sl)])
+		case 0x02:
+			// nil payload
+		default:
+			return resp, fmt.Errorf("transport: unknown response flags %#x", flags)
+		}
+	case frameTagGob:
+		if err := gd.decode(rest, &resp); err != nil {
+			return resp, err
+		}
+	default:
+		return resp, fmt.Errorf("transport: unknown frame tag %#x", tag)
+	}
+	m.observeDecode(start)
+	return resp, nil
+}

@@ -4,15 +4,20 @@ import (
 	"bufio"
 	"context"
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"net"
+	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/obs"
 )
 
-// RegisterType registers a concrete request/response type with the wire
-// codec. Both ends of a TCP transport must register the same types.
+// RegisterType registers a concrete request/response type with the gob
+// fallback codec. Both ends of a TCP transport must register the same
+// types. Types with an explicit binary codec (internal/wire) never hit gob
+// on the hot path, but stay registered so mixed-codec peers interoperate.
 func RegisterType(v any) { gob.Register(v) }
 
 type wireRequest struct {
@@ -34,6 +39,14 @@ type wireResponse struct {
 // requests per TCPServer.
 const DefaultMaxInflight = 1024
 
+// connBufSize sizes each connection's read and write buffers. Large enough
+// that a coalesced burst of small frames becomes one syscall.
+const connBufSize = 64 << 10
+
+// sendQueueLen bounds the frames queued to a connection's write loop.
+// Enqueueing callers beyond it block, which is the natural backpressure.
+const sendQueueLen = 256
+
 // TCPServerOptions tunes a TCPServer.
 type TCPServerOptions struct {
 	// MaxInflight bounds concurrently executing requests across all
@@ -42,18 +55,48 @@ type TCPServerOptions struct {
 	// exerts backpressure instead of spawning an unbounded goroutine per
 	// request. 0 means DefaultMaxInflight; negative means unlimited.
 	MaxInflight int
+	// ForceGob makes every response use the gob fallback frame even when
+	// the binary codec could encode it (interop testing, emergency escape
+	// hatch).
+	ForceGob bool
+	// Metrics, when non-nil, receives wire_bytes_total{dir,codec} counters
+	// and wire_encode_ns/wire_decode_ns histograms.
+	Metrics *obs.Registry
 }
 
 // TCPServer serves a Handler over a TCP listener.
 type TCPServer struct {
 	h   Handler
 	ln  net.Listener
-	sem chan struct{} // nil = unlimited
+	opt TCPServerOptions
+	m   *wireMetrics
+
+	// Request execution runs on a lazily grown pool of reusable worker
+	// goroutines (jobs == nil means unlimited: one goroutine per request).
+	// Reuse keeps handler stacks warm — a fresh goroutine per request pays
+	// newstack/copystack on every deep handler call chain — and the pool size
+	// doubles as the MaxInflight bound: when every worker is busy, dispatch
+	// blocks, the decode loops stop reading, and TCP flow control pushes the
+	// backlog to the clients.
+	jobs       chan srvJob
+	workerIdle atomic.Int32
+	workerN    atomic.Int32
+	workerCap  int32
+	workerWG   sync.WaitGroup
 
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{}
 	closed bool
 	wg     sync.WaitGroup
+}
+
+// srvJob is one decoded request bound for the worker pool, together with the
+// connection-scoped plumbing its response rides back on.
+type srvJob struct {
+	req    wireRequest
+	tag    byte
+	writeq chan<- respItem
+	wg     *sync.WaitGroup // the owning connection's in-flight count
 }
 
 // NewTCPServer starts serving h on addr ("host:port"; ":0" picks a free
@@ -68,16 +111,92 @@ func NewTCPServerOpts(addr string, h Handler, opt TCPServerOptions) (*TCPServer,
 	if err != nil {
 		return nil, err
 	}
-	s := &TCPServer{h: h, ln: ln, conns: make(map[net.Conn]struct{})}
-	if opt.MaxInflight == 0 {
-		opt.MaxInflight = DefaultMaxInflight
+	s := &TCPServer{h: h, ln: ln, opt: opt, m: newWireMetrics(opt.Metrics), conns: make(map[net.Conn]struct{})}
+	inflight := opt.MaxInflight
+	if inflight == 0 {
+		inflight = DefaultMaxInflight
 	}
-	if opt.MaxInflight > 0 {
-		s.sem = make(chan struct{}, opt.MaxInflight)
+	if inflight > 0 {
+		// Unbuffered: a dispatch is a direct handoff to an idle worker, and
+		// inflight == live workers, so the bound is exact.
+		s.jobs = make(chan srvJob)
+		s.workerCap = int32(inflight)
 	}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
+}
+
+// dispatch hands one request to the worker pool, growing it (up to
+// workerCap) when no worker is idle. With an unlimited server it just spawns.
+func (s *TCPServer) dispatch(j srvJob) {
+	if s.jobs == nil {
+		go s.handle(j)
+		return
+	}
+	if s.workerIdle.Load() == 0 {
+		for {
+			n := s.workerN.Load()
+			if n >= s.workerCap {
+				break
+			}
+			if s.workerN.CompareAndSwap(n, n+1) {
+				s.workerWG.Add(1)
+				go s.worker()
+				break
+			}
+		}
+	}
+	s.jobs <- j
+}
+
+func (s *TCPServer) worker() {
+	defer s.workerWG.Done()
+	for {
+		s.workerIdle.Add(1)
+		j, ok := <-s.jobs
+		s.workerIdle.Add(-1)
+		if !ok {
+			return
+		}
+		s.handle(j)
+	}
+}
+
+// handle executes one request and queues its response. Replies use the codec
+// the request arrived with: v1 requests get a v1 frame encoded here, off the
+// writer thread; anything the codec cannot express — and every gob request —
+// rides the gob stream, encoded by the connection's write loop.
+func (s *TCPServer) handle(j srvJob) {
+	defer j.wg.Done()
+	resp := wireResponse{ID: j.req.ID}
+	ctx := context.Background()
+	if j.req.TC.Sampled {
+		ctx = obs.WithTrace(ctx, j.req.TC)
+	}
+	payload, err := s.h.Serve(ctx, j.req.Payload)
+	if err != nil {
+		resp.Err = err.Error()
+	} else {
+		resp.Payload = payload
+	}
+	if j.tag == frameTagV1 && !s.opt.ForceGob {
+		bufp, err := encodeResponseV1(resp, s.m)
+		if err == nil {
+			j.writeq <- respItem{bufp: bufp}
+			return
+		}
+		if !errors.Is(err, ErrUnsupportedType) {
+			// Codec bug on this payload: surface it as a remote error rather
+			// than stranding the caller. Error responses always encode in v1.
+			resp = wireResponse{ID: j.req.ID, Err: "transport: response encode: " + err.Error()}
+			if bufp, err = encodeResponseV1(resp, s.m); err == nil {
+				j.writeq <- respItem{bufp: bufp}
+				return
+			}
+		}
+	}
+	j.writeq <- respItem{resp: resp, gob: true}
 }
 
 // Addr returns the listener's address.
@@ -86,6 +205,7 @@ func (s *TCPServer) Addr() string { return s.ln.Addr().String() }
 // Close stops the listener and all connections.
 func (s *TCPServer) Close() error {
 	s.mu.Lock()
+	wasClosed := s.closed
 	s.closed = true
 	conns := make([]net.Conn, 0, len(s.conns))
 	for c := range s.conns {
@@ -96,7 +216,13 @@ func (s *TCPServer) Close() error {
 	for _, c := range conns {
 		c.Close()
 	}
+	// Order matters: only the accept loop and the per-connection serve loops
+	// send on s.jobs, so the pool can be shut down once they have all exited.
 	s.wg.Wait()
+	if s.jobs != nil && !wasClosed {
+		close(s.jobs)
+		s.workerWG.Wait()
+	}
 	return err
 }
 
@@ -128,123 +254,320 @@ func (s *TCPServer) serveConn(conn net.Conn) {
 		s.mu.Unlock()
 		conn.Close()
 	}()
-	dec := gob.NewDecoder(bufio.NewReader(conn))
-	var writeMu sync.Mutex
-	bw := bufio.NewWriter(conn)
-	enc := gob.NewEncoder(bw)
-	var handlers sync.WaitGroup
-	defer handlers.Wait()
+
+	// Single writer per connection: handlers encode v1 frames off-thread and
+	// enqueue them; gob responses are enqueued raw and encoded inside the
+	// write loop, because the gob stream is stateful and the single writer is
+	// the natural serialization point. The loop coalesces whatever has piled
+	// up into one buffered write + flush. Nobody holds a lock across I/O.
+	writeq := make(chan respItem, sendQueueLen)
+	wdone := make(chan struct{})
+	go func() {
+		defer close(wdone)
+		s.connWriteLoop(conn, writeq)
+	}()
+
+	var inflight sync.WaitGroup
+	br := bufio.NewReaderSize(conn, connBufSize)
+	gd := newGobStreamDec()
 	for {
-		var req wireRequest
-		if err := dec.Decode(&req); err != nil {
-			return
+		bodyp, err := readFrame(br)
+		if err != nil {
+			break
 		}
-		if s.sem != nil {
-			// Acquire the worker slot in the decode loop: when the server
-			// is saturated this connection stops reading, and TCP flow
-			// control pushes the backlog back to the clients.
-			s.sem <- struct{}{}
+		req, tag, err := decodeRequest(*bodyp, gd, s.m)
+		putBuf(bodyp)
+		if err != nil {
+			break
 		}
-		handlers.Add(1)
-		go func(req wireRequest) {
-			defer handlers.Done()
-			if s.sem != nil {
-				defer func() { <-s.sem }()
+		inflight.Add(1)
+		s.dispatch(srvJob{req: req, tag: tag, writeq: writeq, wg: &inflight})
+	}
+	inflight.Wait()
+	// All senders are done; closing the queue lets the write loop flush and
+	// exit.
+	close(writeq)
+	<-wdone
+}
+
+// respItem is one queued server response: either a pre-encoded v1 frame
+// (bufp) or a raw response to encode on the connection's gob stream (gob).
+type respItem struct {
+	bufp *[]byte
+	resp wireResponse
+	gob  bool
+}
+
+// connWriteLoop writes queued responses, coalescing bursts into one flush,
+// and owns the connection's outbound gob stream. On any error it closes the
+// connection (which unblocks the read loop) but keeps draining the queue so
+// handlers never block on a dead connection. A gob encode error is
+// connection-fatal: the stream state is unrecoverable.
+func (s *TCPServer) connWriteLoop(conn net.Conn, writeq <-chan respItem) {
+	bw := bufio.NewWriterSize(conn, connBufSize)
+	ge := newGobStreamEnc()
+	broken := false
+	write := func(it respItem) {
+		bufp := it.bufp
+		if it.gob {
+			if broken {
+				return
 			}
-			resp := wireResponse{ID: req.ID}
-			ctx := context.Background()
-			if req.TC.Sampled {
-				ctx = obs.WithTrace(ctx, req.TC)
+			var err error
+			if bufp, err = ge.encodeFrame(&it.resp, s.m); err != nil {
+				broken = true
+				conn.Close()
+				return
 			}
-			payload, err := s.h.Serve(ctx, req.Payload)
-			if err != nil {
-				resp.Err = err.Error()
-			} else {
-				resp.Payload = payload
+		}
+		if !broken {
+			s.m.countTx(*bufp)
+			if _, err := bw.Write(*bufp); err != nil {
+				broken = true
+				conn.Close()
 			}
-			writeMu.Lock()
-			defer writeMu.Unlock()
-			if err := enc.Encode(&resp); err == nil {
-				bw.Flush()
+		}
+		putBuf(bufp)
+	}
+	for it := range writeq {
+		write(it)
+		// Coalesce: drain whatever has queued up, and when the queue runs
+		// momentarily dry, yield once so that runnable handlers get to append
+		// their responses to this flush instead of forcing their own syscall.
+		yielded := false
+	coalesce:
+		for {
+			select {
+			case more, ok := <-writeq:
+				if !ok {
+					break coalesce
+				}
+				write(more)
+				yielded = false
+			default:
+				if yielded {
+					break coalesce
+				}
+				runtime.Gosched()
+				yielded = true
 			}
-		}(req)
+		}
+		if !broken {
+			if err := bw.Flush(); err != nil {
+				broken = true
+				conn.Close()
+			}
+		}
+	}
+	if !broken {
+		bw.Flush()
 	}
 }
 
+// TCPClientOptions tunes a TCPClient.
+type TCPClientOptions struct {
+	// ForceGob makes every request use the gob fallback frame even when
+	// the binary codec could encode it. Servers answer in the codec the
+	// request used, so a ForceGob client speaks pure gob in both
+	// directions.
+	ForceGob bool
+	// Metrics, when non-nil, receives wire_bytes_total{dir,codec} counters
+	// and wire_encode_ns/wire_decode_ns histograms.
+	Metrics *obs.Registry
+}
+
 // TCPClient multiplexes concurrent calls over one connection per address.
+// A dropped connection is redialed transparently on the next Call.
 type TCPClient struct {
+	opt TCPClientOptions
+	m   *wireMetrics
+
+	// fast is a read-only snapshot of conns, rebuilt under mu whenever the
+	// map changes. Call's hot path does one atomic load and a lock-free map
+	// read instead of taking mu; any miss (cold address, dead conn, closed
+	// client) falls through to the locked slow path.
+	fast atomic.Pointer[map[string]*tcpConn]
+
 	mu     sync.Mutex
 	conns  map[string]*tcpConn
-	nextID uint64
 	closed bool
 }
 
+// refast publishes a fresh read-only snapshot of conns. Callers must hold mu.
+func (c *TCPClient) refast() {
+	snap := make(map[string]*tcpConn, len(c.conns))
+	for a, tc := range c.conns {
+		snap[a] = tc
+	}
+	c.fast.Store(&snap)
+}
+
 // NewTCPClient returns an empty client; connections are dialed lazily.
-func NewTCPClient() *TCPClient { return &TCPClient{conns: make(map[string]*tcpConn)} }
+func NewTCPClient() *TCPClient { return NewTCPClientOpts(TCPClientOptions{}) }
+
+// NewTCPClientOpts returns an empty client with explicit options.
+func NewTCPClientOpts(opt TCPClientOptions) *TCPClient {
+	return &TCPClient{opt: opt, m: newWireMetrics(opt.Metrics), conns: make(map[string]*tcpConn)}
+}
 
 var _ Client = (*TCPClient)(nil)
 
-type tcpConn struct {
-	conn net.Conn
-	enc  *gob.Encoder
-	bw   *bufio.Writer
+// pendingShards stripes the pending-call map so concurrent callers
+// registering and readLoop deliveries rarely contend on the same lock.
+// Must be a power of two.
+const pendingShards = 16
 
-	mu      sync.Mutex
-	pending map[uint64]chan wireResponse
-	dead    bool
+type pendingShard struct {
+	mu sync.Mutex
+	m  map[uint64]chan wireResponse
+}
+
+// sendItem is one queued outbound request: either a pre-encoded v1 frame
+// (bufp) or a payload to encode on the connection's gob stream, which only
+// the write loop may touch.
+type sendItem struct {
+	bufp    *[]byte
+	id      uint64
+	tc      obs.TraceContext
+	payload any
+}
+
+type tcpConn struct {
+	conn   net.Conn
+	sendq  chan sendItem
+	closed chan struct{} // closed exactly once when the conn dies
+	once   sync.Once
+	dead   atomic.Bool
+	nextID atomic.Uint64
+
+	shards [pendingShards]pendingShard
+}
+
+func (tc *tcpConn) shard(id uint64) *pendingShard { return &tc.shards[id&(pendingShards-1)] }
+
+// register adds a pending call; it fails if the connection already died (the
+// drop sweep would never see the entry).
+func (tc *tcpConn) register(id uint64, ch chan wireResponse) bool {
+	sh := tc.shard(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if tc.dead.Load() {
+		return false
+	}
+	sh.m[id] = ch
+	return true
+}
+
+// take removes and returns the pending entry for id, reporting whether this
+// caller owned it. Exactly one of take (caller/canceller) and the readLoop's
+// delivery wins each id.
+func (tc *tcpConn) take(id uint64) (chan wireResponse, bool) {
+	sh := tc.shard(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	ch, ok := sh.m[id]
+	if ok {
+		delete(sh.m, id)
+	}
+	return ch, ok
 }
 
 // Call sends req to addr and waits for the response.
 func (c *TCPClient) Call(ctx context.Context, addr string, req any) (any, error) {
+	tc, err := c.conn(addr)
+	if err != nil {
+		return nil, err
+	}
+	id := tc.nextID.Add(1)
+	trace, _ := obs.TraceFrom(ctx)
+	// Hot path: encode the v1 frame here, concurrently with other callers.
+	// Payloads the codec cannot express (and everything under ForceGob) are
+	// handed to the write loop raw; it owns the stateful gob stream.
+	item := sendItem{id: id, tc: trace, payload: req}
+	if !c.opt.ForceGob {
+		bufp, err := encodeRequestV1(id, trace, req, c.m)
+		switch {
+		case err == nil:
+			item = sendItem{bufp: bufp}
+		case !errors.Is(err, ErrUnsupportedType):
+			return nil, err
+		}
+	}
+	ch := make(chan wireResponse, 1)
+	if !tc.register(id, ch) {
+		item.release()
+		return nil, fmt.Errorf("transport: connection to %s lost", addr)
+	}
+	// Fast path first: a nonblocking send skips the multi-case select
+	// machinery whenever the queue has room, which is the common case.
+	select {
+	case tc.sendq <- item:
+	default:
+		select {
+		case tc.sendq <- item:
+		case <-tc.closed:
+			tc.take(id)
+			item.release()
+			return nil, fmt.Errorf("transport: connection to %s lost", addr)
+		case <-ctx.Done():
+			tc.take(id)
+			item.release()
+			return nil, ctx.Err()
+		}
+	}
+	select {
+	case resp, ok := <-ch:
+		return finishCall(addr, resp, ok)
+	case <-ctx.Done():
+		// Deterministic cancellation: whoever removes the pending entry
+		// owns the id. If the readLoop got there first, the response (or
+		// the close from a connection drop) is already committed to ch, so
+		// receive it rather than leaking a raced reply.
+		if _, owned := tc.take(id); owned {
+			return nil, ctx.Err()
+		}
+		resp, ok := <-ch
+		if !ok {
+			return nil, ctx.Err()
+		}
+		return finishCall(addr, resp, true)
+	}
+}
+
+func finishCall(addr string, resp wireResponse, ok bool) (any, error) {
+	if !ok {
+		return nil, fmt.Errorf("transport: connection to %s lost", addr)
+	}
+	if resp.Err != "" {
+		return nil, &RemoteError{Msg: resp.Err}
+	}
+	return resp.Payload, nil
+}
+
+// conn returns a live connection to addr, dialing a fresh one when none
+// exists or the cached one has died.
+func (c *TCPClient) conn(addr string) (*tcpConn, error) {
+	if snap := c.fast.Load(); snap != nil {
+		if tc := (*snap)[addr]; tc != nil && !tc.dead.Load() {
+			return tc, nil
+		}
+	}
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
 		return nil, ErrClosed
 	}
-	tc, ok := c.conns[addr]
-	c.nextID++
-	id := c.nextID
+	tc := c.conns[addr]
+	if tc != nil && !tc.dead.Load() {
+		c.mu.Unlock()
+		return tc, nil
+	}
+	if tc != nil {
+		delete(c.conns, addr)
+		c.refast()
+	}
 	c.mu.Unlock()
-	if !ok {
-		var err error
-		tc, err = c.dial(addr)
-		if err != nil {
-			return nil, err
-		}
-	}
-
-	ch := make(chan wireResponse, 1)
-	tc.mu.Lock()
-	if tc.dead {
-		tc.mu.Unlock()
-		return nil, fmt.Errorf("transport: connection to %s lost", addr)
-	}
-	trace, _ := obs.TraceFrom(ctx)
-	tc.pending[id] = ch
-	err := tc.enc.Encode(&wireRequest{ID: id, TC: trace, Payload: req})
-	if err == nil {
-		err = tc.bw.Flush()
-	}
-	tc.mu.Unlock()
-	if err != nil {
-		c.drop(addr, tc)
-		return nil, err
-	}
-	select {
-	case resp, ok := <-ch:
-		if !ok {
-			return nil, fmt.Errorf("transport: connection to %s lost", addr)
-		}
-		if resp.Err != "" {
-			return nil, &RemoteError{Msg: resp.Err}
-		}
-		return resp.Payload, nil
-	case <-ctx.Done():
-		tc.mu.Lock()
-		delete(tc.pending, id)
-		tc.mu.Unlock()
-		return nil, ctx.Err()
-	}
+	return c.dial(addr)
 }
 
 func (c *TCPClient) dial(addr string) (*tcpConn, error) {
@@ -252,60 +575,149 @@ func (c *TCPClient) dial(addr string) (*tcpConn, error) {
 	if err != nil {
 		return nil, err
 	}
-	bw := bufio.NewWriter(conn)
 	tc := &tcpConn{
-		conn:    conn,
-		enc:     gob.NewEncoder(bw),
-		bw:      bw,
-		pending: make(map[uint64]chan wireResponse),
+		conn:   conn,
+		sendq:  make(chan sendItem, sendQueueLen),
+		closed: make(chan struct{}),
+	}
+	for i := range tc.shards {
+		tc.shards[i].m = make(map[uint64]chan wireResponse)
 	}
 	c.mu.Lock()
-	if existing, ok := c.conns[addr]; ok {
+	if c.closed {
+		c.mu.Unlock()
+		conn.Close()
+		return nil, ErrClosed
+	}
+	if existing := c.conns[addr]; existing != nil && !existing.dead.Load() {
 		c.mu.Unlock()
 		conn.Close()
 		return existing, nil
 	}
 	c.conns[addr] = tc
+	c.refast()
 	c.mu.Unlock()
+	go c.writeLoop(addr, tc)
 	go c.readLoop(addr, tc)
 	return tc, nil
 }
 
-func (c *TCPClient) readLoop(addr string, tc *tcpConn) {
-	dec := gob.NewDecoder(bufio.NewReader(tc.conn))
+// release returns an item's frame buffer to the pool, for paths where the
+// item never reaches the write loop.
+func (it sendItem) release() {
+	if it.bufp != nil {
+		putBuf(it.bufp)
+	}
+}
+
+// writeLoop is the connection's single writer: it pulls queued requests,
+// coalescing everything already queued into one buffered write, and flushes
+// only when the queue momentarily drains — concurrent callers become
+// batched syscalls. It also owns the outbound gob stream; a gob encode
+// error (unregistered type) fails that call and drops the connection, since
+// the stream state is unrecoverable.
+func (c *TCPClient) writeLoop(addr string, tc *tcpConn) {
+	bw := bufio.NewWriterSize(tc.conn, connBufSize)
+	ge := newGobStreamEnc()
 	for {
-		var resp wireResponse
-		if err := dec.Decode(&resp); err != nil {
+		var it sendItem
+		select {
+		case it = <-tc.sendq:
+		case <-tc.closed:
+			return
+		}
+		for {
+			bufp := it.bufp
+			if bufp == nil {
+				var err error
+				bufp, err = ge.encodeFrame(&wireRequest{ID: it.id, TC: it.tc, Payload: it.payload}, c.m)
+				if err != nil {
+					if ch, ok := tc.take(it.id); ok {
+						ch <- wireResponse{ID: it.id, Err: "transport: request encode: " + err.Error()}
+					}
+					c.drop(addr, tc)
+					return
+				}
+			}
+			c.m.countTx(*bufp)
+			_, err := bw.Write(*bufp)
+			putBuf(bufp)
+			if err != nil {
+				c.drop(addr, tc)
+				return
+			}
+			// Coalesce: keep pulling while the queue has items (a plain
+			// nonblocking receive, no select machinery), and when it runs
+			// momentarily dry, yield once so runnable callers can append
+			// their requests to this flush instead of forcing another
+			// syscall. A close only needs noticing when idle — the outer
+			// select handles that; writes to a dead conn just error out.
+			select {
+			case it = <-tc.sendq:
+				continue
+			default:
+			}
+			runtime.Gosched()
+			select {
+			case it = <-tc.sendq:
+				continue
+			default:
+			}
+			break
+		}
+		if err := bw.Flush(); err != nil {
 			c.drop(addr, tc)
 			return
 		}
-		tc.mu.Lock()
-		ch, ok := tc.pending[resp.ID]
-		delete(tc.pending, resp.ID)
-		tc.mu.Unlock()
-		if ok {
+	}
+}
+
+func (c *TCPClient) readLoop(addr string, tc *tcpConn) {
+	br := bufio.NewReaderSize(tc.conn, connBufSize)
+	gd := newGobStreamDec()
+	for {
+		bodyp, err := readFrame(br)
+		if err != nil {
+			c.drop(addr, tc)
+			return
+		}
+		resp, err := decodeResponse(*bodyp, gd, c.m)
+		putBuf(bodyp)
+		if err != nil {
+			c.drop(addr, tc)
+			return
+		}
+		if ch, ok := tc.take(resp.ID); ok {
 			ch <- resp
 		}
 	}
 }
 
-// drop tears down a connection, failing all in-flight calls.
+// drop tears down a connection, failing all in-flight calls. The next Call
+// to the same address dials a fresh connection.
 func (c *TCPClient) drop(addr string, tc *tcpConn) {
 	c.mu.Lock()
 	if c.conns[addr] == tc {
 		delete(c.conns, addr)
+		c.refast()
 	}
 	c.mu.Unlock()
-	tc.mu.Lock()
-	if !tc.dead {
-		tc.dead = true
-		for id, ch := range tc.pending {
-			close(ch)
-			delete(tc.pending, id)
+	tc.once.Do(func() {
+		// Order matters: dead must be visible before the sweep so a
+		// concurrent register either fails or is swept here.
+		tc.dead.Store(true)
+		close(tc.closed)
+		for i := range tc.shards {
+			sh := &tc.shards[i]
+			sh.mu.Lock()
+			for id, ch := range sh.m {
+				close(ch)
+				delete(sh.m, id)
+			}
+			sh.mu.Unlock()
 		}
-	}
-	tc.mu.Unlock()
-	tc.conn.Close()
+		tc.conn.Close()
+	})
 }
 
 // Close tears down every connection.

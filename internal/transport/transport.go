@@ -5,12 +5,15 @@
 //     jitter, standing in for the data-center LAN of the paper's testbed.
 //     All experiments run on it so network latency is a controlled
 //     parameter.
-//   - TCP (tcp.go): a real network transport (length-prefixed gob over
-//     TCP) used by the cmd/ servers, proving the protocols run over a real
-//     stack.
+//   - TCP (tcp.go, frame.go): a real network transport used by the cmd/
+//     servers, proving the protocols run over a real stack. Frames are
+//     length-prefixed with a one-byte codec tag: registered messages ride
+//     the zero-allocation binary codec (internal/wire, installed via
+//     SetCodec), everything else falls back to a per-connection gob stream,
+//     so mixed-version peers and unregistered types keep working.
 //
 // Requests and responses are plain Go values; consumers register concrete
-// types for the wire codec with RegisterType.
+// types for the gob fallback with RegisterType.
 package transport
 
 import (

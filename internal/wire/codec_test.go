@@ -1,0 +1,320 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/gob"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/clock"
+	"repro/internal/obs"
+	"repro/internal/transport"
+)
+
+// codecExemplars returns one populated value per registered message type.
+// Every slice/map is either nil or non-empty: codec v1 preserves the
+// nil/empty distinction, gob does not, and the equivalence test below runs
+// both paths over the same inputs.
+func codecExemplars() []any {
+	ts := func(t int64, c uint32) clock.Timestamp { return clock.Timestamp{Ticks: t, Client: c} }
+	tc := obs.TraceContext{TraceID: 9, SpanID: 8, Sampled: true}
+	return []any{
+		GetRequest{Key: []byte("k1"), At: ts(100, 7), AnyReplica: true},
+		GetResponse{Val: []byte("v"), Version: ts(42, 3), Found: true, PreparedAtOrBefore: true},
+		MultiGetRequest{Keys: [][]byte{[]byte("a"), []byte("bb"), []byte("c")}, At: ts(5, 1)},
+		MultiGetResponse{Items: []GetResponse{{Val: []byte("x"), Version: ts(1, 2), Found: true}, {SnapshotMiss: true}}},
+		PutRequest{Key: []byte("k"), Val: []byte("val"), Version: ts(-3, 9)},
+		PutResponse{Rejected: true},
+		DeleteRequest{Key: []byte("dk"), Version: ts(77, 2)},
+		DeleteResponse{},
+		ReplicateData{Ops: []DataOp{{Key: []byte("rk"), Val: []byte("rv"), Version: ts(11, 4), Tombstone: true, TC: tc}}},
+		Replicated{Epoch: 3, Msg: ReplicateData{Ops: []DataOp{{Key: []byte("n"), Version: ts(1, 1)}}}},
+		Ack{},
+		BatchAck{Errs: []string{"", "boom"}},
+		WatermarkBroadcast{Client: 12, Ts: ts(99, 12)},
+		PrepareRequest{
+			ID: TxnID{Client: 1, Seq: 2}, CommitTs: ts(1000, 1),
+			ReadSet:  []ReadKey{{Key: []byte("r"), Version: ts(9, 1)}},
+			WriteSet: []KV{{Key: []byte("w"), Val: []byte("wv")}}, Participants: []int{0, 2},
+		},
+		PrepareResponse{OK: false, Reason: "conflict", Code: AbortLateWrite},
+		DecisionRequest{ID: TxnID{Client: 3, Seq: 4}, Commit: true},
+		DecisionResponse{},
+		StatusRequest{ID: TxnID{Client: 5, Seq: 6}},
+		StatusResponse{Status: StatusCommitted},
+		ReplicatePrepare{Record: TxnRecord{
+			ID: TxnID{Client: 7, Seq: 8}, CommitTs: ts(123, 7),
+			WriteSet: []KV{{Key: []byte("tk"), Val: []byte("tv")}}, Participants: []int{1}, Status: StatusPrepared,
+		}},
+		ReplicateDecision{ID: TxnID{Client: 9, Seq: 10}},
+		LeaseRequest{Primary: "p:1", Expiry: ts(555, 1)},
+		LeaseResponse{Granted: true},
+		RecoveryPullRequest{Since: ts(1, 1)},
+		RecoveryPullResponse{
+			Txns:        []TxnRecord{{ID: TxnID{Client: 1, Seq: 1}, CommitTs: ts(4, 1), Status: StatusAborted}},
+			Data:        []DataOp{{Key: []byte("d"), Val: []byte("dv"), Version: ts(2, 2)}},
+			LeaseExpiry: ts(3, 3),
+		},
+		PromoteRequest{},
+		PromoteResponse{},
+		StatsRequest{Detailed: true},
+		StatsResponse{
+			Addr: "a:1", Shard: 2, Primary: true,
+			Gets: 1, Puts: 2, Deletes: 3, Prepares: 4, Commits: 5, Aborts: 6, ReplOps: 7,
+			Watermark: ts(88, 1),
+			Obs: obs.Snapshot{
+				Counters: map[string]int64{"c1": 10, "c2": -2},
+				Gauges:   map[string]int64{"g": 5},
+				Hists: map[string]obs.HistogramSnapshot{
+					"h": {Count: 2, Sum: 30, Buckets: []obs.Bucket{{Idx: 4, N: 2, Exemplar: 19}}},
+				},
+			},
+		},
+		TraceRequest{TraceID: 77},
+		TraceResponse{
+			Addr:  "n1",
+			Spans: []obs.SpanRecord{{TraceID: 1, SpanID: 2, Parent: 3, Node: "n1", Name: "get", Start: 10, End: 20, Outcome: "ok"}},
+			Clock: clock.Health{OffsetNs: 1, ResidualNs: -2, DriftNs: 3, SinceSyncNs: 4, UncertaintyNs: 5},
+		},
+		TimeHealthRequest{},
+		TimeHealthResponse{
+			Addr: "n2", Shard: 1, Clock: clock.Health{OffsetNs: -1},
+			Now: ts(50, 2), Watermark: ts(40, 2), WatermarkLagNs: 10,
+		},
+		AuditRequest{},
+		AuditResponse{
+			Addr: "n3", Enabled: true, Profile: "DTP", Pending: 1, UnknownRetained: 2,
+			WindowsChecked: 3, WindowsSkipped: 4, Convictions: 5, EpsilonViolations: 6,
+			LastCut: ts(60, 3), Artifacts: [][]byte{[]byte("{}")},
+		},
+	}
+}
+
+// TestCodecCoversEveryRegisteredMessage pins the exemplar list to the gob
+// registration list: a new wire message cannot ship without a codec-v1
+// encoding and an exemplar exercising it.
+func TestCodecCoversEveryRegisteredMessage(t *testing.T) {
+	want := map[reflect.Type]bool{}
+	for _, m := range registeredMessages() {
+		want[reflect.TypeOf(m)] = true
+	}
+	got := map[reflect.Type]bool{}
+	for _, m := range codecExemplars() {
+		got[reflect.TypeOf(m)] = true
+	}
+	for ty := range want {
+		if !got[ty] {
+			t.Errorf("registered message %v has no codec exemplar", ty)
+		}
+	}
+	for ty := range got {
+		if !want[ty] {
+			t.Errorf("exemplar %v is not a registered message", ty)
+		}
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	for _, m := range codecExemplars() {
+		name := fmt.Sprintf("%T", m)
+		buf, err := Codec.Append(nil, m)
+		if err != nil {
+			t.Fatalf("%s: encode: %v", name, err)
+		}
+		out, err := Codec.Decode(buf)
+		if err != nil {
+			t.Fatalf("%s: decode: %v", name, err)
+		}
+		if !reflect.DeepEqual(out, m) {
+			t.Errorf("%s: round trip mismatch\n got %#v\nwant %#v", name, out, m)
+		}
+	}
+}
+
+// TestCodecPointerEncodesLikeValue checks *T encodes to the same bytes as T.
+func TestCodecPointerEncodesLikeValue(t *testing.T) {
+	for _, m := range codecExemplars() {
+		val, err := Codec.Append(nil, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pv := reflect.New(reflect.TypeOf(m))
+		pv.Elem().Set(reflect.ValueOf(m))
+		ptr, err := Codec.Append(nil, pv.Interface())
+		if err != nil {
+			t.Fatalf("%T: pointer encode: %v", m, err)
+		}
+		if !bytes.Equal(val, ptr) {
+			t.Errorf("%T: pointer and value encodings differ", m)
+		}
+	}
+}
+
+// TestCodecGobEquivalence runs every exemplar through both the v1 codec and
+// the gob fallback and demands identical decoded values: whichever frame tag
+// a message travels under, the receiver sees the same thing.
+func TestCodecGobEquivalence(t *testing.T) {
+	for _, m := range codecExemplars() {
+		name := fmt.Sprintf("%T", m)
+		buf, err := Codec.Append(nil, m)
+		if err != nil {
+			t.Fatalf("%s: v1 encode: %v", name, err)
+		}
+		v1Out, err := Codec.Decode(buf)
+		if err != nil {
+			t.Fatalf("%s: v1 decode: %v", name, err)
+		}
+
+		var gobBuf bytes.Buffer
+		holder := m
+		if err := gob.NewEncoder(&gobBuf).Encode(&holder); err != nil {
+			t.Fatalf("%s: gob encode: %v", name, err)
+		}
+		var gobOut any
+		if err := gob.NewDecoder(&gobBuf).Decode(&gobOut); err != nil {
+			t.Fatalf("%s: gob decode: %v", name, err)
+		}
+		if !reflect.DeepEqual(v1Out, gobOut) {
+			t.Errorf("%s: codec paths disagree\n v1 %#v\ngob %#v", name, v1Out, gobOut)
+		}
+	}
+}
+
+func TestCodecUnsupportedType(t *testing.T) {
+	type notWire struct{ X int }
+	if _, err := Codec.Append(nil, notWire{X: 1}); !errors.Is(err, transport.ErrUnsupportedType) {
+		t.Fatalf("err = %v, want ErrUnsupportedType", err)
+	}
+	// A Replicated envelope around an unsupported inner message must fall
+	// back as a whole.
+	if _, err := Codec.Append(nil, Replicated{Epoch: 1, Msg: notWire{}}); !errors.Is(err, transport.ErrUnsupportedType) {
+		t.Fatalf("nested err = %v, want ErrUnsupportedType", err)
+	}
+}
+
+func TestCodecDecodeErrors(t *testing.T) {
+	if _, err := Codec.Decode(nil); err == nil {
+		t.Error("decode of empty payload succeeded")
+	}
+	if _, err := Codec.Decode([]byte{0xff, 0xff, 0x01}); err == nil {
+		t.Error("decode of unknown type id succeeded")
+	}
+	// Truncated GetRequest: type id present, fields missing.
+	if _, err := Codec.Decode([]byte{byte(tGetRequest)}); err == nil {
+		t.Error("decode of truncated message succeeded")
+	}
+	// Implausible collection length must be rejected, not allocated.
+	buf, err := Codec.Append(nil, MultiGetRequest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf[1] = 0xff // Keys length byte → huge count
+	if _, err := Codec.Decode(append(buf, 0xff, 0xff, 0x7f)); err == nil {
+		t.Error("decode of oversized collection length succeeded")
+	}
+	// Trailing garbage after a complete message is a protocol error.
+	ok, err := Codec.Append(nil, Ack{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Codec.Decode(append(ok, 0x00)); err == nil {
+		t.Error("decode with trailing bytes succeeded")
+	}
+}
+
+// TestCodecTypeIDsFrozen pins every message type to its on-wire type ID.
+// These are part of the persisted wire format: changing one breaks
+// mixed-version clusters, so this table is append-only.
+func TestCodecTypeIDsFrozen(t *testing.T) {
+	want := map[string]uint64{
+		"wire.GetRequest":           1,
+		"wire.GetResponse":          2,
+		"wire.MultiGetRequest":      3,
+		"wire.MultiGetResponse":     4,
+		"wire.PutRequest":           5,
+		"wire.PutResponse":          6,
+		"wire.DeleteRequest":        7,
+		"wire.DeleteResponse":       8,
+		"wire.ReplicateData":        9,
+		"wire.Replicated":           10,
+		"wire.Ack":                  11,
+		"wire.BatchAck":             12,
+		"wire.WatermarkBroadcast":   13,
+		"wire.PrepareRequest":       14,
+		"wire.PrepareResponse":      15,
+		"wire.DecisionRequest":      16,
+		"wire.DecisionResponse":     17,
+		"wire.StatusRequest":        18,
+		"wire.StatusResponse":       19,
+		"wire.ReplicatePrepare":     20,
+		"wire.ReplicateDecision":    21,
+		"wire.LeaseRequest":         22,
+		"wire.LeaseResponse":        23,
+		"wire.RecoveryPullRequest":  24,
+		"wire.RecoveryPullResponse": 25,
+		"wire.PromoteRequest":       26,
+		"wire.PromoteResponse":      27,
+		"wire.StatsRequest":         28,
+		"wire.StatsResponse":        29,
+		"wire.TraceRequest":         30,
+		"wire.TraceResponse":        31,
+		"wire.TimeHealthRequest":    32,
+		"wire.TimeHealthResponse":   33,
+		"wire.AuditRequest":         34,
+		"wire.AuditResponse":        35,
+	}
+	for _, m := range registeredMessages() {
+		name := fmt.Sprintf("%T", m)
+		if _, ok := m.(Replicated); ok {
+			// The zero envelope holds a nil interface, which (like gob) the
+			// codec cannot encode; give it a real inner message.
+			m = Replicated{Msg: Ack{}}
+		}
+		buf, err := Codec.Append(nil, m)
+		if err != nil {
+			t.Fatalf("%s: encode: %v", name, err)
+		}
+		r := reader{b: buf}
+		id := r.uvarint()
+		if r.err != nil {
+			t.Fatalf("%s: no type id", name)
+		}
+		if want[name] == 0 {
+			t.Errorf("%s: missing from the frozen type-id table", name)
+		} else if id != want[name] {
+			t.Errorf("%s: type id %d, frozen table says %d", name, id, want[name])
+		}
+	}
+}
+
+// TestCodecGoldenBytes freezes the exact on-wire bytes of representative
+// messages. A failure here means the wire format changed: that is only
+// acceptable for a NEW type id, never a reinterpretation of an existing one
+// (see the versioning rules at the top of codec.go).
+func TestCodecGoldenBytes(t *testing.T) {
+	cases := []struct {
+		msg  any
+		want string // hex
+	}{
+		{GetRequest{Key: []byte("key"), At: clock.Timestamp{Ticks: 1000, Client: 7}, AnyReplica: true}, "01046b6579d00f0701"},
+		{PutRequest{Key: []byte("k"), Val: []byte("vv"), Version: clock.Timestamp{Ticks: 64, Client: 2}}, "05026b037676800102"},
+		{GetResponse{Val: []byte("v"), Version: clock.Timestamp{Ticks: 3, Client: 1}, Found: true}, "020276060101"},
+		{ReplicateData{Ops: []DataOp{{Key: []byte("a"), Val: []byte("b"), Version: clock.Timestamp{Ticks: 2, Client: 9}, Tombstone: false, TC: obs.TraceContext{TraceID: 5, SpanID: 6, Sampled: true}}}}, "090202610262040900050601"},
+		{PrepareRequest{ID: TxnID{Client: 1, Seq: 2}, CommitTs: clock.Timestamp{Ticks: 10, Client: 1}, ReadSet: []ReadKey{{Key: []byte("r"), Version: clock.Timestamp{Ticks: 9, Client: 1}}}, WriteSet: []KV{{Key: []byte("w"), Val: []byte("x")}}, Participants: []int{0, 2}}, "0e0102140102027212010202770278030004"},
+		{DecisionRequest{ID: TxnID{Client: 3, Seq: 4}, Commit: true}, "10030401"},
+		{Replicated{Epoch: 7, Msg: Ack{}}, "0a070b"},
+		{WatermarkBroadcast{Client: 2, Ts: clock.Timestamp{Ticks: 500, Client: 2}}, "0d02e80702"},
+	}
+	for _, c := range cases {
+		got, err := Codec.Append(nil, c.msg)
+		if err != nil {
+			t.Fatalf("%T: encode: %v", c.msg, err)
+		}
+		if hex.EncodeToString(got) != c.want {
+			t.Errorf("%T: golden bytes changed\n got %s\nwant %s", c.msg, hex.EncodeToString(got), c.want)
+		}
+	}
+}
