@@ -70,9 +70,12 @@ bench:
 
 # benchquick is the short iteration loop: 1s per scenario, put/multiget TCP
 # scenarios only (the ones the wire codec moves), result left in /tmp so the
-# checked-in trajectory files stay stable.
+# checked-in trajectory files stay stable. It also runs the observability
+# overhead gate: the per-txn stage ledger plus a live tsdb sampler must cost
+# < 3% of bus transaction throughput versus a fully disabled cluster.
 benchquick:
 	$(GO) run ./cmd/bench -dur 1s -only put/,multiget/ -out /tmp/benchquick.json
+	OBS_OVERHEAD_GATE=1 $(GO) test -count=1 -run TestStageOverheadGate -v ./internal/core/
 
 # benchcmp prints a benchstat-style before/after table between the last two
 # recorded trajectories.

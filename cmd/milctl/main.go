@@ -39,12 +39,13 @@ func main() {
 		traceTxn = flag.Bool("trace", false, "with txn: propagate a trace context and print the stitched cross-node timeline")
 		interval = flag.Duration("interval", time.Second, "with top: refresh period")
 		rounds   = flag.Int("rounds", 0, "with top: number of refreshes (0 = until interrupted)")
+		samples  = flag.Int("samples", 60, "with history: samples pulled per series (0 = the full retained window)")
 		gobWire  = flag.Bool("gob", false, "force the gob wire codec (talks to pre-codec servers; normally the binary codec is negotiated per frame)")
 	)
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
-		fmt.Fprintln(os.Stderr, "usage: milctl [flags] get|put|del|txn|stats|trace|timehealth|audit|top ...")
+		fmt.Fprintln(os.Stderr, "usage: milctl [flags] get|put|del|txn|stats|trace|timehealth|audit|top|history ...")
 		os.Exit(2)
 	}
 
@@ -93,6 +94,11 @@ func main() {
 		// the cooperative-termination sweep resolves it (and blocking
 		// conflicting writers in the meantime).
 		cl.SyncDecisions = true
+		// Stage attribution rides every request (WantStages), so the servers
+		// fold this transaction into their server_stage_ledger series and the
+		// client can print where the wall time went.
+		stageReg := obs.NewRegistry()
+		cl.EnableStages(stageReg)
 		if *traceTxn {
 			cl.EnableTracing(0)
 		}
@@ -130,6 +136,7 @@ func main() {
 		})
 		exitOn(err)
 		fmt.Println("committed")
+		printTxnStages(stageReg.Snapshot())
 		if *traceTxn {
 			spans := cl.Spans().Recent()
 			if len(spans) == 0 {
@@ -203,6 +210,7 @@ func main() {
 		}
 		printLatencyTable("transaction stages (cluster-wide)", merged, "milana_txn_stage_ns")
 		printLatencyTable("server op latency (cluster-wide)", merged, "semel_serve_ns")
+		printLatencyTable("server stage ledger (per-request attribution)", merged, "server_stage_ledger_ns")
 		printCounterTable("abort reasons", merged, "milana_aborts_total")
 		printCounterTable("sweep outcomes", merged, "milana_sweep_total")
 		printExemplars(merged, "semel_serve_ns")
@@ -211,10 +219,30 @@ func main() {
 		runAudit(ctx, net, dir, raw)
 	case "top":
 		runTop(net, dir, *timeout, *interval, *rounds)
+	case "history":
+		runHistory(ctx, net, dir, args[1:], *samples)
 	default:
 		fmt.Fprintf(os.Stderr, "unknown command %q\n", args[0])
 		os.Exit(2)
 	}
+}
+
+// printTxnStages renders the client stage ledger folded over the whole
+// milctl txn (every attempt, if it retried) as one line of where the wall
+// time went. Stages that never accrued time are omitted.
+func printTxnStages(snap obs.Snapshot) {
+	e2e := snap.Hists["milana_stage_ledger_e2e_ns"]
+	if e2e.Count == 0 {
+		return
+	}
+	var parts []string
+	for _, name := range obs.StageNames() {
+		if sum := snap.Hists[obs.WithLabel("milana_stage_ledger_ns", "stage", name)].Sum; sum > 0 {
+			parts = append(parts, fmt.Sprintf("%s %v", name, time.Duration(sum).Round(time.Microsecond)))
+		}
+	}
+	fmt.Printf("stages (%d attempts, e2e %v): %s\n",
+		e2e.Count, time.Duration(e2e.Sum).Round(time.Microsecond), strings.Join(parts, ", "))
 }
 
 // parseTraceID accepts either a transaction ID in "client.seq" form (the IDs
@@ -419,6 +447,9 @@ func runAudit(ctx context.Context, net transport.Client, dir *cluster.Directory,
 		case audit.KindEpsilonViolation:
 			fmt.Printf("    txn %v commit_ts %v exceeded bound by %v (epsilon %v)\n",
 				art.TxnID, art.CommitTs, time.Duration(-art.MarginNs), time.Duration(art.Epsilon))
+		case audit.KindWatchdogAlert:
+			fmt.Printf("    rule %s convicted %q: %s (value %g, threshold %g)\n",
+				art.Rule, art.Series, art.Anomaly, art.Value, art.Threshold)
 		}
 	}
 }
@@ -511,13 +542,70 @@ func runTop(net transport.Client, dir *cluster.Directory, timeout, interval time
 			time.Duration(p50), time.Duration(p95), time.Duration(p99))
 		fmt.Printf("watermark:  max lag %v\n", s.wmLagMax)
 		fmt.Printf("audit:      %d epsilon violation(s), %d conviction(s)\n", s.epsViol, s.convc)
+		printLatencyTable("server stage breakdown", s.merged, "server_stage_ledger_ns")
 		printCounterTable("abort reasons", s.merged, "milana_aborts_total")
+		printCounterTable("watchdog alerts", s.merged, "obs_alerts_total")
 
 		prev = &s
 		if rounds == 0 || n < rounds-1 {
 			time.Sleep(interval)
 		}
 	}
+}
+
+// runHistory pulls recent samples from every replica's embedded time-series
+// store and renders one sparkline per matching series. Patterns are substring
+// filters over series names; with none, every series prints (noisy — filter).
+func runHistory(ctx context.Context, net transport.Client, dir *cluster.Directory, patterns []string, lastN int) {
+	forEachReplica(dir, func(_ int, addr string) {
+		resp, err := net.Call(ctx, addr, wire.TSDBRequest{Patterns: patterns, LastN: lastN})
+		if err != nil {
+			fmt.Printf("%-20s unreachable: %v\n", addr, err)
+			return
+		}
+		tr, ok := resp.(wire.TSDBResponse)
+		if !ok {
+			fmt.Printf("%-20s error: unexpected reply %T\n", addr, resp)
+			return
+		}
+		if tr.IntervalNs == 0 {
+			fmt.Printf("%-20s no time-series store (started with -tsdb-off?)\n", tr.Addr)
+			return
+		}
+		if len(tr.Series) == 0 {
+			fmt.Printf("%-20s no series match %v\n", tr.Addr, patterns)
+			return
+		}
+		fmt.Printf("%s (1 sample per %v, oldest→newest):\n", tr.Addr, time.Duration(tr.IntervalNs))
+		for _, sd := range tr.Series {
+			vals := sd.Samples()
+			lo, hi := vals[0], vals[0]
+			for _, v := range vals {
+				if v < lo {
+					lo = v
+				}
+				if v > hi {
+					hi = v
+				}
+			}
+			fmt.Printf("  %-56s %s  min=%d max=%d last=%d\n",
+				sd.Name, sparkline(vals, lo, hi), lo, hi, vals[len(vals)-1])
+		}
+	})
+}
+
+// sparkline renders vals as one block character each, scaled to [lo, hi].
+func sparkline(vals []int64, lo, hi int64) string {
+	blocks := []rune("▁▂▃▄▅▆▇█")
+	var b strings.Builder
+	for _, v := range vals {
+		idx := 0
+		if hi > lo {
+			idx = int(float64(v-lo) / float64(hi-lo) * float64(len(blocks)-1))
+		}
+		b.WriteRune(blocks[idx])
+	}
+	return b.String()
 }
 
 func requireArgs(args []string, n int) {

@@ -51,6 +51,11 @@ func main() {
 		auditSample  = flag.Float64("audit-sample", 0, "online-audit window sampling rate in [0,1]; 0 disables the auditor")
 		auditEpsilon = flag.Duration("audit-epsilon", 500*time.Microsecond, "commit-wait bound epsilon assumed by the auditor's receive-timestamp invariant monitor")
 		auditDir     = flag.String("audit-dir", "", "directory for anomaly flight-recorder artifacts (empty keeps them in memory only)")
+
+		tsdbInterval = flag.Duration("tsdb-interval", time.Second, "embedded time-series store sampling period")
+		tsdbWindow   = flag.Int("tsdb-window", 900, "samples retained per series (window = interval × this)")
+		tsdbOff      = flag.Bool("tsdb-off", false, "disable the embedded time-series store and its regression watchdog")
+		commitWait   = flag.Duration("commit-wait", 0, "hold each prepare until the local clock clears commit_ts plus this bound (0 disables)")
 	)
 	flag.Parse()
 
@@ -105,6 +110,22 @@ func main() {
 		SlowRequestThreshold: *slowlog,
 		SkewWindow:           *skewWin,
 		Metrics:              reg,
+		CommitWait:           *commitWait,
+	}
+	// The embedded time-series store samples the registry once per interval
+	// (including Go runtime health) and runs the default regression watchdog
+	// over the ring; milctl history and /debug/tsdb read it back.
+	var tsdb *obs.TSDB
+	var dog *obs.Watchdog
+	if !*tsdbOff {
+		tsdb = obs.NewTSDB(reg, obs.TSDBOptions{
+			Interval: *tsdbInterval,
+			Window:   *tsdbWindow,
+			Runtime:  true,
+		})
+		dog = obs.NewWatchdog(reg, obs.DefaultWatchdogRules()...)
+		tsdb.Attach(dog)
+		opts.TSDB = tsdb
 	}
 	// The standalone daemon has no true-clock oracle, so the auditor runs in
 	// receive-timestamp mode: commit timestamps carried by prepares are
@@ -132,6 +153,18 @@ func main() {
 		aud.Start()
 		defer aud.Close()
 	}
+	if tsdb != nil {
+		// Watchdog convictions land in the log and — when the auditor runs —
+		// on the flight-recorder artifact trail next to serializability
+		// convictions (RecordAlert is nil-safe).
+		dog.OnAlert(func(a obs.Alert) {
+			log.Printf("semeld: watchdog alert rule=%s series=%q value=%g threshold=%g: %s",
+				a.Rule, a.Series, a.Value, a.Threshold, a.Message)
+			aud.RecordAlert(a.Rule, a.Series, a.Message, a.Value, a.Threshold)
+		})
+		tsdb.Start()
+		defer tsdb.Close()
+	}
 	tcp, err := transport.NewTCPServerOpts(*listen, srv, transport.TCPServerOptions{ForceGob: *gobWire, Metrics: reg})
 	if err != nil {
 		log.Fatal(err)
@@ -154,6 +187,9 @@ func main() {
 				Artifacts []*audit.Artifact `json:"artifacts"`
 			}{aud.Stats(), aud.Artifacts()})
 		})
+		if tsdb != nil {
+			mux.Handle("/debug/tsdb", tsdb)
+		}
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -164,7 +200,7 @@ func main() {
 				log.Printf("semeld: metrics endpoint: %v", err)
 			}
 		}()
-		fmt.Printf("semeld: metrics on http://%s/metrics (also /debug/timehealth, /debug/audit, /debug/pprof/)\n", *metrics)
+		fmt.Printf("semeld: metrics on http://%s/metrics (also /debug/timehealth, /debug/audit, /debug/tsdb, /debug/pprof/)\n", *metrics)
 	}
 	wireMode := "binary codec v1 (gob fallback)"
 	if *gobWire {

@@ -326,6 +326,26 @@ func (a *Auditor) observeCommitTs(commitTs clock.Timestamp, ref int64, bound tim
 	a.finishArtifact(art, []wire.TxnID{id})
 }
 
+// RecordAlert files a watchdog alert into the flight recorder, putting a
+// metric regression on the same artifact trail (ring, disk, AuditResponse)
+// as a serializability conviction or an ε violation. The obs package cannot
+// import audit, so semeld bridges Watchdog.OnAlert to this method.
+func (a *Auditor) RecordAlert(rule, series, msg string, value, threshold float64) {
+	if a == nil {
+		return
+	}
+	art := &Artifact{
+		Kind:      KindWatchdogAlert,
+		Profile:   a.opt.Profile,
+		Anomaly:   msg,
+		Rule:      rule,
+		Series:    series,
+		Value:     value,
+		Threshold: threshold,
+	}
+	a.finishArtifact(art, nil)
+}
+
 // pred returns the greatest timestamp strictly below t in the total order.
 func pred(t clock.Timestamp) clock.Timestamp {
 	if t.Client > 0 {

@@ -18,6 +18,7 @@ import (
 const (
 	KindConviction       = "conviction"        // the spot-checker found an anomaly
 	KindEpsilonViolation = "epsilon-violation" // commit wait did not cover ε
+	KindWatchdogAlert    = "watchdog-alert"    // the tsdb watchdog convicted a metric
 )
 
 // Artifact is one flight-recorder dump: everything needed to diagnose a
@@ -49,6 +50,13 @@ type Artifact struct {
 	CommitTs clock.Timestamp `json:"commit_ts,omitempty"`
 	Epsilon  time.Duration `json:"epsilon_ns,omitempty"`
 	MarginNs int64         `json:"margin_ns,omitempty"`
+
+	// Watchdog-alert fields: which rule convicted which series, the value
+	// that fired, and the threshold it crossed.
+	Rule      string  `json:"rule,omitempty"`
+	Series    string  `json:"series,omitempty"`
+	Value     float64 `json:"value,omitempty"`
+	Threshold float64 `json:"threshold,omitempty"`
 
 	// Context: recent spans of the involved trace IDs and a cluster
 	// clock-health snapshot at filing time.

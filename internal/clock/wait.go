@@ -1,0 +1,44 @@
+package clock
+
+import (
+	"context"
+	"time"
+)
+
+// WaitUntil blocks until c's clock reads at or past target, then returns the
+// wall time it spent waiting. This is the commit-wait primitive: a server that
+// must not expose a version until the timestamp oracle guarantees every clock
+// in the cluster has passed it sleeps out the remaining uncertainty here.
+//
+// The sleep is re-checked against the clock after each timer fire because a
+// skewed or slewing clock does not advance at wall rate. Two things cut the
+// wait short: ctx cancellation, and maxWait of wall time elapsing (maxWait <= 0
+// means no cap). The cap bounds the damage of a clock running far behind the
+// timestamps it is asked to chase — better to proceed with weakened semantics
+// than to wedge the request pipeline.
+func WaitUntil(ctx context.Context, c Clock, target Timestamp, maxWait time.Duration) time.Duration {
+	start := time.Now()
+	for {
+		gap := target.Sub(c.Now())
+		if gap <= 0 {
+			return time.Since(start)
+		}
+		if maxWait > 0 {
+			rem := maxWait - time.Since(start)
+			if rem <= 0 {
+				return time.Since(start)
+			}
+			if gap > rem {
+				gap = rem
+			}
+		}
+		t := time.NewTimer(gap)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return time.Since(start)
+		}
+		t.Stop()
+	}
+}

@@ -103,6 +103,15 @@ type ClusterOptions struct {
 	// Metrics, Profile, and Epsilon (the clock profile's ε) — unless the
 	// caller set them explicitly.
 	Audit *audit.Options
+	// Stages enables per-transaction stage-latency attribution on every
+	// client NewTxnClient builds: each transaction carries a pooled ledger
+	// that folds into milana_stage_ledger_ns{stage=...} in the cluster
+	// registry (Obs). Servers always fold their own server-side ledgers;
+	// this switch only controls the client end-to-end accounting.
+	Stages bool
+	// CommitWait makes every primary hold prepares until its clock clears
+	// the commit timestamp plus this bound (see semel.ServerOptions).
+	CommitWait time.Duration
 }
 
 // Cluster is an embedded SEMEL/MILANA deployment.
@@ -253,6 +262,7 @@ func NewCluster(opt ClusterOptions) (*Cluster, error) {
 				SkewWindow:           skewWindow,
 				SlowRequestThreshold: opt.SlowRequestThreshold,
 				Auditor:              c.auditor,
+				CommitWait:           opt.CommitWait,
 			})
 			if err != nil {
 				c.Close()
@@ -452,6 +462,9 @@ func (c *Cluster) NewTxnClient(id uint32) *milana.Client {
 	cl := milana.NewClient(c.clientClock(id), c.clientNet(id), c.Dir)
 	if c.auditor != nil {
 		cl.AddSink(c.auditor)
+	}
+	if c.opt.Stages {
+		cl.EnableStages(c.Obs)
 	}
 	return cl
 }

@@ -1,0 +1,245 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/milana"
+	"repro/internal/obs"
+	"repro/internal/transport"
+)
+
+// stageIdentity pulls the accounting-identity triple out of a snapshot:
+// the sum over every stage histogram (including "unattributed"), the
+// overrun counter, and the end-to-end histogram.
+func stageIdentity(snap obs.Snapshot, prefix string) (stageSum, overrun int64, e2e obs.HistogramSnapshot) {
+	for _, name := range obs.StageNames() {
+		stageSum += snap.Hists[obs.WithLabel(prefix+"_ns", "stage", name)].Sum
+	}
+	overrun = snap.Counters[prefix+"_overrun_ns_total"]
+	e2e = snap.Hists[prefix+"_e2e_ns"]
+	return stageSum, overrun, e2e
+}
+
+// runSequentialTxns drives n read-modify-write transactions one at a time
+// (sequential single-key ops: parallel fan-out would legitimately
+// over-attribute wall time, which is not what this test is checking).
+func runSequentialTxns(t *testing.T, ctx context.Context, cl *milana.Client, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		key := []byte(fmt.Sprintf("acct:%d", i%8))
+		if err := cl.RunTransaction(ctx, func(tx *milana.Txn) error {
+			_, _, err := tx.Get(ctx, key)
+			if err != nil {
+				return err
+			}
+			return tx.Put(key, []byte(fmt.Sprintf("v%d", i)))
+		}); err != nil {
+			t.Fatalf("txn %d: %v", i, err)
+		}
+	}
+}
+
+// TestStageAccountingIdentity checks the tentpole invariant over the
+// in-process bus, across the paper's clock-synchronization ladder: for
+// every transaction the folded stage sum equals the measured end-to-end
+// latency exactly, with the unclaimed remainder in "unattributed" and any
+// fan-out excess in the overrun counter — never silently dropped.
+func TestStageAccountingIdentity(t *testing.T) {
+	for _, prof := range []clock.Profile{clock.NTP, clock.PTPHardware, clock.DTP} {
+		t.Run(prof.Name, func(t *testing.T) {
+			c := newTestCluster(t, ClusterOptions{
+				Shards:       1,
+				Replicas:     3,
+				Latency:      transport.LatencyModel{OneWay: 200 * time.Microsecond, Jitter: 50 * time.Microsecond},
+				ClockProfile: prof,
+				Stages:       true,
+				Seed:         42,
+			})
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			defer cancel()
+			cl := c.NewTxnClient(1)
+			const txns = 25
+			runSequentialTxns(t, ctx, cl, txns)
+
+			snap := c.Obs.Snapshot()
+			stageSum, overrun, e2e := stageIdentity(snap, "milana_stage_ledger")
+			if e2e.Count < txns {
+				t.Fatalf("e2e count = %d, want ≥ %d (every decided txn folds once)", e2e.Count, txns)
+			}
+			if stageSum-overrun != e2e.Sum {
+				t.Fatalf("identity broken: Σstages %d − overrun %d = %d, want e2e %d",
+					stageSum, overrun, stageSum-overrun, e2e.Sum)
+			}
+			// Sequential single-key transactions can only over-attribute by
+			// measurement noise, not by design; the tracked residual must
+			// stay a small fraction of end-to-end.
+			if overrun*5 > e2e.Sum {
+				t.Fatalf("overrun %d is more than 20%% of e2e %d on a sequential workload", overrun, e2e.Sum)
+			}
+
+			// The attribution is real, not all residual: with 400µs of
+			// round-trip latency per RPC, the network stage dominates, and
+			// the server-side stages crossed the bus into the client ledger.
+			// (flash-program is absent here on purpose: writes apply on the
+			// async decision path, after the client-perceived commit point.)
+			for _, stage := range []string{"network", "validate", "flash-read"} {
+				h := snap.Hists[obs.WithLabel("milana_stage_ledger_ns", "stage", stage)]
+				if h.Count == 0 || h.Sum == 0 {
+					t.Fatalf("stage %q never attributed: %+v", stage, h)
+				}
+			}
+			net := snap.Hists[obs.WithLabel("milana_stage_ledger_ns", "stage", "network")]
+			if net.Sum*2 < e2e.Sum/2 {
+				// Not a strict bound — just: network should not be a rounding error
+				// when every txn pays ≥3 RPC round trips of 400µs.
+				t.Fatalf("network sum %d implausibly small vs e2e %d", net.Sum, e2e.Sum)
+			}
+
+			// Over the bus the client ledger rides the shared context into
+			// the handlers, so there is no separate server-side fold — the
+			// server_stage_ledger series belong to the TCP transport and are
+			// covered by TestTCPStageAccountingIdentity in internal/semel.
+		})
+	}
+}
+
+// TestStageLedgerDisabledByDefault: without ClusterOptions.Stages no client
+// ledger exists and no client stage series appear (the instrumentation is
+// opt-in, which is what the <3%% overhead gate measures against).
+func TestStageLedgerDisabledByDefault(t *testing.T) {
+	c := newTestCluster(t, ClusterOptions{})
+	ctx := context.Background()
+	cl := c.NewTxnClient(1)
+	runSequentialTxns(t, ctx, cl, 3)
+	if cl.Stages() != nil {
+		t.Fatal("stage set present without opt-in")
+	}
+	snap := c.Obs.Snapshot()
+	for name := range snap.Hists {
+		if strings.HasPrefix(name, "milana_stage_ledger") {
+			t.Fatalf("unexpected client stage series %q", name)
+		}
+	}
+}
+
+// TestWatchdogConviction is the injected-slowdown drill: a healthy cluster
+// sampled into the tsdb raises no commit-wait alarms, and a cluster whose
+// primaries suddenly hold prepares for a widened uncertainty bound (the
+// CommitWait knob — exactly what an ε widening does to the paper's
+// commit-wait systems) convicts the matching stage within one watchdog
+// window.
+func TestWatchdogConviction(t *testing.T) {
+	reg := obs.NewRegistry()
+	tsdb := obs.NewTSDB(reg, obs.TSDBOptions{Window: 256})
+	defer tsdb.Close()
+	dog := obs.NewWatchdog(reg, obs.DefaultWatchdogRules()...)
+	tsdb.Attach(dog)
+	var alerts []obs.Alert
+	dog.OnAlert(func(a obs.Alert) { alerts = append(alerts, a) })
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	// Phase 1 — healthy chaos: normal traffic, ticks pass, nothing fires
+	// for commit-wait (and the non-stage rules stay silent outright).
+	healthy := newTestCluster(t, ClusterOptions{})
+	hcl := healthy.NewTxnClient(1)
+	hcl.EnableStages(reg)
+	for tick := 0; tick < 15; tick++ {
+		runSequentialTxns(t, ctx, hcl, 4)
+		tsdb.Sample()
+	}
+	for _, a := range alerts {
+		if strings.Contains(a.Series, "commit-wait") {
+			t.Fatalf("healthy phase raised a commit-wait alert: %+v", a)
+		}
+		if a.Rule != "stage-p99-regression" {
+			t.Fatalf("healthy phase raised %+v", a)
+		}
+	}
+
+	// Phase 2 — the slowdown: same registry, same tsdb, but now every
+	// prepare holds for 2ms of commit-wait.
+	const hold = 2 * time.Millisecond
+	slow := newTestCluster(t, ClusterOptions{CommitWait: hold})
+	scl := slow.NewTxnClient(2)
+	scl.EnableStages(reg)
+	fired := false
+	for tick := 0; tick < 10 && !fired; tick++ {
+		runSequentialTxns(t, ctx, scl, 3)
+		tsdb.Sample()
+		for _, a := range alerts {
+			if a.Rule == "stage-p99-regression" && strings.Contains(a.Series, "commit-wait") {
+				fired = true
+			}
+		}
+	}
+	if !fired {
+		var names []string
+		for _, a := range alerts {
+			names = append(names, a.Rule+":"+a.Series)
+		}
+		sort.Strings(names)
+		t.Fatalf("commit-wait regression never convicted within one window; alerts: %v", names)
+	}
+
+	// The commit-wait stage really was the injected cost: its attributed
+	// p99 is at least the configured hold.
+	cw := reg.Snapshot().Hists[obs.WithLabel("milana_stage_ledger_ns", "stage", "commit-wait")]
+	if cw.Count == 0 || cw.Quantile(0.99) < int64(hold) {
+		t.Fatalf("commit-wait stage = %+v, want p99 ≥ %v", cw, hold)
+	}
+}
+
+// TestStageOverheadGate is the make-benchquick regression gate: the stage
+// ledger plus a live tsdb sampler must cost < 3%% of bus transaction
+// throughput versus a fully disabled cluster. Opt-in via OBS_OVERHEAD_GATE
+// because a wall-clock throughput comparison has no place in default CI
+// runs (-race, shared runners).
+func TestStageOverheadGate(t *testing.T) {
+	if os.Getenv("OBS_OVERHEAD_GATE") == "" {
+		t.Skip("set OBS_OVERHEAD_GATE=1 (make benchquick does) to run the overhead gate")
+	}
+	ctx := context.Background()
+	const txns = 4000
+
+	measure := func(instrumented bool) float64 {
+		c := newTestCluster(t, ClusterOptions{Stages: instrumented})
+		if instrumented {
+			tsdb := obs.NewTSDB(c.Obs, obs.TSDBOptions{Runtime: true})
+			dog := obs.NewWatchdog(c.Obs, obs.DefaultWatchdogRules()...)
+			tsdb.Attach(dog)
+			tsdb.Start()
+			defer tsdb.Close()
+		}
+		cl := c.NewTxnClient(1)
+		runSequentialTxns(t, ctx, cl, 64) // warm pools and code paths
+		start := time.Now()
+		runSequentialTxns(t, ctx, cl, txns)
+		return float64(txns) / time.Since(start).Seconds()
+	}
+
+	// Alternate runs and keep each side's best: peak throughput is far
+	// less noisy than the mean on a shared machine.
+	var base, instr float64
+	for i := 0; i < 3; i++ {
+		if v := measure(false); v > base {
+			base = v
+		}
+		if v := measure(true); v > instr {
+			instr = v
+		}
+	}
+	cost := 1 - instr/base
+	t.Logf("base %.0f txn/s, instrumented %.0f txn/s, overhead %.2f%%", base, instr, 100*cost)
+	if cost > 0.03 {
+		t.Fatalf("stage ledger + tsdb sampling costs %.2f%% throughput, budget is 3%%", 100*cost)
+	}
+}

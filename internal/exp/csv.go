@@ -5,7 +5,9 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strconv"
+	"strings"
 	"time"
 )
 
@@ -81,12 +83,24 @@ func Figure7CSV(rows []Fig7Row) ([]string, [][]string) {
 
 // Figure8CSV converts Figure 8 rows.
 func Figure8CSV(rows []Fig8Row) ([]string, [][]string) {
-	header := []string{"backend", "local_validation", "clients", "txn_per_sec", "avg_latency_us", "p50_us", "p95_us", "p99_us"}
+	header := []string{"backend", "local_validation", "clients", "txn_per_sec", "avg_latency_us", "p50_us", "p95_us", "p99_us", "stage_p99_us"}
 	var out [][]string
 	for _, r := range rows {
+		// Stage breakdown travels as one "stage=us;stage=us" cell, sorted by
+		// name for reproducible files.
+		var stageNames []string
+		for name := range r.StageP99 {
+			stageNames = append(stageNames, name)
+		}
+		sort.Strings(stageNames)
+		stageParts := make([]string, 0, len(stageNames))
+		for _, name := range stageNames {
+			stageParts = append(stageParts, name+"="+dtoa(r.StageP99[name]))
+		}
 		out = append(out, []string{
 			r.Backend, fmt.Sprintf("%v", r.LocalValidation), strconv.Itoa(r.Clients),
 			ftoa(r.ThroughputTPS), dtoa(r.AvgLatency), dtoa(r.P50), dtoa(r.P95), dtoa(r.P99),
+			strings.Join(stageParts, ";"),
 		})
 	}
 	return header, out

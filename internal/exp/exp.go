@@ -15,6 +15,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -146,6 +147,10 @@ type runResult struct {
 	Latency        obs.HistogramSnapshot
 	ThroughputTPS  float64
 	AbortsByReason [wire.NumAbortReasons]int64
+	// Stages is the run's per-stage latency attribution (stage name →
+	// histogram) from the clients' stage ledgers: where the end-to-end
+	// latency above was actually spent.
+	Stages map[string]obs.HistogramSnapshot
 }
 
 func (r runResult) abortRate() float64 {
@@ -211,6 +216,7 @@ func runMilana(ctx context.Context, c *core.Cluster, o milanaRun) (runResult, er
 	clients := make([]*milana.Client, o.Instances)
 	for i := range clients {
 		clients[i] = c.NewTxnClient(uint32(i + 1))
+		clients[i].EnableStages(c.Obs)
 		clients[i].LocalValidation = o.LocalValidation
 		if o.WatermarkEvery > 0 {
 			// Register with the watermark computation before any
@@ -298,5 +304,24 @@ func runMilana(ctx context.Context, c *core.Cluster, o milanaRun) (runResult, er
 		res.AvgLatency = time.Duration(res.Latency.Mean())
 	}
 	res.ThroughputTPS = float64(res.Committed) / elapsed.Seconds()
+	res.Stages = stageHists(c.Obs.Snapshot())
 	return res, nil
+}
+
+// stageHists extracts the client stage-ledger histograms from a registry
+// snapshot, keyed by bare stage name.
+func stageHists(snap obs.Snapshot) map[string]obs.HistogramSnapshot {
+	const prefix = `milana_stage_ledger_ns{stage="`
+	var out map[string]obs.HistogramSnapshot
+	for name, h := range snap.Hists {
+		if !strings.HasPrefix(name, prefix) || h.Count == 0 {
+			continue
+		}
+		stage := strings.TrimSuffix(strings.TrimPrefix(name, prefix), `"}`)
+		if out == nil {
+			out = make(map[string]obs.HistogramSnapshot)
+		}
+		out[stage] = h
+	}
+	return out
 }

@@ -289,6 +289,9 @@ type Fig8Row struct {
 	P50 time.Duration
 	P95 time.Duration
 	P99 time.Duration
+	// StageP99 attributes the tail: p99 of each stage-ledger stage with
+	// samples, so a point's latency decomposes into where it was spent.
+	StageP99 map[string]time.Duration
 }
 
 // RunFigure8 reproduces Figure 8: average transaction latency vs throughput
@@ -335,7 +338,7 @@ func RunFigure8(ctx context.Context, cfg Config) ([]Fig8Row, error) {
 				}
 				cfg.progress("fig8 %s lv=%v n=%d: %.0f txn/s, %v", backend, lv, n, res.ThroughputTPS, res.AvgLatency)
 				p50, p95, p99, _ := res.Latency.Percentiles()
-				rows = append(rows, Fig8Row{
+				row := Fig8Row{
 					Backend:         backendName(backend),
 					LocalValidation: lv,
 					Clients:         n,
@@ -344,7 +347,14 @@ func RunFigure8(ctx context.Context, cfg Config) ([]Fig8Row, error) {
 					P50:             time.Duration(p50),
 					P95:             time.Duration(p95),
 					P99:             time.Duration(p99),
-				})
+				}
+				if len(res.Stages) > 0 {
+					row.StageP99 = make(map[string]time.Duration, len(res.Stages))
+					for stage, h := range res.Stages {
+						row.StageP99[stage] = time.Duration(h.Quantile(0.99))
+					}
+				}
+				rows = append(rows, row)
 			}
 		}
 	}

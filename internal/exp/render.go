@@ -2,6 +2,7 @@ package exp
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 	"time"
 
@@ -98,8 +99,31 @@ func RenderFigure8(rows []Fig8Row) string {
 		}
 		fmt.Fprintf(&b, "%-8s %-6s %-8d %-14.0f %-14v %-12v %-12v %-12v\n",
 			r.Backend, lv, r.Clients, r.ThroughputTPS, r.AvgLatency, r.P50, r.P95, r.P99)
+		if len(r.StageP99) > 0 {
+			fmt.Fprintf(&b, "%26s stage p99: %s\n", "", stageBreakdown(r.StageP99))
+		}
 	}
 	return b.String()
+}
+
+// stageBreakdown renders a stage→duration map largest-first, so the stage
+// dominating the tail reads first.
+func stageBreakdown(stages map[string]time.Duration) string {
+	names := make([]string, 0, len(stages))
+	for name := range stages {
+		names = append(names, name)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		if stages[names[i]] != stages[names[j]] {
+			return stages[names[i]] > stages[names[j]]
+		}
+		return names[i] < names[j]
+	})
+	parts := make([]string, 0, len(names))
+	for _, name := range names {
+		parts = append(parts, fmt.Sprintf("%s=%v", name, stages[name]))
+	}
+	return strings.Join(parts, " ")
 }
 
 // RenderFigure9 prints the MILANA vs Centiman comparison.

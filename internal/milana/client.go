@@ -86,6 +86,13 @@ type Client struct {
 	// span stamped with its own (skewed) clock. Nil disables (default).
 	spans *obs.SpanStore
 
+	// stages, when attached via EnableStages, gives every transaction a
+	// pooled stage ledger: its RPCs carry the ledger in ctx (and request
+	// the server's stage block over TCP), and finish folds it into
+	// milana_stage_ledger_ns{stage=...} against the transaction's wall
+	// time. Nil disables (default).
+	stages *obs.StageSet
+
 	// sinks receive every finished transaction: the offline History
 	// (SetHistory) and the online auditor (AddSink) both plug in here.
 	// Empty = off.
@@ -165,6 +172,20 @@ func (c *Client) EnableTracing(ring int) {
 
 // Spans returns the client's root-span store (nil until EnableTracing).
 func (c *Client) Spans() *obs.SpanStore { return c.spans }
+
+// EnableStages turns on per-transaction stage-latency attribution: every
+// subsequent transaction carries a pooled obs.Ledger through all of its
+// RPCs, collecting client-queue/encode/network/dispatch/validate/flash/
+// commit-wait/replication/decode waits, folded on finish into reg's
+// milana_stage_ledger_ns{stage=...} histograms with the accounting identity
+// (stage sum + unattributed residual = wall time). Call before issuing
+// transactions; not safe to toggle concurrently with them.
+func (c *Client) EnableStages(reg *obs.Registry) {
+	c.stages = obs.NewStageSet(reg, "milana_stage_ledger")
+}
+
+// Stages returns the client's stage-histogram set (nil until EnableStages).
+func (c *Client) Stages() *obs.StageSet { return c.stages }
 
 // SetHistory attaches a history recorder: every transaction this client
 // finishes is recorded with its begin and commit timestamps, the exact
@@ -270,6 +291,11 @@ type Txn struct {
 	commitTs clock.Timestamp
 	// unknown marks a transaction whose outcome the client never learned.
 	unknown bool
+	// led is the transaction's stage ledger (EnableStages), folded and
+	// released exactly once by finish; wallStart anchors its end-to-end
+	// side of the accounting identity.
+	led       *obs.Ledger
+	wallStart time.Time
 }
 
 // Begin starts a transaction at the client's current time.
@@ -287,6 +313,10 @@ func (c *Client) Begin() *Txn {
 	if c.spans != nil {
 		t.tc = obs.TraceContext{TraceID: t.id.TraceID(), SpanID: c.spans.NextID(), Sampled: true}
 	}
+	if c.stages != nil {
+		t.led = obs.NewLedger()
+		t.wallStart = time.Now()
+	}
 	for _, bs := range c.beginSinks {
 		bs.TxnBegan(t.id, t.begin)
 	}
@@ -300,6 +330,17 @@ func (t *Txn) traceCtx(ctx context.Context) context.Context {
 		return ctx
 	}
 	return obs.WithTrace(ctx, t.tc)
+}
+
+// stageCtx annotates ctx with the transaction's stage ledger. It is applied
+// to read and 2PC RPC contexts but deliberately NOT to the detached
+// async-decision context: the ledger returns to its pool when the
+// transaction finishes, which can precede the async notify.
+func (t *Txn) stageCtx(ctx context.Context) context.Context {
+	if t.led == nil {
+		return ctx
+	}
+	return obs.WithStageLedger(ctx, t.led)
 }
 
 // BeginReadWrite starts a transaction declared read-write in advance. Such
@@ -348,7 +389,7 @@ func (t *Txn) Get(ctx context.Context, key []byte) (val []byte, found bool, err 
 		return nil, false, err
 	}
 	readStart := time.Now()
-	resp, err := t.c.net.Call(t.traceCtx(ctx), addr, wire.GetRequest{Key: key, At: t.begin, AnyReplica: anyReplica})
+	resp, err := t.c.net.Call(t.stageCtx(t.traceCtx(ctx)), addr, wire.GetRequest{Key: key, At: t.begin, AnyReplica: anyReplica})
 	if t.sp != nil {
 		t.readTime += time.Since(readStart)
 	}
@@ -448,6 +489,15 @@ func (t *Txn) finish(committed bool) {
 	} else {
 		t.spanEnd("abort")
 	}
+	// Fold the stage ledger against the transaction's wall time and return
+	// it to the pool. Every RPC that could touch the ledger has completed
+	// by now: reads and prepares are awaited before finish, and the
+	// async-decision context deliberately carries no ledger.
+	if t.led != nil {
+		t.c.stages.Fold(t.led, time.Since(t.wallStart), t.id.TraceID())
+		t.led.Release()
+		t.led = nil
+	}
 }
 
 // spanEnd ends the transaction's span exactly once with the given outcome.
@@ -502,7 +552,7 @@ func (t *Txn) Commit(ctx context.Context) error {
 
 // commit2PC runs two-phase commit with the client as coordinator.
 func (t *Txn) commit2PC(ctx context.Context) error {
-	ctx = t.traceCtx(ctx)
+	ctx = t.stageCtx(t.traceCtx(ctx))
 	commitTs := t.c.clk.Now()
 	t.commitTs = commitTs
 	t.sp.Record("read", t.readTime)
@@ -743,7 +793,7 @@ func (t *Txn) GetMany(ctx context.Context, keys [][]byte) (map[string][]byte, er
 	for shard, shardKeys := range byShard {
 		fetches = append(fetches, shardFetch{shard: shard, keys: shardKeys})
 	}
-	ctx = t.traceCtx(ctx)
+	ctx = t.stageCtx(t.traceCtx(ctx))
 	readStart := time.Now()
 	var wg sync.WaitGroup
 	for i := range fetches {

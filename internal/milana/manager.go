@@ -239,6 +239,7 @@ func (m *Manager) Prepare(ctx context.Context, req wire.PrepareRequest) (wire.Pr
 	valStart := time.Now()
 	reason, code, margin := m.validateLocked(req)
 	m.om.validateNs.ObserveSince(valStart)
+	obs.AttributeStage(ctx, obs.StageValidate, time.Since(valStart))
 	if reason != "" {
 		m.decided[req.ID] = decidedEntry{status: wire.StatusAborted, at: time.Now()}
 		m.mu.Unlock()
@@ -370,7 +371,7 @@ func (m *Manager) applyDecision(ctx context.Context, rec wire.TxnRecord, commit 
 		// Apply writes in parallel: they pack into shared flash pages, so
 		// the prepared window (during which validations against these
 		// keys abort) stays near one device write, not one per key.
-		if err := m.applyWriteSet(rec); err != nil {
+		if err := m.applyWriteSet(ctx, rec); err != nil {
 			return fmt.Errorf("milana: applying commit of %v: %w", rec.ID, err)
 		}
 	}
@@ -397,8 +398,14 @@ func (m *Manager) applyDecision(ctx context.Context, rec wire.TxnRecord, commit 
 }
 
 // applyWriteSet writes every key of a committed transaction to the backend
-// concurrently and returns the first error.
-func (m *Manager) applyWriteSet(rec wire.TxnRecord) error {
+// concurrently and returns the first error. The whole apply — one shared
+// flash-page program in the common case — is charged to the caller's
+// flash-program stage when ctx carries a ledger.
+func (m *Manager) applyWriteSet(ctx context.Context, rec wire.TxnRecord) error {
+	if led := obs.StageLedgerFrom(ctx); led != nil {
+		start := time.Now()
+		defer func() { led.Add(obs.StageFlashProgram, time.Since(start)) }()
+	}
 	if len(rec.WriteSet) == 1 {
 		kv := rec.WriteSet[0]
 		return m.host.Backend().Put(kv.Key, kv.Val, rec.CommitTs)
@@ -462,7 +469,7 @@ func (m *Manager) HandleReplicatePrepare(rec wire.TxnRecord) error {
 	if d, ok := m.decided[rec.ID]; ok {
 		m.mu.Unlock()
 		if d.status == wire.StatusCommitted {
-			return m.applyWriteSet(rec)
+			return m.applyWriteSet(context.Background(), rec)
 		}
 		return nil // aborted: drop the late prepare
 	}
@@ -488,7 +495,7 @@ func (m *Manager) HandleReplicateDecision(id wire.TxnID, commit bool) error {
 	m.pruneDecidedLocked()
 	m.mu.Unlock()
 	if commit && havePrepare {
-		return m.applyWriteSet(st.rec)
+		return m.applyWriteSet(context.Background(), st.rec)
 	}
 	return nil
 }

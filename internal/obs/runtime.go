@@ -1,0 +1,108 @@
+// Go runtime health sampling. A latency regression that correlates with a
+// goroutine leak, heap growth, GC pauses, or fd exhaustion is diagnosed in
+// seconds if those series sit in the same tsdb ring as the txn stages — and
+// never if they only live in pprof. SampleRuntime reads the cheap
+// runtime/metrics counters into plain gauges; the tsdb tick calls it when
+// TSDBOptions.Runtime is set, so the gauges also show up on /metrics.
+package obs
+
+import (
+	"math"
+	"os"
+	"runtime"
+	"runtime/metrics"
+)
+
+// The runtime/metrics names we sample. The GC pause histogram was renamed
+// in go1.22 ("/sched/pauses/total/gc:seconds"); probe what this toolchain
+// actually exports once, at init.
+var runtimeSamples = func() []metrics.Sample {
+	supported := make(map[string]bool)
+	for _, d := range metrics.All() {
+		supported[d.Name] = true
+	}
+	var s []metrics.Sample
+	for _, name := range []string{
+		"/memory/classes/heap/objects:bytes",
+		"/sched/pauses/total/gc:seconds",
+		"/gc/pauses:seconds",
+	} {
+		if supported[name] {
+			s = append(s, metrics.Sample{Name: name})
+		}
+	}
+	return s
+}()
+
+// SampleRuntime stores the current runtime health into reg's gauges:
+// go_goroutines, go_heap_bytes, go_gc_pause_p99_ns, process_open_fds
+// (-1 where the platform can't say). Nil-safe; one runtime/metrics read.
+func SampleRuntime(reg *Registry) {
+	if reg == nil {
+		return
+	}
+	reg.Gauge("go_goroutines").Set(int64(runtime.NumGoroutine()))
+
+	samples := make([]metrics.Sample, len(runtimeSamples))
+	copy(samples, runtimeSamples)
+	metrics.Read(samples)
+	gcSeen := false
+	for _, s := range samples {
+		switch s.Name {
+		case "/memory/classes/heap/objects:bytes":
+			if s.Value.Kind() == metrics.KindUint64 {
+				reg.Gauge("go_heap_bytes").Set(int64(s.Value.Uint64()))
+			}
+		case "/sched/pauses/total/gc:seconds", "/gc/pauses:seconds":
+			if gcSeen || s.Value.Kind() != metrics.KindFloat64Histogram {
+				continue
+			}
+			gcSeen = true
+			reg.Gauge("go_gc_pause_p99_ns").Set(histP99Ns(s.Value.Float64Histogram()))
+		}
+	}
+
+	fds := int64(-1)
+	if ents, err := os.ReadDir("/proc/self/fd"); err == nil {
+		fds = int64(len(ents))
+	}
+	reg.Gauge("process_open_fds").Set(fds)
+}
+
+// histP99Ns estimates the 99th percentile of a runtime/metrics
+// seconds-valued histogram, in nanoseconds.
+func histP99Ns(h *metrics.Float64Histogram) int64 {
+	if h == nil {
+		return 0
+	}
+	var total uint64
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(0.99*float64(total-1)) + 1
+	var seen uint64
+	for i, c := range h.Counts {
+		seen += c
+		if seen >= rank {
+			// Bucket i covers [Buckets[i], Buckets[i+1]); the first and
+			// last edges may be ±Inf, so fall back to the finite edge.
+			lo, hi := h.Buckets[i], h.Buckets[i+1]
+			var mid float64
+			switch {
+			case math.IsInf(lo, -1) && math.IsInf(hi, 1):
+				mid = 0
+			case math.IsInf(lo, -1):
+				mid = hi
+			case math.IsInf(hi, 1):
+				mid = lo
+			default:
+				mid = lo + (hi-lo)/2
+			}
+			return int64(mid * 1e9)
+		}
+	}
+	return 0
+}

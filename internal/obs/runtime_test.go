@@ -1,0 +1,69 @@
+package obs
+
+import (
+	"math"
+	"runtime/metrics"
+	"testing"
+)
+
+func TestSampleRuntime(t *testing.T) {
+	SampleRuntime(nil) // nil-safe
+
+	reg := NewRegistry()
+	SampleRuntime(reg)
+	snap := reg.Snapshot()
+
+	if g := snap.Gauges["go_goroutines"]; g <= 0 {
+		t.Fatalf("go_goroutines = %d", g)
+	}
+	if g := snap.Gauges["go_heap_bytes"]; g <= 0 {
+		t.Fatalf("go_heap_bytes = %d", g)
+	}
+	if _, ok := snap.Gauges["go_gc_pause_p99_ns"]; !ok {
+		t.Fatal("go_gc_pause_p99_ns not sampled")
+	}
+	// Linux always has /proc/self/fd; elsewhere the gauge reports -1.
+	if g, ok := snap.Gauges["process_open_fds"]; !ok || (g <= 0 && g != -1) {
+		t.Fatalf("process_open_fds = %d (present %v)", g, ok)
+	}
+}
+
+func TestHistP99Ns(t *testing.T) {
+	if got := histP99Ns(nil); got != 0 {
+		t.Fatalf("nil histogram p99 = %d", got)
+	}
+	if got := histP99Ns(&metrics.Float64Histogram{
+		Counts:  []uint64{0, 0},
+		Buckets: []float64{0, 1, 2},
+	}); got != 0 {
+		t.Fatalf("empty histogram p99 = %d", got)
+	}
+
+	// 98 samples in [1ms,2ms), 2 in [8ms,+Inf): the p99 falls in the last
+	// bucket, whose +Inf edge must collapse to the finite lower bound.
+	h := &metrics.Float64Histogram{
+		Counts:  []uint64{98, 0, 2},
+		Buckets: []float64{1e-3, 2e-3, 8e-3, math.Inf(1)},
+	}
+	if got := histP99Ns(h); got != int64(8e-3*1e9) {
+		t.Fatalf("p99 = %d, want the 8ms bucket edge", got)
+	}
+
+	// All mass in one finite bucket: the midpoint.
+	h = &metrics.Float64Histogram{
+		Counts:  []uint64{10},
+		Buckets: []float64{2e-3, 4e-3},
+	}
+	if got := histP99Ns(h); got != int64(3e-3*1e9) {
+		t.Fatalf("p99 = %d, want the 3ms midpoint", got)
+	}
+
+	// A −Inf leading edge falls back to the finite upper bound.
+	h = &metrics.Float64Histogram{
+		Counts:  []uint64{5},
+		Buckets: []float64{math.Inf(-1), 1e-3},
+	}
+	if got := histP99Ns(h); got != int64(1e-3*1e9) {
+		t.Fatalf("p99 = %d, want the finite upper edge", got)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/obs"
@@ -58,6 +59,22 @@ func (o BatchOptions) withDefaults() BatchOptions {
 type pendingOp struct {
 	op  wire.DataOp
 	ack chan error // buffered(1); receives exactly one result
+
+	// Stage-ledger support, populated only when the writer's context
+	// carries a ledger: enq is when the op entered the queue and flushedAt
+	// receives ns-since-enq when its batch dispatches. The cell is shared
+	// between the writer and the flush goroutine (pendingOp is copied into
+	// the channel, so a plain field would not make it back), letting the
+	// writer split its wait into batch-formation time and quorum time.
+	enq       time.Time
+	flushedAt *atomic.Int64
+}
+
+// noteFlush records the moment this op's batch dispatched to the backups.
+func (p *pendingOp) noteFlush() {
+	if p.flushedAt != nil {
+		p.flushedAt.Store(int64(time.Since(p.enq)))
+	}
 }
 
 // batcher is the primary's replication pipeline (group commit, §3.2 traffic).
@@ -123,6 +140,11 @@ func (b *batcher) close() {
 // durability traffic; see ReplicateToBackups) — only the wait is abandoned.
 func (b *batcher) replicate(ctx context.Context, op wire.DataOp) error {
 	p := pendingOp{op: op, ack: make(chan error, 1)}
+	led := obs.StageLedgerFrom(ctx)
+	if led != nil {
+		p.enq = time.Now()
+		p.flushedAt = new(atomic.Int64)
+	}
 	select {
 	case b.ch <- p:
 	case <-b.stop:
@@ -132,6 +154,14 @@ func (b *batcher) replicate(ctx context.Context, op wire.DataOp) error {
 	}
 	select {
 	case err := <-p.ack:
+		if led != nil {
+			// Everything up to dispatch was batch formation (group-commit
+			// linger + queueing); the rest was the backups' quorum.
+			total := int64(time.Since(p.enq))
+			batchNs := p.flushedAt.Load()
+			led.AddNs(obs.StageReplBatch, batchNs)
+			led.AddNs(obs.StageReplAck, total-batchNs)
+		}
 		return err
 	case <-b.stop:
 		return ErrServerClosed
@@ -256,6 +286,9 @@ type peerResult struct {
 // impossible. A batch is all-or-nothing on the wire but not in outcome —
 // each writer sees exactly its own op's quorum.
 func (b *batcher) flush(batch []pendingOp) {
+	for i := range batch {
+		batch[i].noteFlush()
+	}
 	s := b.s
 	rs, err := s.opt.Dir.Shard(s.opt.Shard)
 	if err != nil {

@@ -99,6 +99,20 @@ type ServerOptions struct {
 	// typically shared cluster-wide and owned by whoever created it — the
 	// server does not close it.
 	Auditor *audit.Auditor
+	// CommitWait, when positive, makes the primary delay every prepare
+	// until its local clock passes the transaction's commit timestamp plus
+	// this bound (the profile's ε): server-side commit-wait in the
+	// Spanner sense. The paper's protocol does not need it — validation
+	// plus client-assigned timestamps already order transactions — so it
+	// is off by default; it exists to measure what commit-wait would cost
+	// at each precision profile (the stage ledger attributes it) and to
+	// drive the watchdog's regression rules in tests. The wait is capped
+	// at 4× the bound so a wildly early clock cannot wedge the server.
+	CommitWait time.Duration
+	// TSDB, when set, is the embedded time-series store this server
+	// answers wire.TSDBRequest from (typically sampling the same registry
+	// as Metrics). The server does not start, sample, or close it.
+	TSDB *obs.TSDB
 }
 
 // serverStats holds the replica's operation counters (see wire.StatsResponse).
@@ -112,6 +126,7 @@ type serverMetrics struct {
 	get, multiGet, put, delete, replData *obs.Histogram
 	prepare, decision, status            *obs.Histogram
 	replAck                              *obs.Histogram
+	commitWait                           *obs.Histogram
 	watermarkTs                          *obs.Gauge
 	slowRequests                         *obs.Counter
 
@@ -171,6 +186,7 @@ func NewServer(opt ServerOptions) (*Server, error) {
 		decision:    s.reg.Histogram(`semel_serve_ns{op="decision"}`),
 		status:      s.reg.Histogram(`semel_serve_ns{op="status"}`),
 		replAck:     s.reg.Histogram("semel_replication_ack_ns"),
+		commitWait:  s.reg.Histogram("semel_commit_wait_ns"),
 		watermarkTs: s.reg.Gauge("semel_watermark_ticks"),
 
 		slowRequests:     s.reg.Counter("semel_slow_requests_total"),
@@ -475,7 +491,12 @@ func (s *Server) ReplicateToBackups(ctx context.Context, msg any) error {
 		}
 	}
 	// Time-to-quorum is the replication lag a committing write experiences.
-	s.om.replAck.ObserveSince(ackStart)
+	// It is also the repl-ack stage of whichever transaction is blocked on
+	// this call (the unbatched write path and prepare/decision replication
+	// run in the caller's goroutine, so the ledger rides ctx).
+	waited := time.Since(ackStart)
+	s.om.replAck.Observe(int64(waited))
+	obs.AttributeStage(ctx, obs.StageReplAck, waited)
 	return nil
 }
 
@@ -600,10 +621,10 @@ func (s *Server) dispatch(ctx context.Context, req any) (any, error) {
 		return s.Serve(ctx, r.Msg)
 	case wire.GetRequest:
 		s.stats.gets.Add(1)
-		return s.handleGet(r)
+		return s.handleGet(ctx, r)
 	case wire.MultiGetRequest:
 		s.stats.gets.Add(int64(len(r.Keys)))
-		return s.handleMultiGet(r)
+		return s.handleMultiGet(ctx, r)
 	case wire.PutRequest:
 		s.stats.puts.Add(1)
 		return s.handlePut(ctx, r)
@@ -623,6 +644,14 @@ func (s *Server) dispatch(ctx context.Context, req any) (any, error) {
 		// request receipt, stamped with this replica's own clock.
 		s.opt.Auditor.ObservePrepare(r.ID, r.CommitTs, s.opt.Clock.Now())
 		s.stats.prepares.Add(1)
+		if cw := s.opt.CommitWait; cw > 0 {
+			// Opt-in server-side commit-wait: hold the prepare until this
+			// replica's clock clears CommitTs+ε, so the wait's true cost at
+			// the configured precision shows up as its own ledger stage.
+			waited := clock.WaitUntil(ctx, s.opt.Clock, r.CommitTs.Add(cw), 4*cw)
+			s.om.commitWait.Observe(int64(waited))
+			obs.AttributeStage(ctx, obs.StageCommitWait, waited)
+		}
 		resp, err := s.mgr.Prepare(ctx, r)
 		if err == nil && !resp.OK {
 			s.stats.aborts.Add(1)
@@ -683,6 +712,15 @@ func (s *Server) dispatch(ctx context.Context, req any) (any, error) {
 		}, nil
 	case wire.TimeHealthRequest:
 		return s.TimeHealth(), nil
+	case wire.TSDBRequest:
+		if s.opt.TSDB == nil {
+			return wire.TSDBResponse{Addr: s.opt.Addr}, nil
+		}
+		return wire.TSDBResponse{
+			Addr:       s.opt.Addr,
+			IntervalNs: int64(s.opt.TSDB.Interval()),
+			Series:     s.opt.TSDB.Query(r.Patterns, r.LastN),
+		}, nil
 	case wire.AuditRequest:
 		return s.handleAudit(), nil
 	case wire.RecoveryPullRequest:
@@ -792,12 +830,14 @@ func (s *Server) checkPrimaryLease() error {
 // unless the client opted into nearest-replica reads (§4.6), in which case
 // any replica answers from its backend, possibly slightly stale, and the
 // transaction must validate at the primary.
-func (s *Server) handleGet(r wire.GetRequest) (wire.GetResponse, error) {
+func (s *Server) handleGet(ctx context.Context, r wire.GetRequest) (wire.GetResponse, error) {
 	if err := s.checkPrimaryLease(); err != nil {
 		if !r.AnyReplica {
 			return wire.GetResponse{}, err
 		}
+		readStart := time.Now()
 		val, ver, found, gerr := s.opt.Backend.Get(r.Key, r.At)
+		obs.AttributeStage(ctx, obs.StageFlashRead, time.Since(readStart))
 		if errors.Is(gerr, storage.ErrSnapshotUnavailable) {
 			return wire.GetResponse{SnapshotMiss: true}, nil
 		}
@@ -807,7 +847,9 @@ func (s *Server) handleGet(r wire.GetRequest) (wire.GetResponse, error) {
 		return wire.GetResponse{Val: val, Version: ver, Found: found}, nil
 	}
 	prepared := s.mgr.OnGet(r.Key, r.At)
+	readStart := time.Now()
 	val, ver, found, err := s.opt.Backend.Get(r.Key, r.At)
+	obs.AttributeStage(ctx, obs.StageFlashRead, time.Since(readStart))
 	if errors.Is(err, storage.ErrSnapshotUnavailable) {
 		return wire.GetResponse{SnapshotMiss: true}, nil
 	}
@@ -820,11 +862,11 @@ func (s *Server) handleGet(r wire.GetRequest) (wire.GetResponse, error) {
 // handleMultiGet fans a snapshot read out across its keys concurrently, so
 // independent keys exercise the flash emulator's channels in parallel
 // instead of convoying behind one another's page reads.
-func (s *Server) handleMultiGet(r wire.MultiGetRequest) (wire.MultiGetResponse, error) {
+func (s *Server) handleMultiGet(ctx context.Context, r wire.MultiGetRequest) (wire.MultiGetResponse, error) {
 	resp := wire.MultiGetResponse{Items: make([]wire.GetResponse, len(r.Keys))}
 	if len(r.Keys) <= 1 || s.opt.SerialReads {
 		for i, key := range r.Keys {
-			item, err := s.handleGet(wire.GetRequest{Key: key, At: r.At, AnyReplica: r.AnyReplica})
+			item, err := s.handleGet(ctx, wire.GetRequest{Key: key, At: r.At, AnyReplica: r.AnyReplica})
 			if err != nil {
 				return wire.MultiGetResponse{}, err
 			}
@@ -834,14 +876,19 @@ func (s *Server) handleMultiGet(r wire.MultiGetRequest) (wire.MultiGetResponse, 
 	}
 	errs := make([]error, len(r.Keys))
 	var wg sync.WaitGroup
+	// The per-key reads overlap, so charging each one to the ledger would
+	// attribute more than the wall time spent; charge the fan-out's wall
+	// time instead and keep the workers off the ledger.
+	readStart := time.Now()
 	for i, key := range r.Keys {
 		wg.Add(1)
 		go func(i int, key []byte) {
 			defer wg.Done()
-			resp.Items[i], errs[i] = s.handleGet(wire.GetRequest{Key: key, At: r.At, AnyReplica: r.AnyReplica})
+			resp.Items[i], errs[i] = s.handleGet(context.Background(), wire.GetRequest{Key: key, At: r.At, AnyReplica: r.AnyReplica})
 		}(i, key)
 	}
 	wg.Wait()
+	obs.AttributeStage(ctx, obs.StageFlashRead, time.Since(readStart))
 	for _, err := range errs {
 		if err != nil {
 			return wire.MultiGetResponse{}, err
@@ -875,11 +922,13 @@ func (s *Server) writeVersion(ctx context.Context, key, val []byte, ver clock.Ti
 		return wire.PutResponse{Rejected: true}, nil
 	}
 	var err error
+	programStart := time.Now()
 	if tombstone {
 		err = s.opt.Backend.Delete(key, ver)
 	} else {
 		err = s.opt.Backend.Put(key, val, ver)
 	}
+	obs.AttributeStage(ctx, obs.StageFlashProgram, time.Since(programStart))
 	if err != nil {
 		return wire.PutResponse{}, err
 	}

@@ -22,10 +22,17 @@ import (
 //
 //	v1 request  := id(uvarint) traceID(uvarint) spanID(uvarint) flags(1) msg
 //	               flags bit0 = trace sampled
-//	v1 response := id(uvarint) flags(1) rest
-//	               flags 0x00: rest = msg
-//	               flags 0x01: rest = error string (uvarint length + bytes)
-//	               flags 0x02: nil payload, rest empty
+//	               flags bit1 = caller wants the stage-latency block back
+//	v1 response := id(uvarint) flags(1) [stages] rest
+//	               flags&0x03 == 0x00: rest = msg
+//	               flags&0x03 == 0x01: rest = error string (uvarint length + bytes)
+//	               flags&0x03 == 0x02: nil payload, rest empty
+//	               flags bit2 = a stage-latency block precedes rest:
+//	                 serveNs(uvarint) count(uvarint) (stageID(1) ns(uvarint))*
+//
+// The stage block is only emitted when the request asked for it (flags
+// bit1), so pre-stage peers never see bit2 and decode exactly the old
+// layout; a pre-stage server simply never answers the bit.
 //	gob request  := gob-stream bytes for one wireRequest
 //	gob response := gob-stream bytes for one wireResponse
 //
@@ -264,7 +271,7 @@ func finishFrame(buf []byte) ([]byte, error) {
 // pooled buffer. It returns ErrUnsupportedType (wrapped) when no codec is
 // installed or the codec cannot encode payload; the caller then routes the
 // request through the connection's gob stream instead.
-func encodeRequestV1(id uint64, tc obs.TraceContext, payload any, m *wireMetrics) (*[]byte, error) {
+func encodeRequestV1(id uint64, tc obs.TraceContext, wantStages bool, payload any, m *wireMetrics) (*[]byte, error) {
 	c := activeCodec()
 	if c == nil {
 		return nil, ErrUnsupportedType
@@ -279,6 +286,9 @@ func encodeRequestV1(id uint64, tc obs.TraceContext, payload any, m *wireMetrics
 	var flags byte
 	if tc.Sampled {
 		flags |= 1
+	}
+	if wantStages {
+		flags |= 2
 	}
 	buf = append(buf, flags)
 	out, err := c.Append(buf, payload)
@@ -309,19 +319,38 @@ func encodeResponseV1(resp wireResponse, m *wireMetrics) (*[]byte, error) {
 	buf := append((*bufp)[:0], 0, 0, 0, 0)
 	buf = append(buf, frameTagV1)
 	buf = binary.AppendUvarint(buf, resp.ID)
+	var kind byte
+	switch {
+	case resp.Err != "":
+		kind = 0x01
+	case resp.Payload == nil:
+		kind = 0x02
+	}
+	flags := kind
+	hasStages := resp.ServeNs > 0 || len(resp.StageIDs) > 0
+	if hasStages {
+		flags |= 0x04
+	}
+	buf = append(buf, flags)
+	if hasStages {
+		buf = binary.AppendUvarint(buf, uint64(resp.ServeNs))
+		buf = binary.AppendUvarint(buf, uint64(len(resp.StageIDs)))
+		for i, id := range resp.StageIDs {
+			buf = append(buf, id)
+			buf = binary.AppendUvarint(buf, uint64(resp.StageNs[i]))
+		}
+	}
 	var (
 		out []byte
 		err error
 	)
-	switch {
-	case resp.Err != "":
-		buf = append(buf, 0x01)
+	switch kind {
+	case 0x01:
 		buf = binary.AppendUvarint(buf, uint64(len(resp.Err)))
 		out = append(buf, resp.Err...)
-	case resp.Payload == nil:
-		out = append(buf, 0x02)
+	case 0x02:
+		out = buf
 	default:
-		buf = append(buf, 0x00)
 		out, err = c.Append(buf, resp.Payload)
 	}
 	if err == nil {
@@ -395,6 +424,7 @@ func decodeRequest(body []byte, gd *gobStreamDec, m *wireMetrics) (req wireReque
 		}
 		flags := rest[n+n2+n3]
 		req.TC.Sampled = flags&1 != 0
+		req.WantStages = flags&2 != 0
 		req.Payload, err = c.Decode(rest[n+n2+n3+1:])
 		if err != nil {
 			return req, tag, err
@@ -433,6 +463,36 @@ func decodeResponse(body []byte, gd *gobStreamDec, m *wireMetrics) (resp wireRes
 		}
 		flags := rest[n]
 		rest = rest[n+1:]
+		if flags&0x04 != 0 {
+			sv, k := binary.Uvarint(rest)
+			if k <= 0 {
+				return resp, errShortFrame
+			}
+			resp.ServeNs = int64(sv)
+			cnt, k2 := binary.Uvarint(rest[k:])
+			rest = rest[k+k2:]
+			if k2 <= 0 || cnt > 64 {
+				return resp, errShortFrame
+			}
+			if cnt > 0 {
+				resp.StageIDs = make([]byte, 0, cnt)
+				resp.StageNs = make([]int64, 0, cnt)
+			}
+			for i := uint64(0); i < cnt; i++ {
+				if len(rest) < 2 {
+					return resp, errShortFrame
+				}
+				id := rest[0]
+				v, k3 := binary.Uvarint(rest[1:])
+				if k3 <= 0 {
+					return resp, errShortFrame
+				}
+				rest = rest[1+k3:]
+				resp.StageIDs = append(resp.StageIDs, id)
+				resp.StageNs = append(resp.StageNs, int64(v))
+			}
+			flags &^= 0x04
+		}
 		switch flags {
 		case 0x00:
 			resp.Payload, err = c.Decode(rest)
@@ -458,5 +518,10 @@ func decodeResponse(body []byte, gd *gobStreamDec, m *wireMetrics) (resp wireRes
 		return resp, fmt.Errorf("transport: unknown frame tag %#x", tag)
 	}
 	m.observeDecode(start)
+	if !start.IsZero() {
+		// Piggyback on the metrics clock read: lets the caller attribute
+		// decode time to its stage ledger without a second Now().
+		resp.decodeNs = int64(time.Since(start))
+	}
 	return resp, nil
 }

@@ -10,6 +10,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/obs"
 )
@@ -25,14 +26,29 @@ type wireRequest struct {
 	// TC carries the caller's trace context across the connection; the
 	// server reconstructs a ctx from it, so context-based propagation works
 	// identically over TCP and the in-process bus.
-	TC      obs.TraceContext
-	Payload any
+	TC obs.TraceContext
+	// WantStages asks the server to return its stage-latency ledger for
+	// this request (set when the caller's ctx carries an obs.Ledger). Gob
+	// peers without the field decode it as absent/false.
+	WantStages bool
+	Payload    any
 }
 
 type wireResponse struct {
 	ID      uint64
 	Payload any
 	Err     string
+	// Stage-latency block, present only when the request set WantStages:
+	// the server's wall time for this request (decode→response-enqueue) and
+	// its ledger as sparse (stage id, ns) pairs. The client folds these
+	// into the caller's ledger and uses ServeNs to isolate wire time.
+	ServeNs  int64
+	StageIDs []byte
+	StageNs  []int64
+
+	// decodeNs is the client-local response decode time, stamped by
+	// decodeResponse; unexported so it never travels.
+	decodeNs int64
 }
 
 // DefaultMaxInflight is the default bound on concurrently executing
@@ -70,6 +86,9 @@ type TCPServer struct {
 	ln  net.Listener
 	opt TCPServerOptions
 	m   *wireMetrics
+	// stages folds every want-stages request's ledger into
+	// server_stage_ledger_ns{stage=...} (nil without Metrics).
+	stages *obs.StageSet
 
 	// Request execution runs on a lazily grown pool of reusable worker
 	// goroutines (jobs == nil means unlimited: one goroutine per request).
@@ -97,6 +116,9 @@ type srvJob struct {
 	tag    byte
 	writeq chan<- respItem
 	wg     *sync.WaitGroup // the owning connection's in-flight count
+	// decodedAt is stamped by the read loop only for want-stages requests:
+	// handler-start minus decodedAt is the dispatch-queue wait.
+	decodedAt time.Time
 }
 
 // NewTCPServer starts serving h on addr ("host:port"; ":0" picks a free
@@ -112,6 +134,7 @@ func NewTCPServerOpts(addr string, h Handler, opt TCPServerOptions) (*TCPServer,
 		return nil, err
 	}
 	s := &TCPServer{h: h, ln: ln, opt: opt, m: newWireMetrics(opt.Metrics), conns: make(map[net.Conn]struct{})}
+	s.stages = obs.NewStageSet(opt.Metrics, "server_stage_ledger")
 	inflight := opt.MaxInflight
 	if inflight == 0 {
 		inflight = DefaultMaxInflight
@@ -174,11 +197,27 @@ func (s *TCPServer) handle(j srvJob) {
 	if j.req.TC.Sampled {
 		ctx = obs.WithTrace(ctx, j.req.TC)
 	}
+	var led *obs.Ledger
+	if j.req.WantStages {
+		led = obs.NewLedger()
+		if !j.decodedAt.IsZero() {
+			led.Add(obs.StageDispatch, time.Since(j.decodedAt))
+		}
+		ctx = obs.WithStageLedger(ctx, led)
+	}
 	payload, err := s.h.Serve(ctx, j.req.Payload)
 	if err != nil {
 		resp.Err = err.Error()
 	} else {
 		resp.Payload = payload
+	}
+	if led != nil {
+		resp.StageIDs, resp.StageNs = led.Deltas()
+		if !j.decodedAt.IsZero() {
+			resp.ServeNs = int64(time.Since(j.decodedAt))
+		}
+		s.stages.Fold(led, time.Duration(resp.ServeNs), j.req.TC.TraceID)
+		led.Release()
 	}
 	if j.tag == frameTagV1 && !s.opt.ForceGob {
 		bufp, err := encodeResponseV1(resp, s.m)
@@ -280,8 +319,12 @@ func (s *TCPServer) serveConn(conn net.Conn) {
 		if err != nil {
 			break
 		}
+		j := srvJob{req: req, tag: tag, writeq: writeq, wg: &inflight}
+		if req.WantStages {
+			j.decodedAt = time.Now()
+		}
 		inflight.Add(1)
-		s.dispatch(srvJob{req: req, tag: tag, writeq: writeq, wg: &inflight})
+		s.dispatch(j)
 	}
 	inflight.Wait()
 	// All senders are done; closing the queue lets the write loop flush and
@@ -430,6 +473,20 @@ type sendItem struct {
 	id      uint64
 	tc      obs.TraceContext
 	payload any
+	// Stage-ledger plumbing (nil/zero unless the caller's ctx carries a
+	// ledger): the write loop stores enqueue→pickup into queueNs at
+	// dequeue. A detached cell, not the ledger itself, because a cancelled
+	// Call may release its pooled ledger while the item still sits queued.
+	enq     time.Time
+	queueNs *atomic.Int64
+}
+
+// noteDequeue stamps the send-queue wait; called by the write loop at every
+// pickup site.
+func (it *sendItem) noteDequeue() {
+	if it.queueNs != nil {
+		it.queueNs.Store(int64(time.Since(it.enq)))
+	}
 }
 
 type tcpConn struct {
@@ -480,18 +537,46 @@ func (c *TCPClient) Call(ctx context.Context, addr string, req any) (any, error)
 	}
 	id := tc.nextID.Add(1)
 	trace, _ := obs.TraceFrom(ctx)
+	// Stage accounting is fully opt-in per call: without a ledger in ctx
+	// this path takes zero extra clock reads and allocations.
+	led := obs.StageLedgerFrom(ctx)
+	var start time.Time
+	if led != nil {
+		start = time.Now()
+	}
 	// Hot path: encode the v1 frame here, concurrently with other callers.
 	// Payloads the codec cannot express (and everything under ForceGob) are
 	// handed to the write loop raw; it owns the stateful gob stream.
 	item := sendItem{id: id, tc: trace, payload: req}
 	if !c.opt.ForceGob {
-		bufp, err := encodeRequestV1(id, trace, req, c.m)
+		bufp, err := encodeRequestV1(id, trace, led != nil, req, c.m)
 		switch {
 		case err == nil:
 			item = sendItem{bufp: bufp}
 		case !errors.Is(err, ErrUnsupportedType):
 			return nil, err
 		}
+	}
+	var encNs int64
+	if led != nil {
+		item.enq = time.Now()
+		item.queueNs = new(atomic.Int64)
+		encNs = int64(item.enq.Sub(start))
+		led.AddNs(obs.StageEncode, encNs)
+	}
+	// attribute folds the response's stage block plus the client-local
+	// waits into the ledger; wire time is what remains of the call once
+	// encode, queue, server and decode are subtracted out.
+	attribute := func(resp wireResponse) {
+		if led == nil {
+			return
+		}
+		total := int64(time.Since(start))
+		queueNs := item.queueNs.Load()
+		led.AddNs(obs.StageClientQueue, queueNs)
+		led.AddNs(obs.StageDecode, resp.decodeNs)
+		led.AddDeltas(resp.StageIDs, resp.StageNs)
+		led.AddNs(obs.StageNetwork, total-encNs-queueNs-resp.decodeNs-resp.ServeNs)
 	}
 	ch := make(chan wireResponse, 1)
 	if !tc.register(id, ch) {
@@ -517,6 +602,9 @@ func (c *TCPClient) Call(ctx context.Context, addr string, req any) (any, error)
 	}
 	select {
 	case resp, ok := <-ch:
+		if ok {
+			attribute(resp)
+		}
 		return finishCall(addr, resp, ok)
 	case <-ctx.Done():
 		// Deterministic cancellation: whoever removes the pending entry
@@ -530,6 +618,7 @@ func (c *TCPClient) Call(ctx context.Context, addr string, req any) (any, error)
 		if !ok {
 			return nil, ctx.Err()
 		}
+		attribute(resp)
 		return finishCall(addr, resp, true)
 	}
 }
@@ -626,6 +715,7 @@ func (c *TCPClient) writeLoop(addr string, tc *tcpConn) {
 		case <-tc.closed:
 			return
 		}
+		it.noteDequeue()
 		for {
 			bufp := it.bufp
 			if bufp == nil {
@@ -654,12 +744,14 @@ func (c *TCPClient) writeLoop(addr string, tc *tcpConn) {
 			// select handles that; writes to a dead conn just error out.
 			select {
 			case it = <-tc.sendq:
+				it.noteDequeue()
 				continue
 			default:
 			}
 			runtime.Gosched()
 			select {
 			case it = <-tc.sendq:
+				it.noteDequeue()
 				continue
 			default:
 			}

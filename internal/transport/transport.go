@@ -183,10 +183,16 @@ func (b *Bus) sleep(ctx context.Context) error {
 	if d <= 0 {
 		return ctx.Err()
 	}
+	start := time.Now()
 	t := time.NewTimer(d)
 	defer t.Stop()
 	select {
 	case <-t.C:
+		// The simulated one-way delay is this transport's "wire" — charge
+		// the measured wait (not the modeled d: coarse host timers overrun
+		// short sleeps severalfold, and the caller really did wait it out)
+		// to the stage ledger like the TCP path charges real network time.
+		obs.AttributeStage(ctx, obs.StageNetwork, time.Since(start))
 		return nil
 	case <-ctx.Done():
 		return ctx.Err()

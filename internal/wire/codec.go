@@ -97,6 +97,8 @@ const (
 	tTimeHealthResponse
 	tAuditRequest
 	tAuditResponse
+	tTSDBRequest
+	tTSDBResponse
 )
 
 var (
@@ -404,6 +406,14 @@ func appendMessage(b []byte, msg any) ([]byte, error) {
 		return appendAuditResponse(au(b, tAuditResponse), &m), nil
 	case *AuditResponse:
 		return appendAuditResponse(au(b, tAuditResponse), m), nil
+	case TSDBRequest:
+		return appendTSDBRequest(au(b, tTSDBRequest), &m), nil
+	case *TSDBRequest:
+		return appendTSDBRequest(au(b, tTSDBRequest), m), nil
+	case TSDBResponse:
+		return appendTSDBResponse(au(b, tTSDBResponse), &m), nil
+	case *TSDBResponse:
+		return appendTSDBResponse(au(b, tTSDBResponse), m), nil
 	default:
 		return b, transport.ErrUnsupportedType
 	}
@@ -495,6 +505,10 @@ func decMessage(r *reader) (any, error) {
 		v = AuditRequest{}
 	case tAuditResponse:
 		v = decAuditResponse(r)
+	case tTSDBRequest:
+		v = decTSDBRequest(r)
+	case tTSDBResponse:
+		v = decTSDBResponse(r)
 	default:
 		return nil, fmt.Errorf("%w: %d", errUnknownType, id)
 	}
@@ -1032,6 +1046,68 @@ func decAuditResponse(r *reader) AuditResponse {
 		m.Artifacts = make([][]byte, n)
 		for i := range m.Artifacts {
 			m.Artifacts[i] = r.bytes()
+		}
+	}
+	return m
+}
+
+func appendTSDBRequest(b []byte, m *TSDBRequest) []byte {
+	b = aLen(b, len(m.Patterns), m.Patterns == nil)
+	for _, p := range m.Patterns {
+		b = aStr(b, p)
+	}
+	return ai(b, int64(m.LastN))
+}
+
+func decTSDBRequest(r *reader) TSDBRequest {
+	var m TSDBRequest
+	n, isNil := r.length()
+	if !isNil {
+		m.Patterns = make([]string, n)
+		for i := range m.Patterns {
+			m.Patterns[i] = r.str()
+		}
+	}
+	m.LastN = int(r.varint())
+	return m
+}
+
+func appendTSDBResponse(b []byte, m *TSDBResponse) []byte {
+	b = aStr(b, m.Addr)
+	b = ai(b, m.IntervalNs)
+	b = aLen(b, len(m.Series), m.Series == nil)
+	for i := range m.Series {
+		s := &m.Series[i]
+		b = aStr(b, s.Name)
+		b = ai(b, s.Seq)
+		b = ai(b, s.First)
+		b = aLen(b, len(s.Deltas), s.Deltas == nil)
+		for _, d := range s.Deltas {
+			b = ai(b, d)
+		}
+	}
+	return b
+}
+
+func decTSDBResponse(r *reader) TSDBResponse {
+	m := TSDBResponse{Addr: r.str(), IntervalNs: r.varint()}
+	n, isNil := r.length()
+	if isNil {
+		return m
+	}
+	m.Series = make([]obs.SeriesDump, n)
+	for i := range m.Series {
+		s := &m.Series[i]
+		s.Name = r.str()
+		s.Seq = r.varint()
+		s.First = r.varint()
+		dn, dNil := r.length()
+		if dNil {
+			continue
+		}
+		s.Deltas = make([]int64, dn)
+		for j := range s.Deltas {
+			s.Deltas[j] = r.varint()
 		}
 	}
 	return m

@@ -90,6 +90,14 @@ func codecExemplars() []any {
 			WindowsChecked: 3, WindowsSkipped: 4, Convictions: 5, EpsilonViolations: 6,
 			LastCut: ts(60, 3), Artifacts: [][]byte{[]byte("{}")},
 		},
+		TSDBRequest{Patterns: []string{"stage_ledger", "aborts"}, LastN: 30},
+		TSDBResponse{
+			Addr: "n4", IntervalNs: 1e9,
+			Series: []obs.SeriesDump{
+				{Name: "milana_commits_total", Seq: 12, First: 100, Deltas: []int64{5, 0, -1}},
+				{Name: "go_goroutines", Seq: 12, First: 42},
+			},
+		},
 	}
 }
 
@@ -265,6 +273,8 @@ func TestCodecTypeIDsFrozen(t *testing.T) {
 		"wire.TimeHealthResponse":   33,
 		"wire.AuditRequest":         34,
 		"wire.AuditResponse":        35,
+		"wire.TSDBRequest":          36,
+		"wire.TSDBResponse":         37,
 	}
 	for _, m := range registeredMessages() {
 		name := fmt.Sprintf("%T", m)

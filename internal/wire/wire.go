@@ -403,6 +403,24 @@ type AuditResponse struct {
 	Artifacts [][]byte
 }
 
+// TSDBRequest asks a replica for recent samples from its embedded
+// time-series store. Patterns are substring filters over series names (none
+// = every series); LastN caps how many samples each series returns (0 = the
+// full retained window).
+type TSDBRequest struct {
+	Patterns []string
+	LastN    int
+}
+
+// TSDBResponse carries the matching series, delta-encoded exactly as the
+// store keeps them (obs.SeriesDump). IntervalNs is the sampling period, so
+// a consumer can put wall-time on the x axis; zero means no store attached.
+type TSDBResponse struct {
+	Addr       string
+	IntervalNs int64
+	Series     []obs.SeriesDump
+}
+
 // PromoteRequest tells a backup it is now the primary of its shard; it
 // triggers the recovery merge before the new primary serves traffic.
 type PromoteRequest struct{}
@@ -427,6 +445,7 @@ func registeredMessages() []any {
 		StatsRequest{}, StatsResponse{},
 		TraceRequest{}, TraceResponse{}, TimeHealthRequest{}, TimeHealthResponse{},
 		AuditRequest{}, AuditResponse{},
+		TSDBRequest{}, TSDBResponse{},
 	}
 }
 

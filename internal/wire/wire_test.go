@@ -87,6 +87,9 @@ func TestGobRoundTrip(t *testing.T) {
 			Pending: 3, UnknownRetained: 1, WindowsChecked: 4, WindowsSkipped: 2,
 			Convictions: 1, EpsilonViolations: 2, LastCut: ts,
 			Artifacts: [][]byte{[]byte(`{"kind":"conviction"}`)}},
+		TSDBRequest{Patterns: []string{"semel_"}, LastN: 10},
+		TSDBResponse{Addr: "shard0/r0", IntervalNs: 1e9,
+			Series: []obs.SeriesDump{{Name: "semel_watermark_lag_ns", Seq: 3, First: 7, Deltas: []int64{1, -2}}}},
 		StatsRequest{Detailed: true},
 		StatsResponse{Addr: "a", Primary: true, Gets: 5, Watermark: ts,
 			Obs: obs.Snapshot{
