@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check cover audit stress bench benchquick benchcmp benchall
+.PHONY: all build vet test race check cover audit stress crash bench benchquick benchcmp benchall
 
 all: check
 
@@ -21,7 +21,7 @@ race:
 # the packages whose regressions (an unparseable /metrics line, a byte moved
 # in the frozen wire format, a checker that stops finding cycles) otherwise
 # slip through unexercised.
-COVER_PKGS = ./internal/obs ./internal/wire ./internal/faults ./internal/check ./internal/audit ./internal/transport
+COVER_PKGS = ./internal/obs ./internal/wire ./internal/faults ./internal/check ./internal/audit ./internal/transport ./internal/wal
 COVER_MIN  = 70
 cover:
 	$(GO) test -coverprofile=cover.out $(COVER_PKGS)
@@ -42,12 +42,14 @@ audit:
 # check is the PR verify gate: everything must build, vet clean, pass the
 # full test suite under the race detector (which includes a small
 # 2-seed × 3-profile chaos sweep via TestStressChaosSweep and the online
-# audit suite), and hold the coverage floor.
+# audit suite), hold the coverage floor, and survive the crash/durability
+# gate.
 check:
 	$(GO) build ./...
 	$(GO) vet ./...
 	$(GO) test -race ./...
 	$(MAKE) cover
+	$(MAKE) crash
 
 # stress is the seeded chaos sweep: CHAOS_ROUNDS seeds (starting at
 # CHAOS_SEED) × {NTP, PTP-HW, DTP} clock profiles, each run under the race
@@ -61,26 +63,41 @@ stress:
 	CHAOS_SEED=$(CHAOS_SEED) CHAOS_ROUNDS=$(CHAOS_ROUNDS) \
 		$(GO) test -race -timeout 30m -run 'TestStress|TestAudit' -v ./internal/core/
 
+# crash is the durability gate: the whole internal/wal suite under -race —
+# crash-point sweeps at every byte boundary, torn tails, flipped bits, and
+# the FuzzWALReplay seed corpus — then the cold-restart harness
+# (whole-shard amnesia kill, zero lost acked writes), the fsync-skip
+# mutation conviction, and a small kill-enabled chaos sweep that
+# amnesia-kills and recovers every replica while the serializability
+# checker and the lost-ack oracle watch.
+crash:
+	$(GO) test -race ./internal/wal/
+	CHAOS_SEED=$(CHAOS_SEED) CHAOS_ROUNDS=2 \
+		$(GO) test -race -timeout 30m -run 'TestDurabilityColdRestart|TestStressWALFsyncMutationConvicted|TestReplicateDataDupAfterRecoveryIdempotent|TestStressKillChaos' -v ./internal/core/
+
 # bench runs the write/read-path perf scenarios plus the codec
 # microbenchmarks and records the trajectory (ops/sec + p50/p95 from the obs
-# histograms, allocs/op for the micros) in BENCH_7.json. Compare against the
+# histograms, allocs/op for the micros) in BENCH_9.json. Compare against the
 # previous trajectory with `make benchcmp`.
 bench:
-	$(GO) run ./cmd/bench -out BENCH_7.json
+	$(GO) run ./cmd/bench -out BENCH_9.json
 
 # benchquick is the short iteration loop: 1s per scenario, put/multiget TCP
 # scenarios only (the ones the wire codec moves), result left in /tmp so the
-# checked-in trajectory files stay stable. It also runs the observability
-# overhead gate: the per-txn stage ledger plus a live tsdb sampler must cost
-# < 3% of bus transaction throughput versus a fully disabled cluster.
+# checked-in trajectory files stay stable. It also runs the two overhead
+# gates: the per-txn stage ledger plus a live tsdb sampler must cost < 3%
+# of bus transaction throughput versus a fully disabled cluster, and the
+# WAL's log-before-ack path must keep at least 20% of the WAL-off
+# transaction throughput.
 benchquick:
 	$(GO) run ./cmd/bench -dur 1s -only put/,multiget/ -out /tmp/benchquick.json
 	OBS_OVERHEAD_GATE=1 $(GO) test -count=1 -run TestStageOverheadGate -v ./internal/core/
+	WAL_OVERHEAD_GATE=1 $(GO) test -count=1 -run TestWALOverheadGate -v ./internal/core/
 
 # benchcmp prints a benchstat-style before/after table between the last two
 # recorded trajectories.
-OLD_BENCH ?= BENCH_2.json
-NEW_BENCH ?= BENCH_7.json
+OLD_BENCH ?= BENCH_7.json
+NEW_BENCH ?= BENCH_9.json
 benchcmp:
 	$(GO) run ./cmd/bench/compare $(OLD_BENCH) $(NEW_BENCH)
 

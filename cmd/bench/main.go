@@ -1,10 +1,10 @@
 // Command bench runs the write-path and read-path performance benchmarks
-// and emits a JSON perf trajectory (BENCH_7.json by default): ops/sec plus
+// and emits a JSON perf trajectory (BENCH_9.json by default): ops/sec plus
 // p50/p95 service latencies pulled from the obs histograms, so future PRs
 // have concrete numbers to compare against. Compare two trajectory files
 // with `go run ./cmd/bench/compare OLD.json NEW.json`.
 //
-//	go run ./cmd/bench -out BENCH_7.json
+//	go run ./cmd/bench -out BENCH_9.json
 //
 // Scenario groups:
 //
@@ -19,6 +19,10 @@
 //     MFTL with real flash sleeps and a data-center latency model. This
 //     is the end-to-end number; wins here are bounded by the physical
 //     critical path, which neither batching nor encoding can remove.
+//   - wal/unsynced vs wal/synced — the replicated put path on the
+//     in-process bus with and without a durable write-ahead log. The pair
+//     differs only in the WAL append + group fsync under every ack, so the
+//     ratio is the end-to-end price of crash durability (log-before-ack).
 //   - multiget/serial vs multiget/parallel — snapshot reads of 16 keys per
 //     call over loopback TCP against DRAM, so the RPC path is the cost.
 //     multiget/gob forces gob frames on the parallel harness (the codec
@@ -75,7 +79,7 @@ type report struct {
 var debug = flag.Bool("debug", false, "dump merged metric snapshots after each scenario")
 
 func main() {
-	out := flag.String("out", "BENCH_7.json", "output JSON path")
+	out := flag.String("out", "BENCH_9.json", "output JSON path")
 	dur := flag.Duration("dur", 3*time.Second, "measured duration per scenario")
 	conc := flag.Int("conc", 64, "concurrent clients (>= 8 for the acceptance numbers)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile covering every scenario to this file (go tool pprof)")
@@ -153,6 +157,20 @@ func main() {
 		record(runPut("put/batched-flash", flashPutOptions(false), *conc, *dur, "replication batcher on, MFTL + RealSleeper + DC latency"))
 	}
 	ratio("batching win", "put/unbatched-flash", "put/batched-flash")
+
+	fmt.Printf("wal durability (DRAM, in-process bus; what log-before-ack costs), conc=%d:\n", *conc)
+	if want("wal/unsynced") {
+		record(runPut("wal/unsynced", walPutOptions(""), *conc, *dur, "no WAL: acks leave memory only (an amnesia kill loses them)"))
+	}
+	if want("wal/synced") {
+		walRoot, err := os.MkdirTemp("", "bench-wal-")
+		if err != nil {
+			fatal(err)
+		}
+		record(runPut("wal/synced", walPutOptions(walRoot), *conc, *dur, "segmented WAL, group fsync, log-before-ack on every replica"))
+		_ = os.RemoveAll(walRoot)
+	}
+	ratio("wal cost", "wal/unsynced", "wal/synced")
 
 	fmt.Printf("multiget fan-out (DRAM over loopback TCP, 16 keys per call), conc=%d:\n", *conc)
 	if want("multiget/serial") {
@@ -491,6 +509,24 @@ func flashPutOptions(disableBatch bool) core.ClusterOptions {
 		// per-channel queueing and staggered pack timers.
 		ReplBatch: semel.BatchOptions{Disabled: disableBatch, Workers: 64, MaxOps: benchGeometry().Channels},
 		Seed:      7,
+	}
+}
+
+// walPutOptions pits the same DRAM bus cluster with and without a durable
+// log: the only difference between the pair is the WAL append + group fsync
+// on every acknowledged operation, so the synced/unsynced ratio is the
+// honest price of crash durability. Checkpoints are pushed out far enough
+// that none lands inside the measured window.
+func walPutOptions(walRoot string) core.ClusterOptions {
+	return core.ClusterOptions{
+		Shards:              1,
+		Replicas:            3,
+		Backend:             core.BackendDRAM,
+		LeaseDuration:       -1,
+		AntiEntropyInterval: -1,
+		WALRoot:             walRoot,
+		CheckpointEvery:     1 << 20,
+		Seed:                7,
 	}
 }
 

@@ -45,7 +45,7 @@ func main() {
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
-		fmt.Fprintln(os.Stderr, "usage: milctl [flags] get|put|del|txn|stats|trace|timehealth|audit|top|history ...")
+		fmt.Fprintln(os.Stderr, "usage: milctl [flags] get|put|del|txn|stats|trace|timehealth|walstatus|audit|top|history ...")
 		os.Exit(2)
 	}
 
@@ -178,6 +178,34 @@ func main() {
 					time.Duration(th.Clock.OffsetNs), time.Duration(th.Clock.ResidualNs),
 					time.Duration(th.Clock.DriftNs), time.Duration(th.Clock.UncertaintyNs),
 					time.Duration(th.WatermarkLagNs))
+			}
+		}
+	case "walstatus":
+		fmt.Printf("%-20s %-8s %12s %12s %12s %9s %10s %14s %12s\n",
+			"replica", "wal", "appended", "durable", "checkpoint", "segments", "fsyncs", "replay recs", "replay time")
+		for i := 0; i < dir.NumShards(); i++ {
+			rs, err := dir.Shard(cluster.ShardID(i))
+			exitOn(err)
+			for _, addr := range rs.Replicas() {
+				resp, err := net.Call(ctx, addr, wire.WALStatusRequest{})
+				if err != nil {
+					fmt.Printf("%-20s unreachable: %v\n", addr, err)
+					continue
+				}
+				ws, ok := resp.(wire.WALStatusResponse)
+				if !ok {
+					fmt.Printf("%-20s error: unexpected reply %T\n", addr, resp)
+					continue
+				}
+				if !ws.Enabled {
+					fmt.Printf("%-20s %-8s (DRAM-only: an amnesia kill loses acked state)\n", ws.Addr, "off")
+					continue
+				}
+				fmt.Printf("%-20s %-8s %12d %12d %12d %9d %10d %14d %12v\n",
+					ws.Addr, "on",
+					ws.AppendedLSN, ws.DurableLSN, ws.CheckpointLSN,
+					ws.Segments, ws.Fsyncs,
+					ws.ReplayRecords, time.Duration(ws.ReplayNs))
 			}
 		}
 	case "stats":

@@ -33,6 +33,7 @@ import (
 	"repro/internal/semel"
 	"repro/internal/storage"
 	"repro/internal/transport"
+	"repro/internal/wal"
 )
 
 func main() {
@@ -51,6 +52,10 @@ func main() {
 		auditSample  = flag.Float64("audit-sample", 0, "online-audit window sampling rate in [0,1]; 0 disables the auditor")
 		auditEpsilon = flag.Duration("audit-epsilon", 500*time.Microsecond, "commit-wait bound epsilon assumed by the auditor's receive-timestamp invariant monitor")
 		auditDir     = flag.String("audit-dir", "", "directory for anomaly flight-recorder artifacts (empty keeps them in memory only)")
+
+		walDir    = flag.String("wal-dir", "", "directory for the durable write-ahead log; empty runs without one (DRAM-only, no cold-restart recovery)")
+		walSeg    = flag.Int64("wal-segment-bytes", 0, "rotate WAL segments past this size (0 = 4 MiB)")
+		ckptEvery = flag.Int("checkpoint-every", 0, "WAL records between checkpoints (0 = 1024, negative disables checkpointing)")
 
 		tsdbInterval = flag.Duration("tsdb-interval", time.Second, "embedded time-series store sampling period")
 		tsdbWindow   = flag.Int("tsdb-window", 900, "samples retained per series (window = interval × this)")
@@ -111,6 +116,15 @@ func main() {
 		SkewWindow:           *skewWin,
 		Metrics:              reg,
 		CommitWait:           *commitWait,
+		CheckpointEvery:      *ckptEvery,
+	}
+	if *walDir != "" {
+		w, err := wal.Open(wal.Options{Dir: *walDir, SegmentBytes: *walSeg, Metrics: reg})
+		if err != nil {
+			log.Fatalf("semeld: opening WAL: %v", err)
+		}
+		defer w.Close()
+		opts.Log = w
 	}
 	// The embedded time-series store samples the registry once per interval
 	// (including Go runtime health) and runs the default regression watchdog

@@ -33,6 +33,7 @@ import (
 	"repro/internal/semel"
 	"repro/internal/storage"
 	"repro/internal/transport"
+	"repro/internal/wal"
 )
 
 // Backend kinds accepted by ClusterOptions.
@@ -112,6 +113,15 @@ type ClusterOptions struct {
 	// CommitWait makes every primary hold prepares until its clock clears
 	// the commit timestamp plus this bound (see semel.ServerOptions).
 	CommitWait time.Duration
+	// WALRoot, when set, gives every replica a durable write-ahead log in
+	// its own directory under this root (created if missing): acknowledged
+	// state changes survive amnesia-kills, and KillServer/RestartServer
+	// become available. Empty disables durability — a killed replica then
+	// recovers only what its peers can re-teach it.
+	WALRoot string
+	// CheckpointEvery is passed to every server (see
+	// semel.ServerOptions.CheckpointEvery). Only meaningful with WALRoot.
+	CheckpointEvery int
 }
 
 // Cluster is an embedded SEMEL/MILANA deployment.
@@ -126,12 +136,26 @@ type Cluster struct {
 	Source  clock.Source
 	servers map[string]*semel.Server
 	devices map[string]*flash.Device
+	wals    map[string]*wal.WAL
+	slots   map[string]*replicaSlot
 	auditor *audit.Auditor
 
 	mu        sync.Mutex
 	rng       *rand.Rand
 	clocks    []*clock.Skewed
 	syncStops []func()
+}
+
+// replicaSlot remembers everything needed to rebuild a replica after an
+// amnesia-kill: its coordinates, its clock (a clock survives a process
+// restart — it is the node's oscillator, not program state), its skew
+// window, its fault-wrapped network, and its WAL directory.
+type replicaSlot struct {
+	shard, replica int
+	clock          clock.Clock
+	skewWindow     time.Duration
+	net            transport.Client
+	walDir         string
 }
 
 // Addr names replica r of shard s.
@@ -168,6 +192,8 @@ func NewCluster(opt ClusterOptions) (*Cluster, error) {
 		Source:  clock.NewSystemSource(),
 		servers: make(map[string]*semel.Server),
 		devices: make(map[string]*flash.Device),
+		wals:    make(map[string]*wal.WAL),
+		slots:   make(map[string]*replicaSlot),
 		rng:     rand.New(rand.NewSource(opt.Seed + 1)),
 	}
 	c.Bus.SetMetrics(c.Obs)
@@ -221,20 +247,13 @@ func NewCluster(opt ClusterOptions) (*Cluster, error) {
 	for s := 0; s < opt.Shards; s++ {
 		for r := 0; r < opt.Replicas; r++ {
 			addr := Addr(s, r)
-			backend, dev, err := c.newBackend()
-			if err != nil {
-				c.Close()
-				return nil, err
-			}
-			if dev != nil {
-				c.devices[addr] = dev
-			}
 			var srvClock clock.Clock = clock.NewPerfect(c.Source, serverID)
 			if opt.SkewServers && opt.ClockProfile.MeanAbsOffset > 0 {
 				sk := opt.ClockProfile.NewDisciplinedClock(c.Source, serverID, c.rng)
 				c.clocks = append(c.clocks, sk) // synchronizer disciplines it
 				srvClock = sk
 			}
+			serverID++
 			var skewWindow time.Duration
 			if opt.ClockProfile.MeanAbsOffset > 0 {
 				// Two independently disciplined clocks can disagree by up to
@@ -246,35 +265,76 @@ func NewCluster(opt ClusterOptions) (*Cluster, error) {
 			if opt.NetWrapper != nil {
 				net = opt.NetWrapper(addr, c.Bus)
 			}
-			srv, err := semel.NewServer(semel.ServerOptions{
-				Addr:                 addr,
-				Shard:                cluster.ShardID(s),
-				Primary:              r == 0,
-				Backend:              backend,
-				Net:                  net,
-				Dir:                  dir,
-				Clock:                srvClock,
-				LeaseDuration:        opt.LeaseDuration,
-				PreparedTimeout:      opt.PreparedTimeout,
-				AntiEntropyInterval:  opt.AntiEntropyInterval,
-				ReplBatch:            opt.ReplBatch,
-				SerialReads:          opt.SerialReads,
-				SkewWindow:           skewWindow,
-				SlowRequestThreshold: opt.SlowRequestThreshold,
-				Auditor:              c.auditor,
-				CommitWait:           opt.CommitWait,
-			})
-			if err != nil {
+			slot := &replicaSlot{shard: s, replica: r, clock: srvClock, skewWindow: skewWindow, net: net}
+			if opt.WALRoot != "" {
+				slot.walDir = fmt.Sprintf("%s/shard%d-r%d", opt.WALRoot, s, r)
+			}
+			c.slots[addr] = slot
+			if err := c.startServer(addr, slot, r == 0); err != nil {
 				c.Close()
 				return nil, err
 			}
-			serverID++
-			c.servers[addr] = srv
-			c.Bus.Register(addr, srv)
 		}
 	}
 	c.auditor.Start() // nil-safe: no-op when auditing is off
 	return c, nil
+}
+
+// startServer builds one replica — fresh backend, reopened WAL, new
+// semel.Server (which replays the WAL inside NewServer) — and registers it
+// on the bus. Shared by cluster construction and RestartServer.
+func (c *Cluster) startServer(addr string, slot *replicaSlot, primary bool) error {
+	backend, dev, err := c.newBackend()
+	if err != nil {
+		return err
+	}
+	var w *wal.WAL
+	var reg *obs.Registry
+	if slot.walDir != "" {
+		reg = obs.NewRegistry()
+		w, err = wal.Open(wal.Options{Dir: slot.walDir, Metrics: reg})
+		if err != nil {
+			return fmt.Errorf("core: opening WAL for %s: %w", addr, err)
+		}
+	}
+	srv, err := semel.NewServer(semel.ServerOptions{
+		Addr:                 addr,
+		Shard:                cluster.ShardID(slot.shard),
+		Primary:              primary,
+		Backend:              backend,
+		Net:                  slot.net,
+		Dir:                  c.Dir,
+		Clock:                slot.clock,
+		LeaseDuration:        c.opt.LeaseDuration,
+		PreparedTimeout:      c.opt.PreparedTimeout,
+		AntiEntropyInterval:  c.opt.AntiEntropyInterval,
+		ReplBatch:            c.opt.ReplBatch,
+		SerialReads:          c.opt.SerialReads,
+		SkewWindow:           slot.skewWindow,
+		SlowRequestThreshold: c.opt.SlowRequestThreshold,
+		Auditor:              c.auditor,
+		CommitWait:           c.opt.CommitWait,
+		Metrics:              reg,
+		Log:                  w,
+		CheckpointEvery:      c.opt.CheckpointEvery,
+	})
+	if err != nil {
+		if w != nil {
+			_ = w.Close()
+		}
+		return err
+	}
+	c.mu.Lock()
+	if dev != nil {
+		c.devices[addr] = dev
+	}
+	if w != nil {
+		c.wals[addr] = w
+	}
+	c.servers[addr] = srv
+	c.mu.Unlock()
+	c.Bus.Register(addr, srv)
+	return nil
 }
 
 // minWatermark is the cluster-wide replication watermark: the minimum over
@@ -284,7 +344,7 @@ func NewCluster(opt ClusterOptions) (*Cluster, error) {
 func (c *Cluster) minWatermark() clock.Timestamp {
 	var wm clock.Timestamp
 	first := true
-	for _, s := range c.servers {
+	for _, s := range c.liveServers() {
 		w := s.Watermark()
 		if w.IsZero() {
 			return clock.Timestamp{}
@@ -300,7 +360,7 @@ func (c *Cluster) minWatermark() clock.Timestamp {
 // address, skewed client/server clocks by ID (flight-recorder context).
 func (c *Cluster) clockHealthSnapshot() map[string]clock.Health {
 	out := make(map[string]clock.Health)
-	for addr, s := range c.servers {
+	for addr, s := range c.liveServers() {
 		out[addr] = s.TimeHealth().Clock
 	}
 	for _, sk := range c.Clocks() {
@@ -313,8 +373,20 @@ func (c *Cluster) clockHealthSnapshot() map[string]clock.Health {
 // replica's span ring.
 func (c *Cluster) spansForTrace(traceID uint64) []obs.SpanRecord {
 	var out []obs.SpanRecord
-	for _, s := range c.servers {
+	for _, s := range c.liveServers() {
 		out = append(out, s.Spans().ForTrace(traceID)...)
+	}
+	return out
+}
+
+// liveServers snapshots the currently running servers (replicas killed by
+// KillServer are absent until restarted).
+func (c *Cluster) liveServers() map[string]*semel.Server {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]*semel.Server, len(c.servers))
+	for a, s := range c.servers {
+		out[a] = s
 	}
 	return out
 }
@@ -432,7 +504,7 @@ func (c *Cluster) StartSynchronizer() func() {
 // StatsResponse.Obs from every replica.
 func (c *Cluster) MergedSnapshot() obs.Snapshot {
 	snap := c.Obs.Snapshot()
-	for _, s := range c.servers {
+	for _, s := range c.liveServers() {
 		snap.Merge(s.Metrics().Snapshot())
 	}
 	return snap
@@ -478,15 +550,24 @@ func (c *Cluster) Clocks() []*clock.Skewed {
 	return append([]*clock.Skewed(nil), c.clocks...)
 }
 
-// Server returns the replica at addr (tests and experiment drivers).
-func (c *Cluster) Server(addr string) *semel.Server { return c.servers[addr] }
+// Server returns the replica at addr (tests and experiment drivers); nil
+// while the replica is killed.
+func (c *Cluster) Server(addr string) *semel.Server {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.servers[addr]
+}
 
 // Device returns the flash device backing addr, if any.
-func (c *Cluster) Device(addr string) *flash.Device { return c.devices[addr] }
+func (c *Cluster) Device(addr string) *flash.Device {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.devices[addr]
+}
 
 // Backend returns the storage backend of the replica at addr.
 func (c *Cluster) Backend(addr string) storage.Backend {
-	if s := c.servers[addr]; s != nil {
+	if s := c.Server(addr); s != nil {
 		return s.Backend()
 	}
 	return nil
@@ -507,7 +588,7 @@ func (c *Cluster) KillPrimary(ctx context.Context, shard cluster.ShardID) (strin
 	if err != nil {
 		return "", err
 	}
-	srv := c.servers[promoted]
+	srv := c.Server(promoted)
 	if srv == nil {
 		return "", fmt.Errorf("core: promoted server %q not found", promoted)
 	}
@@ -517,7 +598,72 @@ func (c *Cluster) KillPrimary(ctx context.Context, shard cluster.ShardID) (strin
 	return promoted, nil
 }
 
-// Close shuts down the auditor, every server, and the bus.
+// KillServer amnesia-kills the replica at addr: the process dies taking
+// every in-memory structure with it — backend contents, transaction table,
+// OCC metadata, lease state, and any WAL appends not yet fsynced (the log
+// is killed, not closed: buffered records are dropped exactly as a power
+// cut would drop them). Only the WAL directory survives. The address stops
+// answering until RestartServer. Requires WALRoot (without a log there is
+// nothing for a restart to recover from — use KillPrimary for fail-stop
+// failover instead).
+func (c *Cluster) KillServer(addr string) error {
+	c.mu.Lock()
+	srv := c.servers[addr]
+	w := c.wals[addr]
+	c.mu.Unlock()
+	if srv == nil {
+		return fmt.Errorf("core: no live server at %q", addr)
+	}
+	if w == nil {
+		return fmt.Errorf("core: %s has no WAL; amnesia-kill requires ClusterOptions.WALRoot", addr)
+	}
+	c.Bus.SetDown(addr, true)
+	w.Kill() // drop unsynced appends first: in-flight acks must not sneak to disk
+	srv.Close()
+	c.mu.Lock()
+	delete(c.servers, addr)
+	delete(c.devices, addr)
+	delete(c.wals, addr)
+	c.mu.Unlock()
+	return nil
+}
+
+// RestartServer cold-starts a previously killed replica: fresh backend,
+// WAL reopened from the surviving directory, and a new server whose
+// constructor replays checkpoint + log before serving. The replica resumes
+// the role the directory currently assigns it (a failover may have deposed
+// it while dead).
+func (c *Cluster) RestartServer(addr string) error {
+	c.mu.Lock()
+	_, alive := c.servers[addr]
+	slot := c.slots[addr]
+	c.mu.Unlock()
+	if alive {
+		return fmt.Errorf("core: %s is already running", addr)
+	}
+	if slot == nil {
+		return fmt.Errorf("core: unknown replica %q", addr)
+	}
+	primary := false
+	if p, err := c.Dir.Primary(cluster.ShardID(slot.shard)); err == nil {
+		primary = p == addr
+	}
+	if err := c.startServer(addr, slot, primary); err != nil {
+		return err
+	}
+	c.Bus.SetDown(addr, false)
+	return nil
+}
+
+// WAL returns the live write-ahead log of the replica at addr (nil when
+// durability is off or the replica is currently dead).
+func (c *Cluster) WAL(addr string) *wal.WAL {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.wals[addr]
+}
+
+// Close shuts down the auditor, every server, every WAL, and the bus.
 func (c *Cluster) Close() {
 	c.auditor.Close() // nil-safe
 	c.mu.Lock()
@@ -527,8 +673,15 @@ func (c *Cluster) Close() {
 	for _, stop := range stops {
 		stop()
 	}
-	for _, s := range c.servers {
+	for _, s := range c.liveServers() {
 		s.Close()
+	}
+	c.mu.Lock()
+	wals := c.wals
+	c.wals = make(map[string]*wal.WAL)
+	c.mu.Unlock()
+	for _, w := range wals {
+		_ = w.Close()
 	}
 	c.Bus.Close()
 }

@@ -1,0 +1,610 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/check"
+	"repro/internal/clock"
+	"repro/internal/faults"
+	"repro/internal/milana"
+	"repro/internal/wire"
+)
+
+// TestStressKillChaos is the kill-enabled chaos sweep: on top of the
+// probabilistic message faults and structural chaos of TestStressChaosSweep,
+// the chaos driver amnesia-kills replicas — the process dies, every
+// in-memory structure is lost, only the WAL directory survives — and
+// cold-restarts them mid-workload. After the random phase, a deterministic
+// rotation kills and recovers any replica chaos spared, so every run
+// amnesia-kills and recovers every replica at least once. The run must end
+// with money conserved, a serializable history, and zero lost acknowledged
+// writes. Environment knobs as in TestStressChaosSweep (CHAOS_SEED /
+// CHAOS_ROUNDS); a failing seed prints its replay command.
+func TestStressKillChaos(t *testing.T) {
+	if testing.Short() {
+		t.Skip("kill-chaos sweep skipped in -short mode")
+	}
+	base, rounds := chaosEnv(t, 1, 1)
+	profiles := []clock.Profile{clock.NTP, clock.PTPHardware, clock.DTP}
+	for i := 0; i < rounds; i++ {
+		seed := base + int64(i)
+		for _, p := range profiles {
+			p := p
+			t.Run(fmt.Sprintf("seed=%d/%s", seed, p.Name), func(t *testing.T) {
+				killChaosRound(t, seed, p)
+			})
+		}
+	}
+}
+
+func killChaosRound(t *testing.T, seed int64, profile clock.Profile) {
+	const (
+		accounts = 8
+		initial  = 100
+		workers  = 3
+		shards   = 2
+		replicas = 3
+	)
+	in := faults.New(faults.Options{
+		Seed:         seed,
+		PDropRequest: 0.02,
+		PDropReply:   0.02,
+		PDuplicate:   0.03,
+		PDelay:       0.05,
+		MaxDelay:     2 * time.Millisecond,
+	})
+	c := newTestCluster(t, ClusterOptions{
+		Shards: shards, Replicas: replicas,
+		ClockProfile:    profile,
+		SkewServers:     true,
+		LeaseDuration:   40 * time.Millisecond,
+		PreparedTimeout: 150 * time.Millisecond,
+		Seed:            seed,
+		NetWrapper:      in.Wrap,
+		WALRoot:         t.TempDir(),
+		CheckpointEvery: 64, // small, so kills land between checkpoints too
+	})
+	ctx := context.Background()
+	acct := func(i int) []byte { return []byte(fmt.Sprintf("acct:%d", i)) }
+	ctrKey := func(w int) []byte { return []byte(fmt.Sprintf("ctr:%d", w)) }
+	hist := check.NewHistory()
+
+	// Fund the accounts before faults are armed.
+	in.SetEnabled(false)
+	setup := c.NewTxnClient(100)
+	setup.SetHistory(hist)
+	setup.SyncDecisions = true
+	if err := setup.RunTransaction(ctx, func(tx *milana.Txn) error {
+		for i := 0; i < accounts; i++ {
+			if err := tx.Put(acct(i), []byte(strconv.Itoa(initial))); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	in.SetEnabled(true)
+
+	// Each worker transfers between random accounts and, in the same
+	// transaction, bumps a private counter key to its attempt number. A
+	// committed (acknowledged) transfer therefore leaves a monotone receipt:
+	// after the run, ctr:w must read at least the last acknowledged attempt,
+	// or an acked write was lost across an amnesia restart. (The check runs
+	// only on the final quiesced audit — mid-run reads may legitimately see
+	// older snapshots under chaos clock steps.)
+	var (
+		stop      atomic.Bool
+		wg        sync.WaitGroup
+		transfers atomic.Int64
+		unknowns  atomic.Int64
+	)
+	acked := make([]int64, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			txc := c.NewTxnClient(uint32(w + 1))
+			txc.SetHistory(hist)
+			r := rand.New(rand.NewSource(seed*100 + int64(w)))
+			for attempt := int64(1); !stop.Load(); attempt++ {
+				from, to := r.Intn(accounts), r.Intn(accounts)
+				if from == to {
+					continue
+				}
+				wrote := false
+				tctx, cancel := context.WithTimeout(ctx, time.Second)
+				err := txc.RunTransaction(tctx, func(tx *milana.Txn) error {
+					wrote = false
+					fb, _, err := tx.Get(tctx, acct(from))
+					if err != nil {
+						return err
+					}
+					tb, _, err := tx.Get(tctx, acct(to))
+					if err != nil {
+						return err
+					}
+					f, _ := strconv.Atoi(string(fb))
+					g, _ := strconv.Atoi(string(tb))
+					if f < 5 {
+						return nil // read-only commit: no counter receipt
+					}
+					if err := tx.Put(acct(from), []byte(strconv.Itoa(f-5))); err != nil {
+						return err
+					}
+					if err := tx.Put(acct(to), []byte(strconv.Itoa(g+5))); err != nil {
+						return err
+					}
+					wrote = true
+					return tx.Put(ctrKey(w), []byte(strconv.FormatInt(attempt, 10)))
+				})
+				cancel()
+				switch {
+				case err == nil:
+					transfers.Add(1)
+					if wrote {
+						atomic.StoreInt64(&acked[w], attempt)
+					}
+				case errors.Is(err, milana.ErrUnknown):
+					unknowns.Add(1)
+				}
+			}
+		}(w)
+	}
+
+	groups := make([][]string, shards)
+	for s := 0; s < shards; s++ {
+		for r := 0; r < replicas; r++ {
+			groups[s] = append(groups[s], Addr(s, r))
+		}
+	}
+	maxStep := 2 * profile.Epsilon()
+	if maxStep < 200*time.Microsecond {
+		maxStep = 200 * time.Microsecond
+	}
+	var killMu sync.Mutex
+	kills := make(map[string]int)
+	ch := faults.NewChaos(in, faults.ChaosOptions{
+		Seed:         seed,
+		Groups:       groups,
+		Clocks:       c.Clocks(),
+		MaxClockStep: maxStep,
+		Tick:         5 * time.Millisecond,
+		Kill: func(n string) error {
+			if err := c.KillServer(n); err != nil {
+				return err
+			}
+			killMu.Lock()
+			kills[n]++
+			killMu.Unlock()
+			return nil
+		},
+		Revive: c.RestartServer,
+	})
+	ch.Start()
+	time.Sleep(400 * time.Millisecond)
+	ch.Stop() // revives every killed replica through RestartServer
+
+	fail := func(format string, args ...any) {
+		t.Logf("replay: CHAOS_SEED=%d CHAOS_ROUNDS=1 go test -race -run 'TestStressKillChaos/seed=%d/%s' ./internal/core/", seed, seed, profile.Name)
+		t.Logf("injector: %+v", in.Stats())
+		t.Logf("chaos schedule: %v", ch.Log())
+		t.Fatalf(format, args...)
+	}
+
+	// Deterministic rotation: any replica the random schedule spared is
+	// killed and recovered now, one at a time (quorums stay live), with the
+	// workload still running against it.
+	for s := 0; s < shards; s++ {
+		for r := 0; r < replicas; r++ {
+			addr := Addr(s, r)
+			killMu.Lock()
+			seen := kills[addr]
+			killMu.Unlock()
+			if seen > 0 {
+				continue
+			}
+			if err := c.KillServer(addr); err != nil {
+				fail("rotation kill %s: %v", addr, err)
+			}
+			killMu.Lock()
+			kills[addr]++
+			killMu.Unlock()
+			time.Sleep(20 * time.Millisecond)
+			if err := c.RestartServer(addr); err != nil {
+				fail("rotation restart %s: %v", addr, err)
+			}
+		}
+	}
+
+	in.Quiesce()
+	stop.Store(true)
+	wg.Wait()
+
+	// Settle: audit until conservation holds.
+	auditor := c.NewTxnClient(50)
+	auditor.SetHistory(hist)
+	deadline := time.Now().Add(15 * time.Second)
+	var total int
+	var lastErr error
+	for {
+		total = 0
+		actx, cancel := context.WithTimeout(ctx, 2*time.Second)
+		lastErr = auditor.RunTransaction(actx, func(tx *milana.Txn) error {
+			total = 0
+			for i := 0; i < accounts; i++ {
+				raw, found, err := tx.Get(actx, acct(i))
+				if err != nil {
+					return err
+				}
+				if !found {
+					return fmt.Errorf("account %d missing after kill-chaos", i)
+				}
+				n, _ := strconv.Atoi(string(raw))
+				total += n
+			}
+			return nil
+		})
+		cancel()
+		if lastErr == nil && total == accounts*initial {
+			break
+		}
+		if time.Now().After(deadline) {
+			fail("money not conserved after kill-chaos: total=%d want=%d err=%v (%d transfers, %d unknown, kills=%v)",
+				total, accounts*initial, lastErr, transfers.Load(), unknowns.Load(), kills)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+
+	// Zero lost acknowledged writes: each worker's counter must read at
+	// least its last acknowledged attempt, across every amnesia restart.
+	// Like conservation above, this settles: a worker's last commits were
+	// acknowledged on collected votes with the decision delivered
+	// asynchronously, so the final counter write may sit in-doubt until a
+	// CTP sweep terminates it — not lost, just not yet applied. A write
+	// still below its acked attempt at the deadline IS lost.
+	deadline = time.Now().Add(15 * time.Second)
+	for {
+		actx, cancel := context.WithTimeout(ctx, 2*time.Second)
+		err := auditor.RunTransaction(actx, func(tx *milana.Txn) error {
+			for w := 0; w < workers; w++ {
+				want := atomic.LoadInt64(&acked[w])
+				if want == 0 {
+					continue
+				}
+				raw, found, err := tx.Get(actx, ctrKey(w))
+				if err != nil {
+					return err
+				}
+				if !found {
+					return fmt.Errorf("worker %d: acked counter missing entirely (last ack %d)", w, want)
+				}
+				got, _ := strconv.ParseInt(string(raw), 10, 64)
+				if got < want {
+					return fmt.Errorf("worker %d: lost acknowledged write: counter=%d, acked=%d", w, got, want)
+				}
+			}
+			return nil
+		})
+		cancel()
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			fail("durability audit failed: %v", err)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+
+	rep := check.Serializability(hist.Txns())
+	if !rep.Serializable {
+		fail("history not serializable: %v", rep)
+	}
+
+	// Every replica was amnesia-killed at least once (rotation guarantees
+	// it); its restart must have been a real WAL replay.
+	var replayed int64
+	for addr, n := range kills {
+		if n == 0 {
+			fail("replica %s was never amnesia-killed", addr)
+		}
+		resp, err := c.Bus.Call(ctx, addr, wire.WALStatusRequest{})
+		if err != nil {
+			fail("WAL status %s: %v", addr, err)
+		}
+		st := resp.(wire.WALStatusResponse)
+		if !st.Enabled {
+			fail("replica %s reports WAL disabled", addr)
+		}
+		replayed += st.ReplayRecords
+	}
+	if replayed == 0 {
+		fail("no replica replayed a single WAL record; recovery never exercised")
+	}
+
+	com, abt, unk := hist.Outcomes()
+	t.Logf("%s seed=%d: %v; outcomes committed=%d aborted=%d unknown=%d; kills=%v replayed=%d; faults=%+v",
+		profile.Name, seed, rep, com, abt, unk, kills, replayed, in.Stats())
+	if transfers.Load() == 0 {
+		fail("no transfer ever committed; chaos too aggressive to be meaningful")
+	}
+}
+
+// coldRestartHarness commits acknowledged increments against a WAL-backed
+// shard, amnesia-kills every replica at once (nothing survives but the WAL
+// directories), cold-restarts them, and returns the recovered counter value
+// against the acknowledged one. TestDurabilityColdRestart demands equality;
+// TestStressWALFsyncMutationConvicted plants the fsync-skipping bug and
+// demands the same harness convict it.
+func coldRestartHarness(t *testing.T, skipFsync bool) (got, want int) {
+	t.Helper()
+	const (
+		replicas   = 3
+		increments = 24
+	)
+	ckptEvery := 8 // exercise checkpoint + segment GC during the run
+	if skipFsync {
+		ckptEvery = -1 // a checkpoint would launder the unsynced records to disk
+	}
+	c := newTestCluster(t, ClusterOptions{
+		Shards: 1, Replicas: replicas,
+		PreparedTimeout: 150 * time.Millisecond,
+		WALRoot:         t.TempDir(),
+		CheckpointEvery: ckptEvery,
+	})
+	if skipFsync {
+		for r := 0; r < replicas; r++ {
+			c.Server(Addr(0, r)).MutateSkipWALFsync(true)
+		}
+	}
+	ctx := context.Background()
+	key := []byte("durable:ctr")
+
+	txc := c.NewTxnClient(1)
+	txc.SyncDecisions = true
+	for i := 0; i < increments; i++ {
+		if err := txc.RunTransaction(ctx, func(tx *milana.Txn) error {
+			raw, _, err := tx.Get(ctx, key)
+			if err != nil {
+				return err
+			}
+			n, _ := strconv.Atoi(string(raw))
+			return tx.Put(key, []byte(strconv.Itoa(n+1)))
+		}); err != nil {
+			t.Fatalf("increment %d not acknowledged: %v", i, err)
+		}
+	}
+
+	// Whole-shard amnesia: every replica dies before any restarts, so
+	// recovery can only come from the logs.
+	for r := 0; r < replicas; r++ {
+		if err := c.KillServer(Addr(0, r)); err != nil {
+			t.Fatalf("kill %s: %v", Addr(0, r), err)
+		}
+	}
+	for r := 0; r < replicas; r++ {
+		if err := c.RestartServer(Addr(0, r)); err != nil {
+			t.Fatalf("restart %s: %v", Addr(0, r), err)
+		}
+	}
+
+	// Read back through the normal path (the restarted primary re-acquires
+	// its leases on demand; give it a moment under load).
+	sc := c.NewSemelClient(9)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		raw, _, found, err := sc.Get(ctx, key)
+		if err == nil {
+			if found {
+				got, _ = strconv.Atoi(string(raw))
+			}
+			return got, increments
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("cluster never served a read after whole-shard restart: %v", err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestDurabilityColdRestart is the deterministic durability statement: every
+// acknowledged write survives amnesia-killing the entire shard — all three
+// replicas at once, nothing left but WAL directories — and cold-starting it
+// from checkpoint + log replay.
+func TestDurabilityColdRestart(t *testing.T) {
+	got, want := coldRestartHarness(t, false)
+	if got != want {
+		t.Fatalf("lost acknowledged writes across whole-shard amnesia restart: counter=%d want=%d", got, want)
+	}
+}
+
+// TestStressWALFsyncMutationConvicted is the mutation test for the
+// durability harness itself: with the commit-record fsync deliberately
+// skipped on every replica (records buffered, never forced to disk), the
+// identical kill-and-recover harness MUST observe a lost acknowledged
+// write. If it doesn't, the harness cannot convict a durability bug and is
+// vacuous.
+func TestStressWALFsyncMutationConvicted(t *testing.T) {
+	got, want := coldRestartHarness(t, true)
+	if got >= want {
+		t.Fatalf("fsync-skipping mutation not convicted: counter=%d of %d acked survived whole-shard amnesia kill", got, want)
+	}
+	t.Logf("convicted: counter=%d after restart, %d increments were acknowledged", got, want)
+}
+
+// TestReplicateDataDupAfterRecoveryIdempotent is the regression test for
+// duplicate delivery straddling a crash: a ReplicateData the backup already
+// applied (and logged, and replayed at cold start) is re-delivered by the
+// network after recovery. The re-send must be acknowledged and must not
+// double-apply — no new version, latest unchanged.
+func TestReplicateDataDupAfterRecoveryIdempotent(t *testing.T) {
+	c := newTestCluster(t, ClusterOptions{
+		Shards: 1, Replicas: 3,
+		PreparedTimeout: 150 * time.Millisecond,
+		WALRoot:         t.TempDir(),
+	})
+	ctx := context.Background()
+	key := []byte("dup:k")
+
+	txc := c.NewTxnClient(1)
+	txc.SyncDecisions = true
+	for _, v := range []string{"v1", "v2"} {
+		v := v
+		if err := txc.RunTransaction(ctx, func(tx *milana.Txn) error {
+			return tx.Put(key, []byte(v))
+		}); err != nil {
+			t.Fatalf("put %s: %v", v, err)
+		}
+	}
+
+	backup := Addr(0, 1)
+	pVal, pVer, pFound, _ := c.Backend(Addr(0, 0)).Latest(key)
+	if !pFound {
+		t.Fatal("primary lost the key")
+	}
+	waitConverged := func(what string) {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			val, ver, found, _ := c.Backend(backup).Latest(key)
+			if found && ver == pVer && string(val) == string(pVal) {
+				return
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("%s: backup at %s@%v (found=%v), primary %s@%v",
+					what, val, ver, found, pVal, pVer)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	waitConverged("backup never converged before kill")
+
+	// Capture the exact replicated versions as the network saw them.
+	var ops []wire.DataOp
+	if err := c.Backend(backup).Dump(clock.Timestamp{}, func(k []byte, ver clock.Timestamp, val []byte, tomb bool) error {
+		if string(k) == string(key) {
+			ops = append(ops, wire.DataOp{
+				Key:       append([]byte(nil), k...),
+				Val:       append([]byte(nil), val...),
+				Version:   ver,
+				Tombstone: tomb,
+			})
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(ops) == 0 {
+		t.Fatal("no versions captured from the backup")
+	}
+
+	// Amnesia-kill the backup and cold-start it: its store is rebuilt from
+	// WAL replay alone.
+	if err := c.KillServer(backup); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RestartServer(backup); err != nil {
+		t.Fatal(err)
+	}
+	waitConverged("backup diverged after WAL replay")
+
+	countVersions := func() int {
+		n := 0
+		if err := c.Backend(backup).Dump(clock.Timestamp{}, func(k []byte, _ clock.Timestamp, _ []byte, _ bool) error {
+			if string(k) == string(key) {
+				n++
+			}
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return n
+	}
+	before := countVersions()
+
+	// The duplicating network re-delivers the pre-crash batch — twice.
+	for i := 0; i < 2; i++ {
+		if _, err := c.Bus.Call(ctx, backup, wire.ReplicateData{Ops: ops}); err != nil {
+			t.Fatalf("re-sent ReplicateData rejected after recovery: %v", err)
+		}
+	}
+
+	if after := countVersions(); after > before {
+		t.Fatalf("duplicate ReplicateData double-applied after replay: %d versions, had %d", after, before)
+	}
+	if val, ver, found, _ := c.Backend(backup).Latest(key); !found || ver != pVer || string(val) != string(pVal) {
+		t.Fatalf("latest changed under duplicate delivery: %s@%v (found=%v), want %s@%v",
+			val, ver, found, pVal, pVer)
+	}
+
+	// The replica must still take new traffic after absorbing the dups.
+	if err := txc.RunTransaction(ctx, func(tx *milana.Txn) error {
+		return tx.Put(key, []byte("v3"))
+	}); err != nil {
+		t.Fatalf("write after duplicate absorption: %v", err)
+	}
+}
+
+// TestWALOverheadGate is the durability-cost gate behind `make benchquick`
+// (WAL_OVERHEAD_GATE=1): committed-transaction throughput with a
+// group-commit WAL fsyncing on every ack must stay above a floor fraction
+// of the WAL-off cluster. The floor is deliberately lenient — real fsyncs
+// against a DRAM store are not free — but a broken group commit (one fsync
+// per record, or a serialized log path) falls far below it.
+func TestWALOverheadGate(t *testing.T) {
+	if os.Getenv("WAL_OVERHEAD_GATE") == "" {
+		t.Skip("set WAL_OVERHEAD_GATE=1 to run the WAL overhead gate")
+	}
+	const (
+		workers = 8
+		dur     = 2 * time.Second
+		floor   = 0.20 // WAL-on must keep ≥ 20% of WAL-off throughput
+	)
+	measure := func(walRoot string) float64 {
+		opt := ClusterOptions{Shards: 1, Replicas: 3, PreparedTimeout: 150 * time.Millisecond}
+		if walRoot != "" {
+			opt.WALRoot = walRoot
+			opt.CheckpointEvery = 4096
+		}
+		c := newTestCluster(t, opt)
+		ctx := context.Background()
+		var stop atomic.Bool
+		var committed atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				txc := c.NewTxnClient(uint32(w + 1))
+				key := []byte(fmt.Sprintf("gate:%d", w))
+				for i := 0; !stop.Load(); i++ {
+					if err := txc.RunTransaction(ctx, func(tx *milana.Txn) error {
+						return tx.Put(key, []byte(strconv.Itoa(i)))
+					}); err == nil {
+						committed.Add(1)
+					}
+				}
+			}(w)
+		}
+		time.Sleep(dur)
+		stop.Store(true)
+		wg.Wait()
+		return float64(committed.Load()) / dur.Seconds()
+	}
+	base := measure("")
+	waled := measure(t.TempDir())
+	ratio := waled / base
+	t.Logf("throughput: wal-off=%.0f txn/s, wal-on=%.0f txn/s (ratio %.2f, floor %.2f)", base, waled, ratio, floor)
+	if ratio < floor {
+		t.Fatalf("WAL overhead too high: wal-on runs at %.0f%% of baseline (floor %.0f%%) — group commit broken?", ratio*100, floor*100)
+	}
+}

@@ -26,22 +26,34 @@ type ChaosOptions struct {
 	MaxClockStep time.Duration
 	// Tick is the interval between events under Run (default 10ms).
 	Tick time.Duration
+	// Kill, when set, enables amnesia-kill events: the callback must tear
+	// the named node's process down for real — every in-memory structure
+	// lost, nothing surviving but its WAL directory. The chaos driver
+	// freezes the node's network first, so nothing reaches a corpse.
+	Kill func(name string) error
+	// Revive restarts a killed node (cold start + WAL recovery). Required
+	// when Kill is set; killed nodes are revived by later events and,
+	// unconditionally, by Stop.
+	Revive func(name string) error
 }
 
-// Chaos applies a seeded stream of structural fault events — crashes,
-// restarts, partitions, heals, clock steps — on top of an Injector's
-// probabilistic message faults. Drive it a step at a time (Step) or on a
-// ticker (Start/Stop). Stop restores the network (heal + restart all).
+// Chaos applies a seeded stream of structural fault events — freezes,
+// unfreezes, partitions, heals, clock steps, and (when the Kill/Revive
+// callbacks are wired) amnesia-kills with cold-restart recovery — on top
+// of an Injector's probabilistic message faults. Drive it a step at a time
+// (Step) or on a ticker (Start/Stop). Stop restores the cluster (heal +
+// unfreeze + revive all).
 type Chaos struct {
 	in  *Injector
 	opt ChaosOptions
 	rng *rand.Rand
 
 	mu      sync.Mutex
-	crashed map[string]int      // name → group index
-	parted  map[[2]string]bool  // active partitions (unordered pairs)
-	inGroup map[string]int      // name → group index
-	log     []string            // event descriptions, for failure replay
+	crashed map[string]int     // frozen (fail-stop, state kept): name → group index
+	killed  map[string]int     // amnesia-killed (state lost): name → group index
+	parted  map[[2]string]bool // active partitions (unordered pairs)
+	inGroup map[string]int     // name → group index
+	log     []string           // event descriptions, for failure replay
 
 	stop chan struct{}
 	done chan struct{}
@@ -57,6 +69,7 @@ func NewChaos(in *Injector, opt ChaosOptions) *Chaos {
 		opt:     opt,
 		rng:     rand.New(rand.NewSource(opt.Seed)),
 		crashed: make(map[string]int),
+		killed:  make(map[string]int),
 		parted:  make(map[[2]string]bool),
 		inGroup: make(map[string]int),
 	}
@@ -68,10 +81,16 @@ func NewChaos(in *Injector, opt ChaosOptions) *Chaos {
 	return c
 }
 
-// disturbedLocked counts group members currently crashed or partitioned.
+// disturbedLocked counts group members currently frozen, killed, or
+// partitioned.
 func (c *Chaos) disturbedLocked(group int) int {
 	dist := make(map[string]bool)
 	for n, g := range c.crashed {
+		if g == group {
+			dist[n] = true
+		}
+	}
+	for n, g := range c.killed {
 		if g == group {
 			dist[n] = true
 		}
@@ -96,6 +115,9 @@ func (c *Chaos) canDisturbLocked(n string) bool {
 	if _, crashed := c.crashed[n]; crashed {
 		return true // already disturbed: no additional damage
 	}
+	if _, killed := c.killed[n]; killed {
+		return true
+	}
 	for pair := range c.parted {
 		if pair[0] == n || pair[1] == n {
 			return true
@@ -108,23 +130,31 @@ func (c *Chaos) canDisturbLocked(n string) bool {
 func (c *Chaos) Step() string {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	ev := c.rng.Intn(6)
+	// Kill-less configs draw from the classic six events so their seeded
+	// streams stay dense (and kill-enabled runs get a deterministic stream
+	// of their own — determinism is per (seed, options), not across them).
+	events := 6
+	if c.opt.Kill != nil {
+		events = 8
+	}
+	ev := c.rng.Intn(events)
 	desc := "noop"
 	switch ev {
-	case 0: // crash a random eligible node
+	case 0: // freeze a random eligible node (fail-stop, state kept)
 		if n := c.pickLocked(func(n string) bool {
 			_, crashed := c.crashed[n]
-			return !crashed && c.canDisturbLocked(n)
+			_, killed := c.killed[n]
+			return !crashed && !killed && c.canDisturbLocked(n)
 		}); n != "" {
 			c.crashed[n] = c.inGroup[n]
-			c.in.Crash(n)
-			desc = "crash " + n
+			c.in.Freeze(n)
+			desc = "freeze " + n
 		}
-	case 1: // restart a crashed node
+	case 1: // unfreeze a frozen node
 		if n := c.pickCrashedLocked(); n != "" {
 			delete(c.crashed, n)
-			c.in.Restart(n)
-			desc = "restart " + n
+			c.in.Unfreeze(n)
+			desc = "unfreeze " + n
 		}
 	case 2: // partition a random eligible pair (one- or two-way)
 		a := c.pickLocked(func(n string) bool { return c.canDisturbLocked(n) })
@@ -161,6 +191,38 @@ func (c *Chaos) Step() string {
 			c.opt.Clocks[i].Discipline(step)
 			desc = fmt.Sprintf("clock[%d] step %v", i, step)
 		}
+	case 6: // amnesia-kill: process death, state lost except the WAL dir
+		if c.opt.Kill == nil {
+			break
+		}
+		n := c.pickLocked(func(n string) bool {
+			_, crashed := c.crashed[n]
+			_, killed := c.killed[n]
+			return !crashed && !killed && c.canDisturbLocked(n)
+		})
+		if n == "" {
+			break
+		}
+		c.in.Freeze(n) // nothing reaches a corpse while it is down
+		if err := c.opt.Kill(n); err != nil {
+			c.in.Unfreeze(n)
+			desc = fmt.Sprintf("kill %s failed: %v", n, err)
+			break
+		}
+		c.killed[n] = c.inGroup[n]
+		desc = "kill " + n
+	case 7: // revive a killed node: cold start + WAL recovery
+		n := c.pickKilledLocked()
+		if n == "" {
+			break
+		}
+		if err := c.opt.Revive(n); err != nil {
+			desc = fmt.Sprintf("revive %s failed: %v", n, err) // retried later
+			break
+		}
+		delete(c.killed, n)
+		c.in.Unfreeze(n)
+		desc = "revive " + n
 	}
 	c.log = append(c.log, desc)
 	return desc
@@ -216,6 +278,33 @@ func (c *Chaos) pickCrashedLocked() string {
 	return cands[c.rng.Intn(len(cands))]
 }
 
+func (c *Chaos) pickKilledLocked() string {
+	var cands []string
+	for _, g := range c.opt.Groups {
+		for _, n := range g {
+			if _, killed := c.killed[n]; killed {
+				cands = append(cands, n)
+			}
+		}
+	}
+	if len(cands) == 0 {
+		return ""
+	}
+	return cands[c.rng.Intn(len(cands))]
+}
+
+// Killed returns the currently-dead nodes (they are frozen at the network
+// layer too, until revived).
+func (c *Chaos) Killed() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []string
+	for n := range c.killed {
+		out = append(out, n)
+	}
+	return out
+}
+
 func pairKey(a, b string) [2]string {
 	if a < b {
 		return [2]string{a, b}
@@ -257,9 +346,12 @@ func (c *Chaos) Start() {
 	}()
 }
 
-// Stop halts the event loop and restores the network: every partition is
-// healed and every crashed node restarted (probabilistic faults are the
-// Injector's business — see Injector.Quiesce).
+// Stop halts the event loop and restores the cluster: every partition is
+// healed, every frozen node unfrozen, and every killed node revived
+// through the Revive callback — so a post-chaos audit sees a full
+// membership, each revived replica freshly recovered from its WAL
+// (probabilistic faults are the Injector's business — see
+// Injector.Quiesce).
 func (c *Chaos) Stop() {
 	c.mu.Lock()
 	stop, done := c.stop, c.done
@@ -272,9 +364,18 @@ func (c *Chaos) Stop() {
 	c.mu.Lock()
 	c.in.Heal()
 	for n := range c.crashed {
-		c.in.Restart(n)
+		c.in.Unfreeze(n)
+	}
+	for n := range c.killed {
+		if err := c.opt.Revive(n); err != nil {
+			c.log = append(c.log, fmt.Sprintf("revive %s at Stop failed: %v", n, err))
+			continue
+		}
+		c.in.Unfreeze(n)
+		c.log = append(c.log, "revive "+n+" at Stop")
 	}
 	c.crashed = make(map[string]int)
+	c.killed = make(map[string]int)
 	c.parted = make(map[[2]string]bool)
 	c.mu.Unlock()
 }

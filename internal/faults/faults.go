@@ -5,8 +5,10 @@
 // the caller never learns it — the case that exercises retry and
 // idempotency paths), duplicate delivery, bounded random delays (which
 // reorder concurrent messages), symmetric and asymmetric partitions, and
-// crash/restart of endpoints (fail-stop: a crashed endpoint neither sends
-// nor receives).
+// freeze/unfreeze of endpoints (fail-stop with state preserved: a frozen
+// endpoint neither sends nor receives). Process death with amnesia — all
+// state lost except the WAL directory — is the Chaos driver's kill event,
+// delegated to callbacks that actually tear the server down.
 //
 // Every probabilistic decision is drawn from one PRNG seeded by
 // Options.Seed, in a fixed per-call order, so the fault-decision stream
@@ -76,7 +78,7 @@ type Injector struct {
 	rng     *rand.Rand
 	enabled bool
 	blocked map[link]bool
-	crashed map[string]bool
+	frozen  map[string]bool
 	stats   Stats
 	wg      sync.WaitGroup // in-flight duplicate deliveries
 }
@@ -88,7 +90,7 @@ func New(opt Options) *Injector {
 		rng:     rand.New(rand.NewSource(opt.Seed)),
 		enabled: true,
 		blocked: make(map[link]bool),
-		crashed: make(map[string]bool),
+		frozen:  make(map[string]bool),
 	}
 }
 
@@ -165,28 +167,49 @@ func (in *Injector) Heal() {
 	in.mu.Unlock()
 }
 
-// Crash isolates an endpoint fail-stop: every message to or from it is
-// blocked until Restart. State is preserved (the process is frozen, not
-// wiped) — pair with core.Cluster.KillPrimary for stateful failover.
-func (in *Injector) Crash(name string) {
+// Freeze isolates an endpoint fail-stop at the network layer: every
+// message to or from it is blocked until Unfreeze. The endpoint's STATE IS
+// PRESERVED — this models a paused or unreachable process (SIGSTOP, a dead
+// NIC), not a dead one. For process death with memory loss (amnesia), see
+// Chaos's kill events and core.Cluster.KillServer, which tear the server
+// down for real and leave only its WAL directory behind.
+func (in *Injector) Freeze(name string) {
 	in.mu.Lock()
-	in.crashed[name] = true
+	in.frozen[name] = true
 	in.mu.Unlock()
 }
 
-// Restart lifts a Crash.
-func (in *Injector) Restart(name string) {
+// Unfreeze lifts a Freeze.
+func (in *Injector) Unfreeze(name string) {
 	in.mu.Lock()
-	delete(in.crashed, name)
+	delete(in.frozen, name)
 	in.mu.Unlock()
 }
 
-// Crashed reports whether the endpoint is currently crashed.
-func (in *Injector) Crashed(name string) bool {
+// Frozen reports whether the endpoint is currently frozen.
+func (in *Injector) Frozen(name string) bool {
 	in.mu.Lock()
 	defer in.mu.Unlock()
-	return in.crashed[name]
+	return in.frozen[name]
 }
+
+// Crash is a legacy alias for Freeze. The old name oversold itself: it
+// never destroyed state, it only unplugged the endpoint — pair it with
+// core.Cluster.KillPrimary for stateful failover, or use the kill path
+// for true crash-with-amnesia.
+//
+// Deprecated: use Freeze (same semantics, honest name).
+func (in *Injector) Crash(name string) { in.Freeze(name) }
+
+// Restart is a legacy alias for Unfreeze.
+//
+// Deprecated: use Unfreeze.
+func (in *Injector) Restart(name string) { in.Unfreeze(name) }
+
+// Crashed is a legacy alias for Frozen.
+//
+// Deprecated: use Frozen.
+func (in *Injector) Crashed(name string) bool { return in.Frozen(name) }
 
 // Quiesce returns the network to health: probabilistic faults off, all
 // partitions healed, all crashed endpoints restarted, and every in-flight
@@ -195,7 +218,7 @@ func (in *Injector) Quiesce() {
 	in.mu.Lock()
 	in.enabled = false
 	in.blocked = make(map[link]bool)
-	in.crashed = make(map[string]bool)
+	in.frozen = make(map[string]bool)
 	in.mu.Unlock()
 	in.wg.Wait()
 }
@@ -210,7 +233,7 @@ func (in *Injector) Stats() Stats {
 func (in *Injector) reachable(from, to string) bool {
 	in.mu.Lock()
 	defer in.mu.Unlock()
-	return !in.crashed[from] && !in.crashed[to] && !in.blocked[link{from, to}]
+	return !in.frozen[from] && !in.frozen[to] && !in.blocked[link{from, to}]
 }
 
 type decision struct {

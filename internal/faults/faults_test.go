@@ -359,6 +359,63 @@ func TestChaosStepStreamDeterministic(t *testing.T) {
 	}
 }
 
+// TestChaosKillRevive wires counting Kill/Revive callbacks and checks the
+// amnesia-kill lifecycle: killed nodes are frozen at the network layer,
+// the liveness guard holds with kills in the mix, every kill is eventually
+// paired with a revive, and Stop revives the stragglers.
+func TestChaosKillRevive(t *testing.T) {
+	groups := [][]string{{"a", "b", "c"}, {"d", "e", "f"}}
+	in := New(Options{Seed: 4})
+	in.Bind(transport.NewBus(transport.LatencyModel{}, 1))
+	kills, revives := map[string]int{}, map[string]int{}
+	c := NewChaos(in, ChaosOptions{
+		Seed:   4,
+		Groups: groups,
+		Kill:   func(n string) error { kills[n]++; return nil },
+		Revive: func(n string) error { revives[n]++; return nil },
+	})
+	for i := 0; i < 500; i++ {
+		c.Step()
+		c.mu.Lock()
+		for n := range c.killed {
+			if !in.Frozen(n) {
+				c.mu.Unlock()
+				t.Fatalf("step %d: killed node %s reachable", i, n)
+			}
+		}
+		for gi, g := range groups {
+			if d := c.disturbedLocked(gi); d > len(g)/2 {
+				c.mu.Unlock()
+				t.Fatalf("step %d: group %d has %d disturbed (max %d)", i, gi, d, len(g)/2)
+			}
+		}
+		c.mu.Unlock()
+	}
+	total := 0
+	for _, k := range kills {
+		total += k
+	}
+	if total == 0 {
+		t.Fatal("500 steps produced no kill events")
+	}
+	c.Stop()
+	if len(c.Killed()) != 0 {
+		t.Fatalf("killed after Stop: %v", c.Killed())
+	}
+	for n, k := range kills {
+		if revives[n] != k {
+			t.Fatalf("%s: %d kills but %d revives", n, k, revives[n])
+		}
+	}
+	for _, g := range groups {
+		for _, n := range g {
+			if in.Frozen(n) {
+				t.Fatalf("%s still frozen after Stop", n)
+			}
+		}
+	}
+}
+
 func TestChaosStartStop(t *testing.T) {
 	in := New(Options{Seed: 2})
 	in.Bind(transport.NewBus(transport.LatencyModel{}, 1))

@@ -40,6 +40,13 @@ type Host interface {
 	CallPrimary(ctx context.Context, shard int, req any) (any, error)
 	// ShardID identifies the shard this replica belongs to.
 	ShardID() int
+	// LogDecision makes a 2PC decision durable in the local WAL after it
+	// has been applied but before it is acknowledged. Decisions reach
+	// applyDecision through several doors — the client's DecisionRequest,
+	// a CTP sweep, a peer's termination notice — and all of them must
+	// survive an amnesia crash, so the logging lives here rather than in
+	// any one RPC hook. A no-op when the host runs without a log.
+	LogDecision(id wire.TxnID, commit bool) error
 }
 
 // decidedRetention bounds the memory of the decided-transactions map: a
@@ -107,6 +114,9 @@ type Manager struct {
 	table     map[wire.TxnID]*txnState
 	decided   map[wire.TxnID]decidedEntry
 	lastPrune time.Time
+	// recoveryFloor primes latestRead for keys first touched after a cold
+	// restart (see SetRecoveryFloor).
+	recoveryFloor clock.Timestamp
 }
 
 // NewManager creates a Manager bound to its host server.
@@ -178,7 +188,7 @@ func (m *Manager) metaLocked(key []byte) *keyMeta {
 	k := string(key)
 	km := m.keys[k]
 	if km == nil {
-		km = &keyMeta{}
+		km = &keyMeta{latestRead: m.recoveryFloor}
 		m.keys[k] = km
 	}
 	if !km.committedInit {
@@ -391,6 +401,16 @@ func (m *Manager) applyDecision(ctx context.Context, rec wire.TxnRecord, commit 
 	m.pruneDecidedLocked()
 	m.mu.Unlock()
 
+	// Durability before the decision is acknowledged on ANY path it arrived
+	// by (client door, CTP sweeper, peer notification, recovery merge) —
+	// and strictly AFTER the state change above, because the WAL checkpoint
+	// assumes state gathered after reading DurableLSN covers every durable
+	// record: logging first would let a concurrent checkpoint GC the
+	// prepare's write set while the backend image predates the apply.
+	if err := m.host.LogDecision(rec.ID, commit); err != nil {
+		return fmt.Errorf("milana: logging decision of %v: %w", rec.ID, err)
+	}
+
 	// Propagate the decision so backups apply the write set; like
 	// prepares, only f acknowledgements are required and order with other
 	// records is irrelevant (Figure 5).
@@ -496,6 +516,75 @@ func (m *Manager) HandleReplicateDecision(id wire.TxnID, commit bool) error {
 	m.mu.Unlock()
 	if commit && havePrepare {
 		return m.applyWriteSet(context.Background(), st.rec)
+	}
+	return nil
+}
+
+// ---- WAL replay handlers (cold restart) ----
+
+// ReplayPrepare restores a prepared transaction from a WAL record. Unlike
+// HandleReplicatePrepare (the live backup path, where key marks are inert),
+// replay must re-arm the keys' prepared marks: a restarted primary that
+// validated new transactions against unmarked keys of an in-doubt prepare
+// would let a write slide between the prepare and its eventual commit — an
+// rw/ww cycle. A prepare whose decision was replayed first (inconsistent
+// replication logs them in arrival order) is handled exactly like the live
+// late-prepare case: on commit the write set it carries is applied, on
+// abort it is dropped.
+func (m *Manager) ReplayPrepare(ctx context.Context, rec wire.TxnRecord) error {
+	m.mu.Lock()
+	if d, ok := m.decided[rec.ID]; ok {
+		m.mu.Unlock()
+		if d.status == wire.StatusCommitted {
+			return m.applyWriteSet(ctx, rec)
+		}
+		return nil // aborted: drop the late prepare
+	}
+	if _, ok := m.table[rec.ID]; !ok {
+		m.table[rec.ID] = &txnState{rec: rec, preparedAt: time.Now()}
+	}
+	for _, kv := range rec.WriteSet {
+		km := m.metaLocked(kv.Key)
+		km.hasPrepared = true
+		km.preparedTs = rec.CommitTs
+		km.preparedBy = rec.ID
+	}
+	m.om.preparedTxns.Set(int64(len(m.table)))
+	m.mu.Unlock()
+	return nil
+}
+
+// ReplayDecision applies a logged decision during WAL replay: release the
+// prepare's key marks (ReplayPrepare armed them), raise latestCommitted,
+// re-apply the write set on commit — committed data was written straight to
+// the backend on the live path, so replay is its only way back — and record
+// the outcome so CTP status queries and duplicate decisions resolve. No
+// replication: every replica replays its own log.
+func (m *Manager) ReplayDecision(ctx context.Context, id wire.TxnID, commit bool) error {
+	m.mu.Lock()
+	st, havePrepare := m.table[id]
+	status := wire.StatusAborted
+	if commit {
+		status = wire.StatusCommitted
+	}
+	if havePrepare {
+		m.releasePreparedLocked(st.rec)
+		delete(m.table, id)
+		if commit {
+			for _, kv := range st.rec.WriteSet {
+				km := m.metaLocked(kv.Key)
+				if st.rec.CommitTs.After(km.latestCommitted) {
+					km.latestCommitted = st.rec.CommitTs
+				}
+			}
+		}
+	}
+	m.decided[id] = decidedEntry{status: status, at: time.Now()}
+	m.om.preparedTxns.Set(int64(len(m.table)))
+	m.pruneDecidedLocked()
+	m.mu.Unlock()
+	if commit && havePrepare {
+		return m.applyWriteSet(ctx, st.rec)
 	}
 	return nil
 }
@@ -625,6 +714,69 @@ func (m *Manager) notifyParticipants(ctx context.Context, rec wire.TxnRecord, co
 			continue
 		}
 		_, _ = m.host.CallPrimary(ctx, p, wire.DecisionRequest{ID: rec.ID, Commit: commit})
+	}
+}
+
+// ---- cold-restart recovery (WAL replay) ----
+
+// SetRecoveryFloor declares that reads at or below ts may have been served
+// before a restart. latestRead is DRAM-only (§4.1) and vanishes with the
+// process; without a floor, a write validated after restart could slide
+// under a pre-crash read and break serializability. Every key whose OCC
+// state is created after this call starts with latestRead = ts; keys
+// already tracked are raised to it.
+func (m *Manager) SetRecoveryFloor(ts clock.Timestamp) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if ts.After(m.recoveryFloor) {
+		m.recoveryFloor = ts
+	}
+	for _, km := range m.keys {
+		if ts.After(km.latestRead) {
+			km.latestRead = ts
+		}
+	}
+}
+
+// InstallRecovered loads one transaction record from a checkpoint or WAL
+// replay into the local table without any replication or termination side
+// effects. Prepared records re-arm their keys' prepared marks (CTP will
+// terminate them if the client is gone); decided records land in the
+// decided map so duplicate decisions and CTP queries resolve. Committed
+// write sets are NOT re-applied here — the data path is recovered
+// separately (checkpoint data + replayed ReplicateData/put records), and
+// version-stamped Puts make any overlap idempotent anyway.
+func (m *Manager) InstallRecovered(rec wire.TxnRecord) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	switch rec.Status {
+	case wire.StatusPrepared:
+		if _, decided := m.decided[rec.ID]; decided {
+			return // decision already recovered; drop the stale prepare
+		}
+		if _, ok := m.table[rec.ID]; !ok {
+			m.table[rec.ID] = &txnState{rec: rec, preparedAt: time.Now()}
+		}
+		for _, kv := range rec.WriteSet {
+			km := m.metaLocked(kv.Key)
+			km.hasPrepared = true
+			km.preparedTs = rec.CommitTs
+			km.preparedBy = rec.ID
+		}
+	case wire.StatusCommitted, wire.StatusAborted:
+		if st, ok := m.table[rec.ID]; ok {
+			m.releasePreparedLocked(st.rec)
+			delete(m.table, rec.ID)
+		}
+		m.decided[rec.ID] = decidedEntry{status: rec.Status, at: time.Now()}
+		if rec.Status == wire.StatusCommitted {
+			for _, kv := range rec.WriteSet {
+				km := m.metaLocked(kv.Key)
+				if rec.CommitTs.After(km.latestCommitted) {
+					km.latestCommitted = rec.CommitTs
+				}
+			}
+		}
 	}
 }
 

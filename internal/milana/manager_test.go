@@ -20,6 +20,7 @@ type fakeHost struct {
 
 	mu         sync.Mutex
 	replicated []any
+	logged     []wire.ReplicateDecision
 	replErr    error
 	peers      map[int]func(req any) (any, error)
 }
@@ -30,6 +31,13 @@ func newFakeHost() *fakeHost {
 
 func (h *fakeHost) Backend() storage.Backend { return h.backend }
 func (h *fakeHost) ShardID() int             { return h.shard }
+
+func (h *fakeHost) LogDecision(id wire.TxnID, commit bool) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.logged = append(h.logged, wire.ReplicateDecision{ID: id, Commit: commit})
+	return nil
+}
 
 func (h *fakeHost) ReplicateToBackups(ctx context.Context, msg any) error {
 	h.mu.Lock()

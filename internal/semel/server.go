@@ -27,6 +27,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/storage"
 	"repro/internal/transport"
+	"repro/internal/wal"
 	"repro/internal/wire"
 )
 
@@ -113,6 +114,19 @@ type ServerOptions struct {
 	// answers wire.TSDBRequest from (typically sampling the same registry
 	// as Metrics). The server does not start, sample, or close it.
 	TSDB *obs.TSDB
+	// Log, when set, is the replica's write-ahead log: every state change
+	// this server acknowledges (prepares, decisions, replicated data ops,
+	// lease grants) is appended and fsynced to it first, and NewServer
+	// replays checkpoint + log to rebuild state after a cold restart. The
+	// caller owns the log's lifetime (open it on the replica's WAL
+	// directory, close it after Close). Nil disables durability: a
+	// restarted replica then recovers only what anti-entropy and the
+	// recovery merge can pull from its peers.
+	Log *wal.WAL
+	// CheckpointEvery is how many WAL records may accumulate before the
+	// server writes a checkpoint and lets the log GC old segments.
+	// 0 means 1024; negative disables automatic checkpoints.
+	CheckpointEvery int
 }
 
 // serverStats holds the replica's operation counters (see wire.StatsResponse).
@@ -147,6 +161,16 @@ type Server struct {
 	om    serverMetrics
 	repl  *batcher       // nil when ReplBatch.Disabled
 	spans *obs.SpanStore // nil when TraceRing < 0
+
+	// WAL state (opt.Log != nil). walSinceCkpt counts records appended
+	// since the last checkpoint; walCkptBusy admits one checkpoint writer
+	// at a time; walSkipSync is the fsync-skipping durability mutation
+	// (tests only). replayRecords/replayNs describe the cold-start replay.
+	walSinceCkpt  atomic.Int64
+	walCkptBusy   atomic.Bool
+	walSkipSync   atomic.Bool
+	replayRecords int64
+	replayNs      int64
 
 	mu          sync.Mutex
 	primary     bool
@@ -217,6 +241,11 @@ func NewServer(opt ServerOptions) (*Server, error) {
 	if opt.Primary && opt.LeaseDuration > 0 {
 		// A fresh primary may serve immediately; renewal keeps it alive.
 		s.leaseUntil = opt.Clock.Now().Add(opt.LeaseDuration)
+	}
+	if opt.Log != nil {
+		if err := s.recoverFromWAL(); err != nil {
+			return nil, fmt.Errorf("semel: WAL recovery: %w", err)
+		}
 	}
 	s.startLoops()
 	return s, nil
@@ -426,6 +455,14 @@ func (s *Server) CallPrimary(ctx context.Context, shard int, req any) (any, erro
 	return s.opt.Net.Call(ctx, addr, req)
 }
 
+// LogDecision writes a 2PC decision to the local WAL and waits for it to
+// become durable. The manager calls it after applying the decision and
+// before acknowledging it, from whichever path delivered it (client, CTP
+// sweep, peer notification) — the apply-then-log order logRecord demands.
+func (s *Server) LogDecision(id wire.TxnID, commit bool) error {
+	return s.logRecord(wire.ReplicateDecision{ID: id, Commit: commit})
+}
+
 // ReplicateToBackups delivers msg to this shard's backups and returns once
 // f of the 2f backups acknowledged — the relaxed majority rule of §3.2 and
 // Figure 5. Remaining deliveries continue in the background.
@@ -498,6 +535,214 @@ func (s *Server) ReplicateToBackups(ctx context.Context, msg any) error {
 	s.om.replAck.Observe(int64(waited))
 	obs.AttributeStage(ctx, obs.StageReplAck, waited)
 	return nil
+}
+
+// ---- durability (write-ahead log) ----
+
+// logRecord makes one acknowledged state change durable: it encodes msg
+// with the frozen wire codec, appends it to the WAL, and waits for the
+// fsync (group commit batches concurrent callers into one). Call it AFTER
+// the state change has been applied and BEFORE acknowledging the caller —
+// that order keeps the checkpoint invariant (state gathered after reading
+// DurableLSN is a superset of every durable record) and replay idempotent
+// (version-stamped writes and the replication handlers tolerate replaying
+// an operation the state already holds). A nil Log makes this a no-op.
+func (s *Server) logRecord(msg any) error {
+	if s.opt.Log == nil {
+		return nil
+	}
+	payload, err := wire.Codec.Append(nil, msg)
+	if err != nil {
+		return fmt.Errorf("semel: encoding WAL record %T: %w", msg, err)
+	}
+	if s.walSkipSync.Load() {
+		_, err = s.opt.Log.Append(payload) // mutation: ack without durability
+	} else {
+		_, err = s.opt.Log.AppendSync(payload)
+	}
+	if err != nil {
+		return fmt.Errorf("semel: WAL append: %w", err)
+	}
+	if every := s.checkpointEvery(); every > 0 && s.walSinceCkpt.Add(1) >= int64(every) {
+		s.triggerCheckpoint()
+	}
+	return nil
+}
+
+func (s *Server) checkpointEvery() int {
+	switch {
+	case s.opt.CheckpointEvery < 0:
+		return 0
+	case s.opt.CheckpointEvery == 0:
+		return 1024
+	default:
+		return s.opt.CheckpointEvery
+	}
+}
+
+// triggerCheckpoint starts one background checkpoint unless one is already
+// running. The counter resets up front so a slow checkpoint is not
+// re-triggered by every append that lands during it.
+func (s *Server) triggerCheckpoint() {
+	if !s.walCkptBusy.CompareAndSwap(false, true) {
+		return
+	}
+	s.walSinceCkpt.Store(0)
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		defer s.walCkptBusy.Store(false)
+		if err := s.CheckpointWAL(); err != nil && !errors.Is(err, wal.ErrClosed) {
+			log.Printf("semel: %s: checkpoint failed: %v", s.opt.Addr, err)
+		}
+	}()
+}
+
+// CheckpointWAL writes a checkpoint covering everything durable right now
+// and lets the log GC the segments below it. The order is load-bearing:
+// DurableLSN is read FIRST, state gathered after — since every record is
+// applied to state before it is appended (see logRecord), state gathered
+// now reflects at least every record at or below that LSN, so dropping
+// those segments loses nothing.
+func (s *Server) CheckpointWAL() error {
+	if s.opt.Log == nil {
+		return nil
+	}
+	durable := s.opt.Log.DurableLSN()
+	ck := wire.WALCheckpoint{
+		Watermark: s.wm.Watermark(),
+		Txns:      s.mgr.TableRecords(),
+	}
+	if rs, err := s.opt.Dir.Shard(s.opt.Shard); err == nil {
+		ck.Epoch = rs.Epoch
+		ck.LeasePrimary = rs.Primary
+	}
+	s.mu.Lock()
+	ck.LeaseExpiry = s.granted
+	s.mu.Unlock()
+	err := s.opt.Backend.Dump(clock.Timestamp{}, func(key []byte, ver clock.Timestamp, val []byte, tombstone bool) error {
+		ck.Data = append(ck.Data, wire.DataOp{Key: key, Val: val, Version: ver, Tombstone: tombstone})
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	payload, err := wire.Codec.Append(nil, ck)
+	if err != nil {
+		return err
+	}
+	return s.opt.Log.InstallCheckpoint(durable, payload)
+}
+
+// recoverFromWAL rebuilds the replica from its log: decode and apply the
+// checkpoint (full data image, transaction table, lease grant, watermark),
+// then replay every record above it through the manager's replay handlers,
+// which re-arm prepared key marks and re-apply committed write sets —
+// state the live backup handlers leave alone because on a backup it is
+// inert. Decisions terminated by CTP on a peer, or decided
+// while this replica was dead, are NOT here — the sweeper and anti-entropy
+// re-converge those. Finally the manager's read floor rises to the local
+// clock's now: pre-crash reads (all at timestamps ≤ the crash instant)
+// were tracked only in DRAM, so post-restart validations must assume every
+// key was read as late as the restart.
+func (s *Server) recoverFromWAL() error {
+	start := time.Now()
+	var records int64
+	if _, payload, ok := s.opt.Log.Checkpoint(); ok {
+		msg, err := wire.Codec.Decode(payload)
+		if err != nil {
+			return fmt.Errorf("decoding checkpoint: %w", err)
+		}
+		ck, okType := msg.(wire.WALCheckpoint)
+		if !okType {
+			return fmt.Errorf("checkpoint holds %T, want wire.WALCheckpoint", msg)
+		}
+		for _, op := range ck.Data {
+			if err := s.applyDataOp(op); err != nil {
+				return err
+			}
+		}
+		for _, rec := range ck.Txns {
+			s.mgr.InstallRecovered(rec)
+		}
+		s.granted = ck.LeaseExpiry
+		if !ck.Watermark.IsZero() {
+			// Seed the backend's GC floor directly; the tracker refills from
+			// live client reports (a recovered report would pin the minimum).
+			s.opt.Backend.SetWatermark(ck.Watermark)
+		}
+	}
+	err := s.opt.Log.Replay(func(_ uint64, payload []byte) error {
+		msg, err := wire.Codec.Decode(payload)
+		if err != nil {
+			return fmt.Errorf("decoding WAL record: %w", err)
+		}
+		records++
+		switch r := msg.(type) {
+		case wire.ReplicateData:
+			for _, op := range r.Ops {
+				if err := s.applyDataOp(op); err != nil {
+					return err
+				}
+			}
+		case wire.ReplicatePrepare:
+			return s.mgr.ReplayPrepare(context.Background(), r.Record)
+		case wire.ReplicateDecision:
+			return s.mgr.ReplayDecision(context.Background(), r.ID, r.Commit)
+		case wire.LeaseRequest:
+			if r.Expiry.After(s.granted) {
+				s.granted = r.Expiry
+			}
+		default:
+			return fmt.Errorf("unexpected WAL record type %T", msg)
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	s.replayRecords = records
+	s.replayNs = int64(time.Since(start))
+	s.mgr.SetRecoveryFloor(s.opt.Clock.Now())
+	s.reg.Gauge("recovery_replay_records").Set(records)
+	s.reg.Gauge("recovery_replay_ns").Set(s.replayNs)
+	return nil
+}
+
+func (s *Server) applyDataOp(op wire.DataOp) error {
+	if op.Tombstone {
+		return s.opt.Backend.Delete(op.Key, op.Version)
+	}
+	return s.opt.Backend.Put(op.Key, op.Val, op.Version)
+}
+
+// MutateSkipWALFsync deliberately breaks the durability contract by
+// acknowledging operations whose WAL records were appended but never
+// fsynced — exactly the bug class the crash harness must convict (an
+// amnesia-kill then loses acknowledged writes). Never set outside tests.
+func (s *Server) MutateSkipWALFsync(skip bool) {
+	s.walSkipSync.Store(skip)
+}
+
+// handleWALStatus reports the log's position and the last recovery replay.
+func (s *Server) handleWALStatus() wire.WALStatusResponse {
+	resp := wire.WALStatusResponse{
+		Addr:          s.opt.Addr,
+		ReplayRecords: s.replayRecords,
+		ReplayNs:      s.replayNs,
+	}
+	if s.opt.Log == nil {
+		return resp
+	}
+	st := s.opt.Log.Stats()
+	resp.Enabled = true
+	resp.AppendedLSN = st.AppendedLSN
+	resp.DurableLSN = st.DurableLSN
+	resp.CheckpointLSN = st.CheckpointLSN
+	resp.Segments = st.Segments
+	resp.Bytes = st.Bytes
+	resp.Fsyncs = st.Fsyncs
+	return resp
 }
 
 // ---- RPC dispatch ----
@@ -656,6 +901,18 @@ func (s *Server) dispatch(ctx context.Context, req any) (any, error) {
 		if err == nil && !resp.OK {
 			s.stats.aborts.Add(1)
 		}
+		if err == nil && resp.OK {
+			// The prepared record must survive this process, not just this
+			// primary: log it before the vote leaves (same record the
+			// backups store, so replay rides HandleReplicatePrepare).
+			rec := wire.TxnRecord{
+				ID: r.ID, CommitTs: r.CommitTs, WriteSet: r.WriteSet,
+				Participants: r.Participants, Status: wire.StatusPrepared,
+			}
+			if lerr := s.logRecord(wire.ReplicatePrepare{Record: rec}); lerr != nil {
+				return nil, lerr
+			}
+		}
 		return resp, err
 	case wire.DecisionRequest:
 		if r.Commit {
@@ -663,6 +920,9 @@ func (s *Server) dispatch(ctx context.Context, req any) (any, error) {
 		} else {
 			s.stats.aborts.Add(1)
 		}
+		// Durability rides inside the manager: applyDecision logs through
+		// LogDecision before returning, whichever path the decision
+		// arrives by.
 		return s.mgr.Decision(ctx, r)
 	case wire.StatusRequest:
 		// Only a serving primary may answer CTP status queries: a
@@ -678,14 +938,22 @@ func (s *Server) dispatch(ctx context.Context, req any) (any, error) {
 		if err := s.mgr.HandleReplicatePrepare(r.Record); err != nil {
 			return nil, err
 		}
+		if err := s.logRecord(r); err != nil {
+			return nil, err
+		}
 		return wire.Ack{}, nil
 	case wire.ReplicateDecision:
 		if err := s.mgr.HandleReplicateDecision(r.ID, r.Commit); err != nil {
 			return nil, err
 		}
+		if err := s.logRecord(r); err != nil {
+			return nil, err
+		}
 		return wire.Ack{}, nil
 	case wire.LeaseRequest:
 		return s.handleLease(r)
+	case wire.WALStatusRequest:
+		return s.handleWALStatus(), nil
 	case wire.StatsRequest:
 		resp := wire.StatsResponse{
 			Addr:      s.opt.Addr,
@@ -933,6 +1201,12 @@ func (s *Server) writeVersion(ctx context.Context, key, val []byte, ver clock.Ti
 		return wire.PutResponse{}, err
 	}
 	op := wire.DataOp{Key: key, Val: val, Version: ver, Tombstone: tombstone}
+	// The write is applied; make it durable before replicating or
+	// acknowledging. Logged in the same shape the backups see, so replay
+	// shares one code path with replicated data.
+	if err := s.logRecord(wire.ReplicateData{Ops: []wire.DataOp{op}}); err != nil {
+		return wire.PutResponse{}, err
+	}
 	// Stamp the op with this request's trace context (the ctx already
 	// carries the put/delete span as parent): the batcher coalesces ops from
 	// many writers, so causality must ride per op, not per envelope.
@@ -997,6 +1271,9 @@ func (s *Server) handleReplicateData(r wire.ReplicateData) (any, error) {
 				return nil, err
 			}
 		}
+		if err := s.logRecord(r); err != nil {
+			return nil, err
+		}
 		return wire.Ack{}, nil
 	}
 	errs := make([]string, len(r.Ops))
@@ -1026,8 +1303,22 @@ func (s *Server) handleReplicateData(r wire.ReplicateData) (any, error) {
 		// demux (the generic quorum counter) still count this peer failed.
 		return nil, errors.New(first)
 	case nerr == 0:
+		if err := s.logRecord(r); err != nil {
+			return nil, err
+		}
 		return wire.BatchAck{}, nil
 	default:
+		// Log only the ops this replica actually holds; replaying a write
+		// the backend rejected would resurrect it from the dead.
+		applied := wire.ReplicateData{Ops: make([]wire.DataOp, 0, len(r.Ops))}
+		for i, op := range r.Ops {
+			if errs[i] == "" {
+				applied.Ops = append(applied.Ops, op)
+			}
+		}
+		if err := s.logRecord(applied); err != nil {
+			return nil, err
+		}
 		return wire.BatchAck{Errs: errs}, nil
 	}
 }
@@ -1052,12 +1343,19 @@ func (s *Server) handleLease(r wire.LeaseRequest) (wire.LeaseResponse, error) {
 		return wire.LeaseResponse{Granted: false}, nil
 	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.primary {
+		s.mu.Unlock()
 		return wire.LeaseResponse{Granted: false}, nil
 	}
 	if r.Expiry.After(s.granted) {
 		s.granted = r.Expiry
+	}
+	s.mu.Unlock()
+	// A lease grant is a promise about wall-clock time and must outlive the
+	// process: a restarted backup that forgot it could grant a second,
+	// overlapping lease to a different primary.
+	if err := s.logRecord(r); err != nil {
+		return wire.LeaseResponse{}, err
 	}
 	return wire.LeaseResponse{Granted: true}, nil
 }

@@ -1,0 +1,424 @@
+// The filesystem seam. The log never touches the OS directly: every byte it
+// writes goes through the FS interface, which is what makes the crash-point
+// sweep in crash_test.go possible — a FaultFS can kill a write at any byte
+// offset, and a MemFS can model exactly which bytes survive a power loss.
+//
+// Durability model (shared by MemFS and, approximately, by real disks):
+//
+//   - Data writes are volatile until the file is fsynced. A crash drops the
+//     unsynced suffix — or, in the torn-write case, an arbitrary prefix of
+//     it survives (a partially paged-out record).
+//   - Metadata operations (create, rename, remove, truncate) are durable
+//     immediately. Real filesystems need a directory fsync for that; the
+//     log's correctness argument only relies on rename atomicity, which
+//     journaling filesystems provide, so the model folds the dir-sync in.
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// FS is the filesystem surface the log needs. Paths are plain strings joined
+// with filepath.Join; List returns base names, everything else takes full
+// paths.
+type FS interface {
+	// MkdirAll creates dir (and parents) if missing.
+	MkdirAll(dir string) error
+	// List returns the sorted base names of the regular files in dir.
+	List(dir string) ([]string, error)
+	// ReadFile returns the full content of the file at path.
+	ReadFile(path string) ([]byte, error)
+	// Create creates (or truncates) the file at path for appending.
+	Create(path string) (File, error)
+	// Truncate cuts the file at path to size bytes.
+	Truncate(path string, size int64) error
+	// Rename atomically replaces newPath with oldPath.
+	Rename(oldPath, newPath string) error
+	// Remove deletes the file at path.
+	Remove(path string) error
+}
+
+// File is an open, append-only log file.
+type File interface {
+	Write(p []byte) (int, error)
+	Sync() error
+	Close() error
+}
+
+// OS is the real filesystem.
+var OS FS = osFS{}
+
+type osFS struct{}
+
+func (osFS) MkdirAll(dir string) error { return os.MkdirAll(dir, 0o755) }
+
+func (osFS) List(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range ents {
+		if e.Type().IsRegular() {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+func (osFS) ReadFile(path string) ([]byte, error) { return os.ReadFile(path) }
+
+func (osFS) Create(path string) (File, error) {
+	return os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+}
+
+func (osFS) Truncate(path string, size int64) error { return os.Truncate(path, size) }
+func (osFS) Rename(oldPath, newPath string) error   { return os.Rename(oldPath, newPath) }
+func (osFS) Remove(path string) error               { return os.Remove(path) }
+
+// MemFS is an in-memory filesystem that models durability: bytes written to
+// a file are volatile until Sync, and Crash decides their fate. Tests use it
+// to answer "what does the disk hold after a power loss here?" exactly.
+type MemFS struct {
+	mu    sync.Mutex
+	gen   uint64 // bumped by Crash; stale handles error out
+	files map[string]*memFile
+}
+
+type memFile struct {
+	durable  []byte
+	volatile []byte
+}
+
+// NewMemFS returns an empty in-memory filesystem.
+func NewMemFS() *MemFS { return &MemFS{files: make(map[string]*memFile)} }
+
+func (m *MemFS) MkdirAll(string) error { return nil }
+
+func (m *MemFS) List(dir string) ([]string, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	prefix := strings.TrimSuffix(dir, "/") + "/"
+	var names []string
+	for p := range m.files {
+		if strings.HasPrefix(p, prefix) && !strings.Contains(p[len(prefix):], "/") {
+			names = append(names, p[len(prefix):])
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+func (m *MemFS) ReadFile(path string) ([]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.files[path]
+	if !ok {
+		return nil, fmt.Errorf("memfs: %s: %w", path, os.ErrNotExist)
+	}
+	out := make([]byte, 0, len(f.durable)+len(f.volatile))
+	out = append(out, f.durable...)
+	return append(out, f.volatile...), nil
+}
+
+func (m *MemFS) Create(path string) (File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.files[path] = &memFile{}
+	return &memHandle{fs: m, path: path, gen: m.gen}, nil
+}
+
+func (m *MemFS) Truncate(path string, size int64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.files[path]
+	if !ok {
+		return fmt.Errorf("memfs: %s: %w", path, os.ErrNotExist)
+	}
+	// Truncation is a metadata op: durable immediately (see the model note
+	// at the top of the file). The surviving prefix is durable so that a
+	// crash right after open cannot resurrect the torn tail.
+	all := append(append([]byte(nil), f.durable...), f.volatile...)
+	if size > int64(len(all)) {
+		size = int64(len(all))
+	}
+	f.durable, f.volatile = all[:size], nil
+	return nil
+}
+
+func (m *MemFS) Rename(oldPath, newPath string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.files[oldPath]
+	if !ok {
+		return fmt.Errorf("memfs: %s: %w", oldPath, os.ErrNotExist)
+	}
+	delete(m.files, oldPath)
+	m.files[newPath] = f
+	return nil
+}
+
+func (m *MemFS) Remove(path string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.files[path]; !ok {
+		return fmt.Errorf("memfs: %s: %w", path, os.ErrNotExist)
+	}
+	delete(m.files, path)
+	return nil
+}
+
+// Crash simulates power loss. For every file, keep decides which prefix of
+// the unsynced (volatile) bytes survives: nil keep drops them all (the
+// clean-loss case); returning the slice unchanged keeps everything (the OS
+// paged it out before the sync was issued); anything in between is a torn
+// write. Open handles from before the crash turn into errors.
+func (m *MemFS) Crash(keep func(path string, volatile []byte) []byte) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.gen++
+	for p, f := range m.files {
+		kept := []byte(nil)
+		if keep != nil {
+			kept = keep(p, append([]byte(nil), f.volatile...))
+		}
+		if len(kept) > len(f.volatile) {
+			kept = kept[:len(f.volatile)]
+		}
+		f.durable = append(f.durable, kept...)
+		f.volatile = nil
+	}
+}
+
+// DurableLen reports how many bytes of path would survive a crash right now
+// in the clean-loss case (test introspection).
+func (m *MemFS) DurableLen(path string) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if f, ok := m.files[path]; ok {
+		return len(f.durable)
+	}
+	return 0
+}
+
+type memHandle struct {
+	fs   *MemFS
+	path string
+	gen  uint64
+}
+
+var errStaleHandle = errors.New("memfs: handle predates a crash")
+
+func (h *memHandle) Write(p []byte) (int, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.gen != h.fs.gen {
+		return 0, errStaleHandle
+	}
+	f, ok := h.fs.files[h.path]
+	if !ok {
+		return 0, fmt.Errorf("memfs: %s: %w", h.path, os.ErrNotExist)
+	}
+	f.volatile = append(f.volatile, p...)
+	return len(p), nil
+}
+
+func (h *memHandle) Sync() error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.gen != h.fs.gen {
+		return errStaleHandle
+	}
+	f, ok := h.fs.files[h.path]
+	if !ok {
+		return fmt.Errorf("memfs: %s: %w", h.path, os.ErrNotExist)
+	}
+	f.durable = append(f.durable, f.volatile...)
+	f.volatile = nil
+	return nil
+}
+
+func (h *memHandle) Close() error { return nil }
+
+// ErrInjected is the error every FaultFS-killed operation returns.
+var ErrInjected = errors.New("wal: injected fault")
+
+// FaultFS wraps an FS and kills it at a chosen byte offset: writes succeed
+// until the cumulative data-write budget is exhausted, then the crossing
+// write is cut short (a torn write at exactly that offset) and every
+// operation after it fails. Combined with MemFS.Crash this sweeps "the
+// process died at byte N" for every N — the crash-point fuzz harness.
+type FaultFS struct {
+	inner FS
+
+	mu          sync.Mutex
+	budget      int64 // data-write bytes remaining; <0 = unlimited
+	failed      bool
+	failSyncAt  int // fail the Nth sync attempt (0 = never)
+	syncTries   int
+	syncs       int // successful syncs
+	writes      int
+	writesBytes int
+}
+
+// NewFaultFS wraps inner with an unlimited budget (no faults).
+func NewFaultFS(inner FS) *FaultFS { return &FaultFS{inner: inner, budget: -1} }
+
+// SetWriteBudget arms the fault: after n more data bytes, the filesystem
+// dies. Negative disarms.
+func (f *FaultFS) SetWriteBudget(n int64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.budget = n
+}
+
+// Failed reports whether the injected fault has fired.
+func (f *FaultFS) Failed() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.failed
+}
+
+// FailNow kills the filesystem immediately (sync-failure injection).
+func (f *FaultFS) FailNow() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.failed = true
+}
+
+// FailSyncAt arms sync-point injection: the nth Sync attempt fails and the
+// filesystem dies with it. 0 disarms.
+func (f *FaultFS) FailSyncAt(n int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.failSyncAt = n
+}
+
+// Syncs returns the number of successful Sync calls (batching assertions).
+func (f *FaultFS) Syncs() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.syncs
+}
+
+func (f *FaultFS) dead() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.failed
+}
+
+func (f *FaultFS) MkdirAll(dir string) error {
+	if f.dead() {
+		return ErrInjected
+	}
+	return f.inner.MkdirAll(dir)
+}
+
+func (f *FaultFS) List(dir string) ([]string, error) {
+	if f.dead() {
+		return nil, ErrInjected
+	}
+	return f.inner.List(dir)
+}
+
+func (f *FaultFS) ReadFile(path string) ([]byte, error) {
+	if f.dead() {
+		return nil, ErrInjected
+	}
+	return f.inner.ReadFile(path)
+}
+
+func (f *FaultFS) Create(path string) (File, error) {
+	if f.dead() {
+		return nil, ErrInjected
+	}
+	inner, err := f.inner.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return &faultHandle{fs: f, inner: inner}, nil
+}
+
+func (f *FaultFS) Truncate(path string, size int64) error {
+	if f.dead() {
+		return ErrInjected
+	}
+	return f.inner.Truncate(path, size)
+}
+
+func (f *FaultFS) Rename(oldPath, newPath string) error {
+	if f.dead() {
+		return ErrInjected
+	}
+	return f.inner.Rename(oldPath, newPath)
+}
+
+func (f *FaultFS) Remove(path string) error {
+	if f.dead() {
+		return ErrInjected
+	}
+	return f.inner.Remove(path)
+}
+
+type faultHandle struct {
+	fs    *FaultFS
+	inner File
+}
+
+func (h *faultHandle) Write(p []byte) (int, error) {
+	h.fs.mu.Lock()
+	if h.fs.failed {
+		h.fs.mu.Unlock()
+		return 0, ErrInjected
+	}
+	n := len(p)
+	short := false
+	if h.fs.budget >= 0 {
+		if int64(n) > h.fs.budget {
+			n, short = int(h.fs.budget), true
+			h.fs.failed = true
+		}
+		h.fs.budget -= int64(n)
+	}
+	h.fs.writes++
+	h.fs.writesBytes += n
+	h.fs.mu.Unlock()
+
+	wrote, err := h.inner.Write(p[:n])
+	if err != nil {
+		return wrote, err
+	}
+	if short {
+		return wrote, ErrInjected
+	}
+	return wrote, nil
+}
+
+func (h *faultHandle) Sync() error {
+	h.fs.mu.Lock()
+	if h.fs.failed {
+		h.fs.mu.Unlock()
+		return ErrInjected
+	}
+	h.fs.syncTries++
+	if h.fs.failSyncAt > 0 && h.fs.syncTries >= h.fs.failSyncAt {
+		h.fs.failed = true
+		h.fs.mu.Unlock()
+		return ErrInjected
+	}
+	h.fs.syncs++
+	h.fs.mu.Unlock()
+	return h.inner.Sync()
+}
+
+func (h *faultHandle) Close() error { return h.inner.Close() }
+
+// join builds a path under dir for the given base name.
+func join(dir, name string) string { return filepath.Join(dir, name) }

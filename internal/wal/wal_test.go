@@ -1,0 +1,422 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+func payload(i int) []byte { return []byte(fmt.Sprintf("record-%04d", i)) }
+
+func mustOpen(t *testing.T, fs FS, dir string, opts ...func(*Options)) *WAL {
+	t.Helper()
+	opt := Options{Dir: dir, FS: fs}
+	for _, f := range opts {
+		f(&opt)
+	}
+	w, err := Open(opt)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return w
+}
+
+func collect(t *testing.T, w *WAL) map[uint64][]byte {
+	t.Helper()
+	out := map[uint64][]byte{}
+	err := w.Replay(func(lsn uint64, p []byte) error {
+		if _, dup := out[lsn]; dup {
+			t.Fatalf("replay emitted lsn %d twice", lsn)
+		}
+		out[lsn] = append([]byte(nil), p...)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	return out
+}
+
+func TestAppendReopenReplay(t *testing.T) {
+	fs := NewMemFS()
+	w := mustOpen(t, fs, "d")
+	for i := 1; i <= 5; i++ {
+		lsn, err := w.AppendSync(payload(i))
+		if err != nil {
+			t.Fatalf("AppendSync: %v", err)
+		}
+		if lsn != uint64(i) {
+			t.Fatalf("lsn = %d, want %d", lsn, i)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	w2 := mustOpen(t, fs, "d")
+	got := collect(t, w2)
+	if len(got) != 5 {
+		t.Fatalf("replayed %d records, want 5", len(got))
+	}
+	for i := 1; i <= 5; i++ {
+		if !bytes.Equal(got[uint64(i)], payload(i)) {
+			t.Fatalf("lsn %d: got %q", i, got[uint64(i)])
+		}
+	}
+	// Appends continue where the log left off.
+	lsn, err := w2.AppendSync([]byte("after"))
+	if err != nil || lsn != 6 {
+		t.Fatalf("AppendSync after reopen: lsn=%d err=%v", lsn, err)
+	}
+}
+
+func TestCloseFlushesBufferedAppends(t *testing.T) {
+	fs := NewMemFS()
+	w := mustOpen(t, fs, "d")
+	if _, err := w.Append([]byte("buffered")); err != nil {
+		t.Fatal(err)
+	}
+	if w.DurableLSN() != 0 {
+		t.Fatalf("durable before sync = %d", w.DurableLSN())
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got := collect(t, mustOpen(t, fs, "d"))
+	if len(got) != 1 || !bytes.Equal(got[1], []byte("buffered")) {
+		t.Fatalf("buffered record not flushed by Close: %v", got)
+	}
+}
+
+func TestKillDropsUnsyncedAppends(t *testing.T) {
+	fs := NewMemFS()
+	w := mustOpen(t, fs, "d")
+	if _, err := w.AppendSync([]byte("synced")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Append([]byte("volatile")); err != nil {
+		t.Fatal(err)
+	}
+	w.Kill()
+	fs.Crash(nil)
+	got := collect(t, mustOpen(t, fs, "d"))
+	if len(got) != 1 || !bytes.Equal(got[1], []byte("synced")) {
+		t.Fatalf("after kill: %v", got)
+	}
+}
+
+func TestSegmentRotationAndContiguity(t *testing.T) {
+	fs := NewMemFS()
+	small := func(o *Options) { o.SegmentBytes = 64 }
+	w := mustOpen(t, fs, "d", small)
+	const n = 40
+	for i := 1; i <= n; i++ {
+		if _, err := w.AppendSync(payload(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := w.Stats(); st.Segments < 3 {
+		t.Fatalf("expected rotation, got %d segments", st.Segments)
+	}
+	_ = w.Close()
+	got := collect(t, mustOpen(t, fs, "d", small))
+	if len(got) != n {
+		t.Fatalf("replayed %d, want %d", len(got), n)
+	}
+	for i := 1; i <= n; i++ {
+		if !bytes.Equal(got[uint64(i)], payload(i)) {
+			t.Fatalf("lsn %d mismatch", i)
+		}
+	}
+}
+
+func TestCheckpointGCAndReplayAboveIt(t *testing.T) {
+	fs := NewMemFS()
+	small := func(o *Options) { o.SegmentBytes = 64 }
+	w := mustOpen(t, fs, "d", small)
+	for i := 1; i <= 20; i++ {
+		if _, err := w.AppendSync(payload(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := w.Stats().Segments
+	if err := w.InstallCheckpoint(15, []byte("state@15")); err != nil {
+		t.Fatalf("InstallCheckpoint: %v", err)
+	}
+	if after := w.Stats().Segments; after >= before {
+		t.Fatalf("GC did not collect segments: %d -> %d", before, after)
+	}
+	_ = w.Close()
+
+	w2 := mustOpen(t, fs, "d", small)
+	lsn, state, ok := w2.Checkpoint()
+	if !ok || lsn != 15 || string(state) != "state@15" {
+		t.Fatalf("Checkpoint() = %d %q %v", lsn, state, ok)
+	}
+	got := collect(t, w2)
+	for i := 1; i <= 15; i++ {
+		if _, present := got[uint64(i)]; present {
+			t.Fatalf("lsn %d replayed despite checkpoint at 15", i)
+		}
+	}
+	for i := 16; i <= 20; i++ {
+		if !bytes.Equal(got[uint64(i)], payload(i)) {
+			t.Fatalf("lsn %d missing above checkpoint", i)
+		}
+	}
+}
+
+func TestCheckpointRefusesFutureAndRegression(t *testing.T) {
+	w := mustOpen(t, NewMemFS(), "d")
+	if _, err := w.AppendSync([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.InstallCheckpoint(2, nil); err == nil {
+		t.Fatal("checkpoint above durable LSN accepted")
+	}
+	if err := w.InstallCheckpoint(1, []byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := w.AppendSync([]byte("y")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.InstallCheckpoint(4, []byte("b")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.InstallCheckpoint(2, nil); err == nil {
+		t.Fatal("checkpoint regression accepted")
+	}
+}
+
+func TestTornTailTruncated(t *testing.T) {
+	fs := NewMemFS()
+	w := mustOpen(t, fs, "d")
+	for i := 1; i <= 3; i++ {
+		if _, err := w.AppendSync(payload(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := w.Stats()
+	_ = w.Close()
+
+	// Scribble half a record onto the end of the newest segment, as a torn
+	// write would.
+	names, _ := fs.List("d")
+	var seg string
+	for _, n := range names {
+		if _, ok := parseName(n, segPrefix, segSuffix); ok {
+			seg = n // sorted; last segment wins
+		}
+	}
+	data, _ := fs.ReadFile(join("d", seg))
+	f, _ := fs.Create(join("d", seg))
+	full := appendRecord(append([]byte(nil), data...), []byte("torn-record"))
+	if _, err := f.Write(full[:len(full)-4]); err != nil {
+		t.Fatal(err)
+	}
+	_ = f.Sync()
+	_ = f.Close()
+
+	w2 := mustOpen(t, fs, "d")
+	got := collect(t, w2)
+	if len(got) != 3 {
+		t.Fatalf("replayed %d records, want 3 (torn tail should truncate)", len(got))
+	}
+	if w2.Stats().DurableLSN != st.DurableLSN {
+		t.Fatalf("durable lsn drifted: %d -> %d", st.DurableLSN, w2.Stats().DurableLSN)
+	}
+}
+
+func TestCorruptMiddleRefusesOpen(t *testing.T) {
+	fs := NewMemFS()
+	small := func(o *Options) { o.SegmentBytes = 32 }
+	w := mustOpen(t, fs, "d", small)
+	for i := 1; i <= 10; i++ {
+		if _, err := w.AppendSync(payload(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_ = w.Close()
+	// Flip a byte in the FIRST segment: damage that is not a tail tear.
+	names, _ := fs.List("d")
+	var first string
+	for _, n := range names {
+		if _, ok := parseName(n, segPrefix, segSuffix); ok {
+			first = n
+			break
+		}
+	}
+	data, _ := fs.ReadFile(join("d", first))
+	data[headerSize] ^= 0xff
+	f, _ := fs.Create(join("d", first))
+	_, _ = f.Write(data)
+	_ = f.Sync()
+	_ = f.Close()
+
+	_, err := Open(Options{Dir: "d", FS: fs})
+	var ce *CorruptError
+	if !errors.As(err, &ce) {
+		t.Fatalf("Open with mid-log damage: err = %v, want CorruptError", err)
+	}
+}
+
+// slowFS stretches every fsync so concurrent AppendSync callers pile up
+// behind the in-flight flush — the group-commit window made deterministic.
+type slowFS struct{ FS }
+
+func (s slowFS) Create(path string) (File, error) {
+	f, err := s.FS.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return slowFile{f}, nil
+}
+
+type slowFile struct{ File }
+
+func (f slowFile) Sync() error {
+	time.Sleep(time.Millisecond)
+	return f.File.Sync()
+}
+
+func TestGroupCommitBatchesFsyncs(t *testing.T) {
+	fs := NewFaultFS(slowFS{NewMemFS()})
+	w := mustOpen(t, fs, "d")
+	const (
+		workers = 8
+		each    = 50
+	)
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	seen := make([][]uint64, workers)
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				lsn, err := w.AppendSync([]byte(fmt.Sprintf("w%d-%d", g, i)))
+				if err != nil {
+					errs <- err
+					return
+				}
+				seen[g] = append(seen[g], lsn)
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	// Group commit: far fewer fsyncs than records, and no LSN issued twice.
+	if s := fs.Syncs(); s >= workers*each/2 {
+		t.Fatalf("no batching: %d fsyncs for %d records", s, workers*each)
+	}
+	all := map[uint64]bool{}
+	for _, lsns := range seen {
+		for _, l := range lsns {
+			if all[l] {
+				t.Fatalf("lsn %d acknowledged twice", l)
+			}
+			all[l] = true
+		}
+	}
+	if len(all) != workers*each {
+		t.Fatalf("%d distinct lsns, want %d", len(all), workers*each)
+	}
+	_ = w.Close()
+	got := collect(t, mustOpen(t, NewFaultFS(fs), "d"))
+	if len(got) != workers*each {
+		t.Fatalf("replayed %d, want %d", len(got), workers*each)
+	}
+}
+
+func TestSyncFailureIsSticky(t *testing.T) {
+	fs := NewFaultFS(NewMemFS())
+	w := mustOpen(t, fs, "d")
+	if _, err := w.AppendSync([]byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+	fs.FailNow()
+	if _, err := w.AppendSync([]byte("doomed")); err == nil {
+		t.Fatal("AppendSync succeeded on a dead filesystem")
+	}
+	if _, err := w.AppendSync([]byte("still-doomed")); err == nil {
+		t.Fatal("sticky error did not stick")
+	}
+	if err := w.InstallCheckpoint(1, nil); err == nil {
+		t.Fatal("checkpoint accepted on a dead log")
+	}
+}
+
+func TestRecordLimitsAndClosed(t *testing.T) {
+	w := mustOpen(t, NewMemFS(), "d")
+	if _, err := w.AppendSync(make([]byte, MaxRecord+1)); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("oversized append: %v", err)
+	}
+	if _, err := w.AppendSync(nil); err != nil {
+		t.Fatalf("empty payload rejected: %v", err)
+	}
+	_ = w.Close()
+	if _, err := w.AppendSync([]byte("x")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("append after close: %v", err)
+	}
+	if err := w.Sync(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("sync after close: %v", err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("double close: %v", err)
+	}
+}
+
+func TestMetricsWired(t *testing.T) {
+	reg := obs.NewRegistry()
+	fs := NewMemFS()
+	w := mustOpen(t, fs, "d", func(o *Options) { o.Metrics = reg })
+	for i := 1; i <= 4; i++ {
+		if _, err := w.AppendSync(payload(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.InstallCheckpoint(4, []byte("s")); err != nil {
+		t.Fatal(err)
+	}
+	if v := reg.Counter("wal_records_total").Value(); v != 4 {
+		t.Fatalf("wal_records_total = %d", v)
+	}
+	if v := reg.Counter("wal_fsyncs_total").Value(); v == 0 {
+		t.Fatal("wal_fsyncs_total = 0")
+	}
+	if v := reg.Gauge("wal_durable_lsn").Value(); v != 4 {
+		t.Fatalf("wal_durable_lsn = %d", v)
+	}
+	if v := reg.Gauge("wal_checkpoint_lsn").Value(); v != 4 {
+		t.Fatalf("wal_checkpoint_lsn = %d", v)
+	}
+	if v := reg.Counter("wal_bytes_total").Value(); v == 0 {
+		t.Fatal("wal_bytes_total = 0")
+	}
+	_ = w.Close()
+}
+
+func TestOpenIdempotentOnEmptyDir(t *testing.T) {
+	fs := NewMemFS()
+	for i := 0; i < 3; i++ {
+		w := mustOpen(t, fs, "d")
+		if got := collect(t, w); len(got) != 0 {
+			t.Fatalf("round %d: unexpected records %v", i, got)
+		}
+		_ = w.Close()
+	}
+	names, _ := fs.List("d")
+	if len(names) != 1 {
+		t.Fatalf("empty open/close cycles leaked files: %v", names)
+	}
+}

@@ -99,6 +99,9 @@ const (
 	tAuditResponse
 	tTSDBRequest
 	tTSDBResponse
+	tWALCheckpoint
+	tWALStatusRequest
+	tWALStatusResponse
 )
 
 var (
@@ -414,6 +417,18 @@ func appendMessage(b []byte, msg any) ([]byte, error) {
 		return appendTSDBResponse(au(b, tTSDBResponse), &m), nil
 	case *TSDBResponse:
 		return appendTSDBResponse(au(b, tTSDBResponse), m), nil
+	case WALCheckpoint:
+		return appendWALCheckpoint(au(b, tWALCheckpoint), &m), nil
+	case *WALCheckpoint:
+		return appendWALCheckpoint(au(b, tWALCheckpoint), m), nil
+	case WALStatusRequest:
+		return au(b, tWALStatusRequest), nil
+	case *WALStatusRequest:
+		return au(b, tWALStatusRequest), nil
+	case WALStatusResponse:
+		return appendWALStatusResponse(au(b, tWALStatusResponse), &m), nil
+	case *WALStatusResponse:
+		return appendWALStatusResponse(au(b, tWALStatusResponse), m), nil
 	default:
 		return b, transport.ErrUnsupportedType
 	}
@@ -509,6 +524,12 @@ func decMessage(r *reader) (any, error) {
 		v = decTSDBRequest(r)
 	case tTSDBResponse:
 		v = decTSDBResponse(r)
+	case tWALCheckpoint:
+		v = decWALCheckpoint(r)
+	case tWALStatusRequest:
+		v = WALStatusRequest{}
+	case tWALStatusResponse:
+		v = decWALStatusResponse(r)
 	default:
 		return nil, fmt.Errorf("%w: %d", errUnknownType, id)
 	}
@@ -809,6 +830,69 @@ func decRecoveryPullResponse(r *reader) RecoveryPullResponse {
 	}
 	m.LeaseExpiry = r.ts()
 	return m
+}
+
+func appendWALCheckpoint(b []byte, m *WALCheckpoint) []byte {
+	b = au(b, m.Epoch)
+	b = aTs(b, m.Watermark)
+	b = aStr(b, m.LeasePrimary)
+	b = aTs(b, m.LeaseExpiry)
+	b = aLen(b, len(m.Txns), m.Txns == nil)
+	for i := range m.Txns {
+		b = appendTxnRecord(b, &m.Txns[i])
+	}
+	b = aLen(b, len(m.Data), m.Data == nil)
+	for i := range m.Data {
+		b = appendDataOp(b, &m.Data[i])
+	}
+	return b
+}
+
+func decWALCheckpoint(r *reader) WALCheckpoint {
+	m := WALCheckpoint{Epoch: r.uvarint(), Watermark: r.ts(), LeasePrimary: r.str(), LeaseExpiry: r.ts()}
+	n, isNil := r.length()
+	if !isNil {
+		m.Txns = make([]TxnRecord, n)
+		for i := range m.Txns {
+			m.Txns[i] = decTxnRecord(r)
+		}
+	}
+	n, isNil = r.length()
+	if !isNil {
+		m.Data = make([]DataOp, n)
+		for i := range m.Data {
+			m.Data[i] = decDataOp(r)
+		}
+	}
+	return m
+}
+
+func appendWALStatusResponse(b []byte, m *WALStatusResponse) []byte {
+	b = aStr(b, m.Addr)
+	b = aBool(b, m.Enabled)
+	b = au(b, m.AppendedLSN)
+	b = au(b, m.DurableLSN)
+	b = au(b, m.CheckpointLSN)
+	b = ai(b, int64(m.Segments))
+	b = ai(b, m.Bytes)
+	b = ai(b, m.Fsyncs)
+	b = ai(b, m.ReplayRecords)
+	return ai(b, m.ReplayNs)
+}
+
+func decWALStatusResponse(r *reader) WALStatusResponse {
+	return WALStatusResponse{
+		Addr:          r.str(),
+		Enabled:       r.bool(),
+		AppendedLSN:   r.uvarint(),
+		DurableLSN:    r.uvarint(),
+		CheckpointLSN: r.uvarint(),
+		Segments:      int(r.varint()),
+		Bytes:         r.varint(),
+		Fsyncs:        r.varint(),
+		ReplayRecords: r.varint(),
+		ReplayNs:      r.varint(),
+	}
 }
 
 // ---- obs/clock composites (stats, traces, health, audit) ----

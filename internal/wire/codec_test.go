@@ -98,6 +98,20 @@ func codecExemplars() []any {
 				{Name: "go_goroutines", Seq: 12, First: 42},
 			},
 		},
+		WALCheckpoint{
+			Epoch: 3, Watermark: ts(90, 1), LeasePrimary: "shard0/r0", LeaseExpiry: ts(95, 1),
+			Txns: []TxnRecord{{
+				ID: TxnID{Client: 5, Seq: 6}, CommitTs: ts(70, 5),
+				WriteSet: []KV{{Key: []byte("k"), Val: []byte("v")}}, Participants: []int{0},
+				Status: StatusCommitted,
+			}},
+			Data: []DataOp{{Key: []byte("a"), Val: []byte("1"), Version: ts(80, 5)}},
+		},
+		WALStatusRequest{},
+		WALStatusResponse{
+			Addr: "n5", Enabled: true, AppendedLSN: 12, DurableLSN: 11, CheckpointLSN: 8,
+			Segments: 2, Bytes: 4096, Fsyncs: 7, ReplayRecords: 3, ReplayNs: 1500,
+		},
 	}
 }
 
@@ -275,6 +289,9 @@ func TestCodecTypeIDsFrozen(t *testing.T) {
 		"wire.AuditResponse":        35,
 		"wire.TSDBRequest":          36,
 		"wire.TSDBResponse":         37,
+		"wire.WALCheckpoint":        38,
+		"wire.WALStatusRequest":     39,
+		"wire.WALStatusResponse":    40,
 	}
 	for _, m := range registeredMessages() {
 		name := fmt.Sprintf("%T", m)
@@ -317,6 +334,8 @@ func TestCodecGoldenBytes(t *testing.T) {
 		{DecisionRequest{ID: TxnID{Client: 3, Seq: 4}, Commit: true}, "10030401"},
 		{Replicated{Epoch: 7, Msg: Ack{}}, "0a070b"},
 		{WatermarkBroadcast{Client: 2, Ts: clock.Timestamp{Ticks: 500, Client: 2}}, "0d02e80702"},
+		{WALCheckpoint{Epoch: 2, Watermark: clock.Timestamp{Ticks: 100, Client: 1}, LeasePrimary: "p", LeaseExpiry: clock.Timestamp{Ticks: 110, Client: 1}, Data: []DataOp{{Key: []byte("k"), Val: []byte("v"), Version: clock.Timestamp{Ticks: 90, Client: 1}}}}, "2602c801010170dc01010002026b0276b4010100000000"},
+		{WALStatusResponse{Addr: "n5", Enabled: true, AppendedLSN: 12, DurableLSN: 11, CheckpointLSN: 8, Segments: 2, Bytes: 4096, Fsyncs: 7, ReplayRecords: 3, ReplayNs: 1500}, "28026e35010c0b080480400e06b817"},
 	}
 	for _, c := range cases {
 		got, err := Codec.Append(nil, c.msg)

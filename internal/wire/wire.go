@@ -428,6 +428,51 @@ type PromoteRequest struct{}
 // PromoteResponse acknowledges completed recovery.
 type PromoteResponse struct{}
 
+// ---- durability (write-ahead log checkpoints + recovery observability) ----
+
+// WALCheckpoint is the snapshot a replica writes as its write-ahead-log
+// checkpoint: everything needed to rebuild the server without replaying the
+// records the checkpoint covers. It never crosses the network — it is
+// framed into a checkpoint file — but it rides the frozen codec v1 so
+// on-disk state is as version-stable as the wire.
+type WALCheckpoint struct {
+	// Epoch is the replication epoch at checkpoint time.
+	Epoch uint64
+	// Watermark is the GC watermark; versions at or below it are safe
+	// everywhere and the backend may keep only the youngest.
+	Watermark clock.Timestamp
+	// LeasePrimary/LeaseExpiry capture the read lease this replica had
+	// granted (backups), so a restart cannot forget a promise it made.
+	LeasePrimary string
+	LeaseExpiry  clock.Timestamp
+	// Txns is the prepared/decided transaction table (Algorithm 2 input).
+	Txns []TxnRecord
+	// Data is the full multi-version store above the watermark.
+	Data []DataOp
+}
+
+// WALStatusRequest asks a replica for its write-ahead-log state.
+type WALStatusRequest struct{}
+
+// WALStatusResponse reports a replica's durability state: log position,
+// checkpoint coverage, and what the last cold-start replay cost.
+type WALStatusResponse struct {
+	Addr    string
+	Enabled bool
+	// AppendedLSN/DurableLSN/CheckpointLSN are the log positions: last
+	// assigned, last fsynced, and last covered by a checkpoint.
+	AppendedLSN   uint64
+	DurableLSN    uint64
+	CheckpointLSN uint64
+	Segments      int
+	Bytes         int64
+	Fsyncs        int64
+	// ReplayRecords/ReplayNs describe the replica's last cold-start
+	// recovery (zero when the process started from an empty log).
+	ReplayRecords int64
+	ReplayNs      int64
+}
+
 // registeredMessages lists one zero value of every message type that
 // crosses the wire; init registers them with the gob codec, and the
 // round-trip test sweeps the same list so no type ships unregistered or
@@ -446,6 +491,7 @@ func registeredMessages() []any {
 		TraceRequest{}, TraceResponse{}, TimeHealthRequest{}, TimeHealthResponse{},
 		AuditRequest{}, AuditResponse{},
 		TSDBRequest{}, TSDBResponse{},
+		WALCheckpoint{}, WALStatusRequest{}, WALStatusResponse{},
 	}
 }
 

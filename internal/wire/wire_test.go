@@ -99,6 +99,12 @@ func TestGobRoundTrip(t *testing.T) {
 					`semel_serve_ns{op="get"}`: {Count: 1, Sum: 40, Buckets: []obs.Bucket{{Idx: 4, N: 1}}},
 				},
 			}},
+		WALCheckpoint{Epoch: 4, Watermark: ts, LeasePrimary: "shard0/r0", LeaseExpiry: ts,
+			Txns: []TxnRecord{{ID: TxnID{Client: 2, Seq: 5}, CommitTs: ts, WriteSet: []KV{{Key: []byte("k"), Val: []byte("v")}}, Status: StatusCommitted}},
+			Data: []DataOp{{Key: []byte("d"), Val: []byte("1"), Version: ts}}},
+		WALStatusRequest{},
+		WALStatusResponse{Addr: "shard0/r1", Enabled: true, AppendedLSN: 20, DurableLSN: 19,
+			CheckpointLSN: 12, Segments: 3, Bytes: 999, Fsyncs: 5, ReplayRecords: 8, ReplayNs: 1234},
 	}
 	covered := map[reflect.Type]bool{}
 	for _, msg := range msgs {
