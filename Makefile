@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check cover audit stress crash bench benchquick benchcmp benchall
+.PHONY: all build vet test race check cover audit stress overload crash bench benchquick benchcmp benchall
 
 all: check
 
@@ -21,7 +21,7 @@ race:
 # the packages whose regressions (an unparseable /metrics line, a byte moved
 # in the frozen wire format, a checker that stops finding cycles) otherwise
 # slip through unexercised.
-COVER_PKGS = ./internal/obs ./internal/wire ./internal/faults ./internal/check ./internal/audit ./internal/transport ./internal/wal
+COVER_PKGS = ./internal/obs ./internal/wire ./internal/faults ./internal/check ./internal/audit ./internal/transport ./internal/wal ./internal/resilience
 COVER_MIN  = 70
 cover:
 	$(GO) test -coverprofile=cover.out $(COVER_PKGS)
@@ -61,7 +61,17 @@ CHAOS_SEED   ?= 1
 CHAOS_ROUNDS ?= 20
 stress:
 	CHAOS_SEED=$(CHAOS_SEED) CHAOS_ROUNDS=$(CHAOS_ROUNDS) \
-		$(GO) test -race -timeout 30m -run 'TestStress|TestAudit' -v ./internal/core/
+		$(GO) test -race -timeout 30m -run 'TestStress|TestAudit|TestResilienceChaosAudit' -v ./internal/core/
+	$(MAKE) overload
+
+# overload is the graceful-degradation gate: a 4× open-loop overload against
+# a cluster with one deliberately degraded replica must keep goodput at or
+# above 70% of the pre-overload baseline, with admission control shedding
+# reads before prepares and never shedding control traffic, and the circuit
+# breakers must close again once the overload stops.
+overload:
+	OVERLOAD_GATE=1 $(GO) test -race -timeout 10m -count=1 \
+		-run 'TestOverloadGoodputCurve|TestBreakerRecovery' -v ./internal/core/
 
 # crash is the durability gate: the whole internal/wal suite under -race —
 # crash-point sweeps at every byte boundary, torn tails, flipped bits, and
@@ -84,15 +94,17 @@ bench:
 
 # benchquick is the short iteration loop: 1s per scenario, put/multiget TCP
 # scenarios only (the ones the wire codec moves), result left in /tmp so the
-# checked-in trajectory files stay stable. It also runs the two overhead
+# checked-in trajectory files stay stable. It also runs the three overhead
 # gates: the per-txn stage ledger plus a live tsdb sampler must cost < 3%
-# of bus transaction throughput versus a fully disabled cluster, and the
-# WAL's log-before-ack path must keep at least 20% of the WAL-off
-# transaction throughput.
+# of bus transaction throughput versus a fully disabled cluster, the WAL's
+# log-before-ack path must keep at least 20% of the WAL-off transaction
+# throughput, and the idle resilience layer (admission + breakers + retry
+# budget + hedging) must account to < 2% of a bus transaction.
 benchquick:
 	$(GO) run ./cmd/bench -dur 1s -only put/,multiget/ -out /tmp/benchquick.json
 	OBS_OVERHEAD_GATE=1 $(GO) test -count=1 -run TestStageOverheadGate -v ./internal/core/
 	WAL_OVERHEAD_GATE=1 $(GO) test -count=1 -run TestWALOverheadGate -v ./internal/core/
+	RESILIENCE_OVERHEAD_GATE=1 $(GO) test -count=1 -run TestResilienceOverheadGate -v ./internal/core/
 
 # benchcmp prints a benchstat-style before/after table between the last two
 # recorded trajectories.

@@ -51,6 +51,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/flash"
+	"repro/internal/resilience"
 	"repro/internal/semel"
 	"repro/internal/storage"
 	"repro/internal/transport"
@@ -171,6 +172,15 @@ func main() {
 		_ = os.RemoveAll(walRoot)
 	}
 	ratio("wal cost", "wal/unsynced", "wal/synced")
+
+	fmt.Printf("resilience layer (DRAM, in-process bus; idle-path admission cost), conc=%d:\n", *conc)
+	if want("resilience/off") {
+		record(runPut("resilience/off", resiliencePutOptions(false), *conc, *dur, "seed behavior: no admission control"))
+	}
+	if want("resilience/on") {
+		record(runPut("resilience/on", resiliencePutOptions(true), *conc, *dur, "admission control on every server (uncontended: nothing sheds, the check itself is the cost)"))
+	}
+	ratio("resilience cost", "resilience/off", "resilience/on")
 
 	fmt.Printf("multiget fan-out (DRAM over loopback TCP, 16 keys per call), conc=%d:\n", *conc)
 	if want("multiget/serial") {
@@ -528,6 +538,25 @@ func walPutOptions(walRoot string) core.ClusterOptions {
 		CheckpointEvery:     1 << 20,
 		Seed:                7,
 	}
+}
+
+// resiliencePutOptions pits the same DRAM bus cluster with and without the
+// resilience layer. Uncontended, admission control never sheds: the on/off
+// ratio is the pure per-request price of the inflight accounting and
+// priority classification on the hot path.
+func resiliencePutOptions(on bool) core.ClusterOptions {
+	opt := core.ClusterOptions{
+		Shards:              1,
+		Replicas:            3,
+		Backend:             core.BackendDRAM,
+		LeaseDuration:       -1,
+		AntiEntropyInterval: -1,
+		Seed:                7,
+	}
+	if on {
+		opt.Resilience = &resilience.Options{}
+	}
+	return opt
 }
 
 // benchGeometry is a 64 MiB 8-channel device: big enough that a multi-second

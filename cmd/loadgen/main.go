@@ -20,10 +20,30 @@ import (
 	"repro/internal/clock"
 	"repro/internal/cluster"
 	"repro/internal/milana"
+	"repro/internal/resilience"
 	"repro/internal/retwis"
 	"repro/internal/semel"
 	"repro/internal/transport"
 )
+
+// backoffBusy sleeps out a shed server's RetryAfter hint (falling back to
+// 5ms) and reports whether err was an admission-control pushback at all —
+// the load generator must be a well-behaved client, not fail the run on
+// the first shed.
+func backoffBusy(ctx context.Context, err error) bool {
+	if !resilience.IsServerBusy(err) {
+		return false
+	}
+	d, ok := resilience.RetryAfterFrom(err)
+	if !ok || d <= 0 {
+		d = 5 * time.Millisecond
+	}
+	select {
+	case <-time.After(d):
+	case <-ctx.Done():
+	}
+	return true
+}
 
 func main() {
 	var (
@@ -66,8 +86,16 @@ func main() {
 				if popErr.Load() != nil {
 					continue
 				}
-				if _, err := kv.Put(ctx, []byte(k), []byte("seed")); err != nil {
+				for {
+					_, err := kv.Put(ctx, []byte(k), []byte("seed"))
+					if err == nil {
+						break
+					}
+					if backoffBusy(ctx, err) {
+						continue
+					}
 					popErr.CompareAndSwap(nil, err)
+					break
 				}
 			}
 		}()
@@ -118,7 +146,13 @@ func main() {
 						break
 					}
 					t.Abort()
-					if !errors.Is(err, milana.ErrAborted) || runCtx.Err() != nil {
+					if runCtx.Err() != nil {
+						return
+					}
+					if backoffBusy(runCtx, err) {
+						continue
+					}
+					if !errors.Is(err, milana.ErrAborted) {
 						return
 					}
 				}

@@ -41,6 +41,7 @@ func main() {
 		rounds   = flag.Int("rounds", 0, "with top: number of refreshes (0 = until interrupted)")
 		samples  = flag.Int("samples", 60, "with history: samples pulled per series (0 = the full retained window)")
 		gobWire  = flag.Bool("gob", false, "force the gob wire codec (talks to pre-codec servers; normally the binary codec is negotiated per frame)")
+		callTO   = flag.Duration("call-timeout", transport.DefaultCallTimeout, "default per-RPC deadline when a command's context has none; negative disables")
 	)
 	flag.Parse()
 	args := flag.Args()
@@ -58,7 +59,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	net := transport.NewTCPClientOpts(transport.TCPClientOptions{ForceGob: *gobWire})
+	net := transport.NewTCPClientOpts(transport.TCPClientOptions{ForceGob: *gobWire, CallTimeout: *callTO})
 	defer net.Close()
 	clk := clock.NewPerfect(clock.NewSystemSource(), uint32(*id))
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
@@ -241,6 +242,9 @@ func main() {
 		printLatencyTable("server stage ledger (per-request attribution)", merged, "server_stage_ledger_ns")
 		printCounterTable("abort reasons", merged, "milana_aborts_total")
 		printCounterTable("sweep outcomes", merged, "milana_sweep_total")
+		printCounterTable("admission sheds (by priority)", merged, "admission_shed_total")
+		printCounterTable("deadline drops (admission)", merged, "admission_deadline_dropped_total")
+		printCounterTable("deadline drops (wire)", merged, "transport_deadline_expired_total")
 		printExemplars(merged, "semel_serve_ns")
 	case "audit":
 		raw := len(args) > 1 && args[1] == "json"
@@ -570,8 +574,19 @@ func runTop(net transport.Client, dir *cluster.Directory, timeout, interval time
 			time.Duration(p50), time.Duration(p95), time.Duration(p99))
 		fmt.Printf("watermark:  max lag %v\n", s.wmLagMax)
 		fmt.Printf("audit:      %d epsilon violation(s), %d conviction(s)\n", s.epsViol, s.convc)
+		var sheds, ddrops int64
+		for name, v := range s.merged.Counters {
+			if strings.HasPrefix(name, "admission_shed_total") {
+				sheds += v
+			}
+			if name == "admission_deadline_dropped_total" || name == "transport_deadline_expired_total" {
+				ddrops += v
+			}
+		}
+		fmt.Printf("overload:   %d shed, %d dropped at deadline\n", sheds, ddrops)
 		printLatencyTable("server stage breakdown", s.merged, "server_stage_ledger_ns")
 		printCounterTable("abort reasons", s.merged, "milana_aborts_total")
+		printCounterTable("admission sheds (by priority)", s.merged, "admission_shed_total")
 		printCounterTable("watchdog alerts", s.merged, "obs_alerts_total")
 
 		prev = &s

@@ -30,6 +30,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/obs"
+	"repro/internal/resilience"
 	"repro/internal/semel"
 	"repro/internal/storage"
 	"repro/internal/transport"
@@ -61,6 +62,11 @@ func main() {
 		tsdbWindow   = flag.Int("tsdb-window", 900, "samples retained per series (window = interval × this)")
 		tsdbOff      = flag.Bool("tsdb-off", false, "disable the embedded time-series store and its regression watchdog")
 		commitWait   = flag.Duration("commit-wait", 0, "hold each prepare until the local clock clears commit_ts plus this bound (0 disables)")
+
+		callTimeout = flag.Duration("call-timeout", transport.DefaultCallTimeout, "default deadline for outbound RPCs (replication fan-out) when the caller's context has none; negative disables")
+
+		admMaxInflight = flag.Int("admission-max-inflight", 0, "admission control: shed reads above half of this many in-flight requests, prepares above 9/10 (0 disables admission control)")
+		admQueueDelay  = flag.Duration("admission-queue-delay", 20*time.Millisecond, "admission control: shed reads queued longer than this, prepares past 4x (needs -admission-max-inflight)")
 	)
 	flag.Parse()
 
@@ -109,7 +115,7 @@ func main() {
 		Shard:                cluster.ShardID(*shard),
 		Primary:              *replica == 0,
 		Backend:              be,
-		Net:                  transport.NewTCPClientOpts(transport.TCPClientOptions{ForceGob: *gobWire, Metrics: reg}),
+		Net:                  transport.NewTCPClientOpts(transport.TCPClientOptions{ForceGob: *gobWire, Metrics: reg, CallTimeout: *callTimeout}),
 		Dir:                  dir,
 		Clock:                clock.NewPerfect(clock.NewSystemSource(), uint32(1<<20+*shard*100+*replica)),
 		SlowRequestThreshold: *slowlog,
@@ -125,6 +131,13 @@ func main() {
 		}
 		defer w.Close()
 		opts.Log = w
+	}
+	if *admMaxInflight > 0 {
+		opts.Admission = resilience.NewAdmission(resilience.AdmissionOptions{
+			MaxInflight:   *admMaxInflight,
+			MaxQueueDelay: *admQueueDelay,
+			Metrics:       reg,
+		})
 	}
 	// The embedded time-series store samples the registry once per interval
 	// (including Go runtime health) and runs the default regression watchdog

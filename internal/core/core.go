@@ -30,6 +30,7 @@ import (
 	"repro/internal/milana"
 	"repro/internal/mvftl"
 	"repro/internal/obs"
+	"repro/internal/resilience"
 	"repro/internal/semel"
 	"repro/internal/storage"
 	"repro/internal/transport"
@@ -122,6 +123,15 @@ type ClusterOptions struct {
 	// CheckpointEvery is passed to every server (see
 	// semel.ServerOptions.CheckpointEvery). Only meaningful with WALRoot.
 	CheckpointEvery int
+	// Resilience, when set, threads the overload/gray-failure survival kit
+	// through the cluster: every server gets an admission controller
+	// (priority load shedding + RetryAfter pushback), and every transaction
+	// client NewTxnClient builds gets a budgeted retry policy, a read
+	// hedger, and per-endpoint circuit breakers — all sharing one token
+	// bucket per client, with metrics in the cluster registry (Obs) for
+	// clients and each server's own registry for admission. Nil disables
+	// the whole layer (the seed behavior).
+	Resilience *resilience.Options
 }
 
 // Cluster is an embedded SEMEL/MILANA deployment.
@@ -290,12 +300,23 @@ func (c *Cluster) startServer(addr string, slot *replicaSlot, primary bool) erro
 	}
 	var w *wal.WAL
 	var reg *obs.Registry
-	if slot.walDir != "" {
+	admissionOn := c.opt.Resilience != nil && !c.opt.Resilience.NoAdmission
+	if slot.walDir != "" || admissionOn {
 		reg = obs.NewRegistry()
+	}
+	if slot.walDir != "" {
 		w, err = wal.Open(wal.Options{Dir: slot.walDir, Metrics: reg})
 		if err != nil {
 			return fmt.Errorf("core: opening WAL for %s: %w", addr, err)
 		}
+	}
+	var adm *resilience.Admission
+	if admissionOn {
+		ao := c.opt.Resilience.Admission
+		if ao.Metrics == nil {
+			ao.Metrics = reg
+		}
+		adm = resilience.NewAdmission(ao)
 	}
 	srv, err := semel.NewServer(semel.ServerOptions{
 		Addr:                 addr,
@@ -317,6 +338,7 @@ func (c *Cluster) startServer(addr string, slot *replicaSlot, primary bool) erro
 		Metrics:              reg,
 		Log:                  w,
 		CheckpointEvery:      c.opt.CheckpointEvery,
+		Admission:            adm,
 	})
 	if err != nil {
 		if w != nil {
@@ -529,14 +551,49 @@ func (c *Cluster) NewSemelClient(id uint32) *semel.Client {
 }
 
 // NewTxnClient builds a transaction client. With auditing enabled the
-// client streams every transaction it finishes into the cluster's auditor.
+// client streams every transaction it finishes into the cluster's auditor;
+// with Resilience set it additionally gets budgeted retries, read hedging,
+// and per-endpoint circuit breakers (the breaker wraps *outside* any fault
+// injector, so injected faults trip it like real ones).
 func (c *Cluster) NewTxnClient(id uint32) *milana.Client {
-	cl := milana.NewClient(c.clientClock(id), c.clientNet(id), c.Dir)
+	net := c.clientNet(id)
+	ro := c.opt.Resilience
+	if ro != nil && !ro.NoBreaker {
+		bo := ro.Breaker
+		if bo.Metrics == nil {
+			bo.Metrics = c.Obs
+		}
+		net = resilience.NewBreakerClient(net, bo)
+	}
+	cl := milana.NewClient(c.clientClock(id), net, c.Dir)
 	if c.auditor != nil {
 		cl.AddSink(c.auditor)
 	}
 	if c.opt.Stages {
 		cl.EnableStages(c.Obs)
+	}
+	if ro != nil && (!ro.NoRetry || !ro.NoHedge) {
+		retryOpt := ro.Retry
+		if retryOpt.Metrics == nil {
+			retryOpt.Metrics = c.Obs
+		}
+		if retryOpt.Seed == 0 {
+			retryOpt.Seed = c.opt.Seed + int64(id) + 1
+		}
+		budget := resilience.NewBudget(retryOpt.BudgetRatio, retryOpt.BudgetBurst, c.Obs)
+		var retrier *resilience.Retrier
+		if !ro.NoRetry {
+			retrier = resilience.NewRetrier(retryOpt, budget)
+		}
+		var hedger *resilience.Hedger
+		if !ro.NoHedge {
+			ho := ro.Hedge
+			if ho.Metrics == nil {
+				ho.Metrics = c.Obs
+			}
+			hedger = resilience.NewHedger(ho, budget)
+		}
+		cl.EnableResilience(retrier, hedger)
 	}
 	return cl
 }

@@ -35,6 +35,13 @@ type ChaosOptions struct {
 	// when Kill is set; killed nodes are revived by later events and,
 	// unconditionally, by Stop.
 	Revive func(name string) error
+	// MaxSlow, when positive, enables gray-failure events: a slow event
+	// holds every delivery to one node for a random duration up to MaxSlow
+	// (Injector.SetSlow), an unslow event heals one slowed node. Slowness
+	// is degradation, not unavailability, so it does not count against a
+	// group's live-majority guard — but it is exactly the overload trigger
+	// admission control, hedging, and breakers exist for.
+	MaxSlow time.Duration
 }
 
 // Chaos applies a seeded stream of structural fault events — freezes,
@@ -51,6 +58,7 @@ type Chaos struct {
 	mu      sync.Mutex
 	crashed map[string]int     // frozen (fail-stop, state kept): name → group index
 	killed  map[string]int     // amnesia-killed (state lost): name → group index
+	slowed  map[string]bool    // gray-failed (SetSlow delay in force)
 	parted  map[[2]string]bool // active partitions (unordered pairs)
 	inGroup map[string]int     // name → group index
 	log     []string           // event descriptions, for failure replay
@@ -70,6 +78,7 @@ func NewChaos(in *Injector, opt ChaosOptions) *Chaos {
 		rng:     rand.New(rand.NewSource(opt.Seed)),
 		crashed: make(map[string]int),
 		killed:  make(map[string]int),
+		slowed:  make(map[string]bool),
 		parted:  make(map[[2]string]bool),
 		inGroup: make(map[string]int),
 	}
@@ -135,9 +144,15 @@ func (c *Chaos) Step() string {
 	// of their own — determinism is per (seed, options), not across them).
 	events := 6
 	if c.opt.Kill != nil {
-		events = 8
+		events += 2
+	}
+	if c.opt.MaxSlow > 0 {
+		events += 2
 	}
 	ev := c.rng.Intn(events)
+	if ev >= 6 && c.opt.Kill == nil {
+		ev += 2 // kill-less slow-enabled configs map draws 6,7 → slow,unslow
+	}
 	desc := "noop"
 	switch ev {
 	case 0: // freeze a random eligible node (fail-stop, state kept)
@@ -223,6 +238,26 @@ func (c *Chaos) Step() string {
 		delete(c.killed, n)
 		c.in.Unfreeze(n)
 		desc = "revive " + n
+	case 8: // slow: gray-fail one node (deliveries delayed, not dropped)
+		if c.opt.MaxSlow <= 0 {
+			break
+		}
+		n := c.pickLocked(func(n string) bool { return !c.slowed[n] })
+		if n == "" {
+			break
+		}
+		d := time.Duration(c.rng.Int63n(int64(c.opt.MaxSlow)) + 1)
+		c.in.SetSlow(n, d)
+		c.slowed[n] = true
+		desc = fmt.Sprintf("slow %s %v", n, d)
+	case 9: // unslow: heal one gray-failed node
+		n := c.pickLocked(func(n string) bool { return c.slowed[n] })
+		if n == "" {
+			break
+		}
+		c.in.ClearSlow(n)
+		delete(c.slowed, n)
+		desc = "unslow " + n
 	}
 	c.log = append(c.log, desc)
 	return desc
@@ -374,8 +409,12 @@ func (c *Chaos) Stop() {
 		c.in.Unfreeze(n)
 		c.log = append(c.log, "revive "+n+" at Stop")
 	}
+	for n := range c.slowed {
+		c.in.ClearSlow(n)
+	}
 	c.crashed = make(map[string]int)
 	c.killed = make(map[string]int)
+	c.slowed = make(map[string]bool)
 	c.parted = make(map[[2]string]bool)
 	c.mu.Unlock()
 }

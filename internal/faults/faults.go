@@ -63,6 +63,8 @@ type Stats struct {
 	Duplicates      int64
 	Delayed         int64
 	Blocked         int64
+	// Slowed counts deliveries held up by a SetSlow gray-failure delay.
+	Slowed int64
 }
 
 type link struct{ from, to string }
@@ -79,6 +81,7 @@ type Injector struct {
 	enabled bool
 	blocked map[link]bool
 	frozen  map[string]bool
+	slow    map[string]time.Duration
 	stats   Stats
 	wg      sync.WaitGroup // in-flight duplicate deliveries
 }
@@ -91,6 +94,7 @@ func New(opt Options) *Injector {
 		enabled: true,
 		blocked: make(map[link]bool),
 		frozen:  make(map[string]bool),
+		slow:    make(map[string]time.Duration),
 	}
 }
 
@@ -193,6 +197,32 @@ func (in *Injector) Frozen(name string) bool {
 	return in.frozen[name]
 }
 
+// SetSlow makes endpoint name a gray failure: every delivery TO it is held
+// for d before reaching the handler — the degraded-but-alive replica (GC
+// death spiral, saturated disk, overloaded NIC) that freeze/kill cannot
+// model because those are binary. The slowness is deterministic state, not
+// an rng draw, so it leaves the injector's fault-decision stream untouched.
+// d <= 0 clears the slowness.
+func (in *Injector) SetSlow(name string, d time.Duration) {
+	in.mu.Lock()
+	if d <= 0 {
+		delete(in.slow, name)
+	} else {
+		in.slow[name] = d
+	}
+	in.mu.Unlock()
+}
+
+// ClearSlow removes a SetSlow delay.
+func (in *Injector) ClearSlow(name string) { in.SetSlow(name, 0) }
+
+// Slow reports endpoint name's current gray-failure delay (0 = healthy).
+func (in *Injector) Slow(name string) time.Duration {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.slow[name]
+}
+
 // Crash is a legacy alias for Freeze. The old name oversold itself: it
 // never destroyed state, it only unplugged the endpoint — pair it with
 // core.Cluster.KillPrimary for stateful failover, or use the kill path
@@ -219,6 +249,7 @@ func (in *Injector) Quiesce() {
 	in.enabled = false
 	in.blocked = make(map[link]bool)
 	in.frozen = make(map[string]bool)
+	in.slow = make(map[string]time.Duration)
 	in.mu.Unlock()
 	in.wg.Wait()
 }
@@ -272,6 +303,19 @@ func (in *Injector) call(ctx context.Context, from, to string, req any) (any, er
 	if !in.reachable(from, to) {
 		in.count(func(s *Stats) { s.Blocked++ })
 		return nil, fmt.Errorf("%w: %s → %s", ErrUnreachable, from, to)
+	}
+	if slow := in.Slow(to); slow > 0 {
+		// Gray failure: the destination is alive but degraded, so every
+		// inbound delivery eats a fixed delay before dispatch. Honors ctx so
+		// a deadline-bounded caller times out instead of serving the delay.
+		in.count(func(s *Stats) { s.Slowed++ })
+		t := time.NewTimer(slow)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return nil, ctx.Err()
+		}
 	}
 	d := in.decide()
 	if d.delay > 0 {

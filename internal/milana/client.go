@@ -13,6 +13,7 @@ import (
 	"repro/internal/clock"
 	"repro/internal/cluster"
 	"repro/internal/obs"
+	"repro/internal/resilience"
 	"repro/internal/transport"
 	"repro/internal/wire"
 )
@@ -100,6 +101,16 @@ type Client struct {
 	// beginSinks is the subset of sinks also wanting begin notifications
 	// (check.BeginSink — the online auditor's in-flight tracking).
 	beginSinks []check.BeginSink
+
+	// retrier, when attached via EnableResilience, turns RunTransaction's
+	// immediate conflict-retry loop into budgeted full-jitter backoff that
+	// honors server RetryAfter pushback. Nil keeps the paper's
+	// retry-immediately behavior (§5.2).
+	retrier *resilience.Retrier
+	// hedger, when attached via EnableResilience, issues a duplicate of a
+	// straggling read RPC after the observed p95 (first response wins, loser
+	// cancelled, hedges drawn from the retry budget). Nil disables.
+	hedger *resilience.Hedger
 
 	seq atomic.Uint64
 
@@ -212,6 +223,25 @@ func (c *Client) AddSink(s check.Sink) {
 	if bs, ok := s.(check.BeginSink); ok {
 		c.beginSinks = append(c.beginSinks, bs)
 	}
+}
+
+// EnableResilience attaches the client's retry policy and read hedger.
+// Either may be nil to enable just the other. Call before issuing
+// transactions; not safe to swap concurrently with them.
+func (c *Client) EnableResilience(r *resilience.Retrier, h *resilience.Hedger) {
+	c.retrier = r
+	c.hedger = h
+}
+
+// readCall issues one read RPC, hedged after the observed p95 when the
+// client has a hedger (the hedge goes to the same address — the point is
+// escaping a transient scheduling or GC stall, not replica selection, and
+// reads are idempotent so duplicates are harmless).
+func (c *Client) readCall(ctx context.Context, addr string, req any) (any, error) {
+	if c.hedger == nil {
+		return c.net.Call(ctx, addr, req)
+	}
+	return c.hedger.Do(ctx, c.net, addr, req)
 }
 
 // Clock exposes the client's clock (trace collection reads its Health to
@@ -389,7 +419,7 @@ func (t *Txn) Get(ctx context.Context, key []byte) (val []byte, found bool, err 
 		return nil, false, err
 	}
 	readStart := time.Now()
-	resp, err := t.c.net.Call(t.stageCtx(t.traceCtx(ctx)), addr, wire.GetRequest{Key: key, At: t.begin, AnyReplica: anyReplica})
+	resp, err := t.c.readCall(t.stageCtx(t.traceCtx(ctx)), addr, wire.GetRequest{Key: key, At: t.begin, AnyReplica: anyReplica})
 	if t.sp != nil {
 		t.readTime += time.Since(readStart)
 	}
@@ -725,9 +755,17 @@ func (t *Txn) commit2PC(ctx context.Context) error {
 }
 
 // RunTransaction executes fn inside a transaction, retrying on conflict
-// aborts until ctx expires — the Retwis clients of §5.2 retry immediately
-// with the same keys.
+// aborts until ctx expires. Without a retry policy it retries immediately
+// with the same keys — the Retwis clients of §5.2. With EnableResilience,
+// retries (of conflict aborts and of admission-control sheds) wait out
+// full-jitter exponential backoff — raised to the server's RetryAfter hint
+// when one was pushed back — and draw from the client's token-bucket retry
+// budget: an exhausted budget returns the error to the application instead
+// of amplifying an overload. ErrUnknown is never auto-retried in either
+// mode (§4.5: cooperative termination may yet commit the writes).
 func (c *Client) RunTransaction(ctx context.Context, fn func(t *Txn) error) error {
+	c.retrier.OnFresh()
+	attempt := 0
 	for {
 		if err := ctx.Err(); err != nil {
 			return err
@@ -741,8 +779,23 @@ func (c *Client) RunTransaction(ctx context.Context, fn func(t *Txn) error) erro
 			return nil
 		}
 		t.Abort()
-		if !errors.Is(err, ErrAborted) {
+		busy := resilience.IsServerBusy(err)
+		if c.retrier == nil {
+			if !errors.Is(err, ErrAborted) {
+				return err
+			}
+			continue
+		}
+		if !errors.Is(err, ErrAborted) && !busy {
 			return err
+		}
+		if !c.retrier.TryRetry(busy) {
+			return err
+		}
+		attempt++
+		hint, _ := resilience.RetryAfterFrom(err)
+		if serr := resilience.Sleep(ctx, c.retrier.Backoff(attempt, hint)); serr != nil {
+			return serr
 		}
 	}
 }
@@ -806,7 +859,7 @@ func (t *Txn) GetMany(ctx context.Context, keys [][]byte) (map[string][]byte, er
 				return
 			}
 			f.anyReplica = anyReplica
-			resp, err := t.c.net.Call(ctx, addr, wire.MultiGetRequest{Keys: f.keys, At: t.begin, AnyReplica: anyReplica})
+			resp, err := t.c.readCall(ctx, addr, wire.MultiGetRequest{Keys: f.keys, At: t.begin, AnyReplica: anyReplica})
 			if err != nil {
 				f.err = err
 				return

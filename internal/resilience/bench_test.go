@@ -1,0 +1,70 @@
+// Fast-path benchmarks for the resilience layer. These are the same shapes
+// the core overhead gate (TestResilienceOverheadGate) re-measures in-process
+// to account the layer's idle cost against a transaction's latency; keep
+// them allocation-honest (-benchmem) when touching the hot paths.
+package resilience
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+type benchNet struct{}
+
+func (benchNet) Call(ctx context.Context, addr string, req any) (any, error) { return "ok", nil }
+
+func BenchmarkHedgerDoWarm(b *testing.B) {
+	h := NewHedger(HedgeOptions{MinSamples: 4, MinDelay: time.Millisecond}, NewBudget(0.1, 10, nil))
+	for i := 0; i < 64; i++ {
+		h.ReadObserve(time.Millisecond)
+	}
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = h.Do(ctx, benchNet{}, "shard0/r0", nil)
+	}
+}
+
+func BenchmarkPlainCall(b *testing.B) {
+	ctx := context.Background()
+	var n benchNet
+	for i := 0; i < b.N; i++ {
+		_, _ = n.Call(ctx, "shard0/r0", nil)
+	}
+}
+
+func BenchmarkBreakerCall(b *testing.B) {
+	c := NewBreakerClient(benchNet{}, BreakerOptions{})
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = c.Call(ctx, "shard0/r0", nil)
+	}
+}
+
+func BenchmarkAdmitDone(b *testing.B) {
+	a := NewAdmission(AdmissionOptions{})
+	ctx := context.Background()
+	// Realistic server-side context depth: a few value layers.
+	type k1 struct{}
+	type k2 struct{}
+	type k3 struct{}
+	ctx = context.WithValue(ctx, k1{}, 1)
+	ctx = context.WithValue(ctx, k2{}, 2)
+	ctx = context.WithValue(ctx, k3{}, 3)
+	req := struct{}{}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := a.Admit(ctx, req); err == nil {
+			a.Done()
+		}
+	}
+}
+
+func BenchmarkReadObserve(b *testing.B) {
+	h := NewHedger(HedgeOptions{}, nil)
+	for i := 0; i < b.N; i++ {
+		h.ReadObserve(time.Millisecond)
+	}
+}

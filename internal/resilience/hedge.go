@@ -1,0 +1,351 @@
+package resilience
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/transport"
+)
+
+// HedgeOptions configure tail-latency hedging for reads.
+type HedgeOptions struct {
+	// MinSamples is how many read latencies must be observed before any
+	// hedge fires; until then the p95 estimate is noise. Default 64.
+	MinSamples int
+	// MinDelay floors the hedge trigger so a cold or very fast ring never
+	// hedges inside the normal service-time band. Default 1ms.
+	MinDelay time.Duration
+	// Metrics, when set, records hedge attempts and wins.
+	Metrics *obs.Registry
+}
+
+func (o HedgeOptions) withDefaults() HedgeOptions {
+	if o.MinSamples <= 0 {
+		o.MinSamples = 64
+	}
+	if o.MinDelay <= 0 {
+		o.MinDelay = time.Millisecond
+	}
+	return o
+}
+
+// hedgeRingSize is the latency observation window; 512 completed reads of
+// history is enough for a stable p95 and cheap to re-rank.
+const hedgeRingSize = 512
+
+// hedgeRecompute is how many new observations trigger a p95 refresh.
+const hedgeRecompute = 64
+
+// hedgeObsSample thins latency observation on the warm path to one read in
+// eight: two clock reads per observation are the single largest line item
+// in the hedged fast path, and a p95 estimate does not need every sample.
+// The cold path (hedging not yet ready) observes every read so warmup
+// cadence is unaffected.
+const hedgeObsSample = 8
+
+// Hedger issues a duplicate of a straggling read after the observed p95
+// latency ("The Tail at Scale" §Hedged requests): first response wins and
+// the loser is cancelled. Hedges withdraw from the same Budget as retries,
+// so hedging can never add more than the budget ratio of extra load.
+//
+// The p95 comes from a ring of recent read latencies maintained by the
+// client itself (ReadObserve on every completed read); the tsdb rings feed
+// the same signal per-server on the operator dashboard, but the in-client
+// ring keeps the fast path free of cross-package coupling.
+type Hedger struct {
+	opt    HedgeOptions
+	budget *Budget
+
+	mu      sync.Mutex
+	ring    [hedgeRingSize]int64 // nanoseconds
+	scratch []int64              // quantile workspace, reused across recomputes
+	n       int                  // total observations
+	since   int                  // observations since last recompute
+
+	p95ns   atomic.Int64  // current trigger threshold; 0 = not ready
+	obsTick atomic.Uint32 // warm-path sampling counter
+
+	hedges *obs.Counter
+	wins   *obs.Counter
+
+	// callPool recycles per-attempt state (including the watchdog timer)
+	// so the warm fast path — primary completes before the trigger, no
+	// hedge fired — re-arms one long-lived timer instead of allocating
+	// a context, a channel, and a timer on every read.
+	callPool sync.Pool
+}
+
+// hedgeResult is one attempt's outcome.
+type hedgeResult struct {
+	resp any
+	err  error
+}
+
+// hedgeCall is the pooled per-attempt state behind Do. The timer is armed
+// once per attempt; onTimer launches the hedge if the primary is still
+// outstanding. A struct goes back to the pool only when its timer is
+// provably quiescent (Stop returned true, or the callback ran to
+// completion) — otherwise it is abandoned to the GC so a straggling
+// callback can never fire into a recycled attempt.
+type hedgeCall struct {
+	h     *Hedger
+	timer *time.Timer
+
+	mu            sync.Mutex
+	primaryDone   bool
+	cbDone        bool // the timer callback ran to completion
+	hedged        bool
+	ctx           context.Context
+	net           transport.Client
+	addr          string
+	req           any
+	cancelPrimary context.CancelFunc
+	cancelHedge   context.CancelFunc
+	hres          chan hedgeResult
+}
+
+// onTimer is the watchdog: the primary has straggled past the p95 trigger,
+// so launch the duplicate attempt if the budget allows.
+func (c *hedgeCall) onTimer() {
+	c.mu.Lock()
+	if c.primaryDone || !c.h.budget.Withdraw() {
+		c.cbDone = true
+		c.mu.Unlock()
+		return
+	}
+	hctx, hcancel := context.WithCancel(c.ctx)
+	ch := make(chan hedgeResult, 1)
+	c.hedged = true
+	c.cancelHedge = hcancel
+	c.hres = ch
+	net, addr, req, cancelP := c.net, c.addr, c.req, c.cancelPrimary
+	c.cbDone = true
+	c.mu.Unlock()
+	c.h.hedges.Inc()
+	go func() {
+		resp, err := net.Call(hctx, addr, req)
+		if err == nil {
+			// First success wins: unstick the straggling primary so the
+			// caller's goroutine comes back to collect us.
+			cancelP()
+		}
+		ch <- hedgeResult{resp, err}
+	}()
+}
+
+// NewHedger builds a Hedger sharing budget with the client's Retrier.
+func NewHedger(opt HedgeOptions, budget *Budget) *Hedger {
+	opt = opt.withDefaults()
+	h := &Hedger{opt: opt, budget: budget}
+	if m := opt.Metrics; m != nil {
+		h.hedges = m.Counter("resilience_hedges_total")
+		h.wins = m.Counter("resilience_hedge_wins_total")
+	}
+	return h
+}
+
+// ReadObserve records one completed read's latency.
+func (h *Hedger) ReadObserve(d time.Duration) {
+	if h == nil || d < 0 {
+		return
+	}
+	h.mu.Lock()
+	h.ring[h.n%hedgeRingSize] = int64(d)
+	h.n++
+	h.since++
+	recompute := h.since >= hedgeRecompute && h.n >= h.opt.MinSamples
+	if recompute {
+		h.since = 0
+		h.p95ns.Store(h.quantileLocked(0.95))
+	}
+	h.mu.Unlock()
+}
+
+// quantileLocked ranks the filled portion of the ring. Called with h.mu
+// held, off the per-read fast path (every hedgeRecompute observations).
+// Quickselect instead of a full sort: a sort of the whole ring every
+// recompute amortizes to several hundred nanoseconds per read, which
+// would dominate the hedger's entire fast-path budget.
+func (h *Hedger) quantileLocked(q float64) int64 {
+	n := h.n
+	if n > hedgeRingSize {
+		n = hedgeRingSize
+	}
+	if n == 0 {
+		return 0
+	}
+	if cap(h.scratch) < n {
+		h.scratch = make([]int64, hedgeRingSize)
+	}
+	buf := h.scratch[:n]
+	copy(buf, h.ring[:n])
+	return quickselect(buf, int(q*float64(n-1)))
+}
+
+// quickselect returns the k-th smallest element of a, partially reordering
+// it (Hoare partition, expected O(n)).
+func quickselect(a []int64, k int) int64 {
+	lo, hi := 0, len(a)-1
+	for lo < hi {
+		p := a[(lo+hi)/2]
+		i, j := lo, hi
+		for i <= j {
+			for a[i] < p {
+				i++
+			}
+			for a[j] > p {
+				j--
+			}
+			if i <= j {
+				a[i], a[j] = a[j], a[i]
+				i++
+				j--
+			}
+		}
+		switch {
+		case k <= j:
+			hi = j
+		case k >= i:
+			lo = i
+		default:
+			return a[k]
+		}
+	}
+	return a[lo]
+}
+
+// Delay returns the current hedge trigger, or 0 when hedging is not ready
+// (too few samples).
+func (h *Hedger) Delay() time.Duration {
+	if h == nil {
+		return 0
+	}
+	d := time.Duration(h.p95ns.Load())
+	if d <= 0 {
+		return 0
+	}
+	if d < h.opt.MinDelay {
+		d = h.opt.MinDelay
+	}
+	return d
+}
+
+// Do issues the read RPC (net.Call(addr, req)) with hedging: if the
+// primary attempt has not returned after the p95 trigger and the budget
+// allows, a second identical attempt is launched; the first result wins
+// and the loser's context is cancelled. When hedging is not ready or not
+// allowed, it degrades to a plain call.
+//
+// The primary attempt runs inline on the caller's goroutine; a pooled
+// watchdog timer launches the hedge only when the primary actually
+// straggles past the trigger, so the common case (primary under p95)
+// costs one timer re-arm/stop and spawns nothing. Taking the client and
+// request rather than a closure keeps the fast path closure-free.
+func (h *Hedger) Do(ctx context.Context, net transport.Client, addr string, req any) (any, error) {
+	delay := h.Delay()
+	if delay <= 0 {
+		start := time.Now()
+		resp, err := net.Call(ctx, addr, req)
+		if err == nil {
+			h.ReadObserve(time.Since(start))
+		}
+		return resp, err
+	}
+
+	pctx, cancelPrimary := context.WithCancel(ctx)
+	defer cancelPrimary()
+
+	c, _ := h.callPool.Get().(*hedgeCall)
+	if c == nil {
+		c = &hedgeCall{h: h}
+	}
+	// No concurrency yet: the pool only hands out structs whose timer is
+	// quiescent, so plain field writes are safe until the re-arm below.
+	c.primaryDone = false
+	c.cbDone = false
+	c.hedged = false
+	c.ctx = ctx
+	c.net = net
+	c.addr = addr
+	c.req = req
+	c.cancelPrimary = cancelPrimary
+	c.cancelHedge = nil
+	c.hres = nil
+	if c.timer == nil {
+		c.timer = time.AfterFunc(delay, c.onTimer)
+	} else {
+		c.timer.Reset(delay)
+	}
+
+	sample := h.obsTick.Add(1)%hedgeObsSample == 0
+	var start time.Time
+	if sample {
+		start = time.Now()
+	}
+	resp, err := net.Call(pctx, addr, req)
+
+	if c.timer.Stop() {
+		// Stop prevented the callback from ever running, so nothing else
+		// can touch this struct: skip the mutex, recycle, and return the
+		// primary's result directly.
+		c.ctx, c.net, c.req, c.cancelPrimary = nil, nil, nil, nil
+		h.callPool.Put(c)
+		if err == nil && sample {
+			h.ReadObserve(time.Since(start))
+		}
+		return resp, err
+	}
+
+	// The callback fired (or is mid-flight): coordinate through the mutex.
+	c.mu.Lock()
+	c.primaryDone = true
+	hedged := c.hedged
+	cbDone := c.cbDone
+	ch, hcancel := c.hres, c.cancelHedge
+	c.ctx, c.net, c.req, c.cancelPrimary, c.cancelHedge, c.hres = nil, nil, nil, nil, nil, nil
+	c.mu.Unlock()
+	if cbDone {
+		h.callPool.Put(c)
+	}
+	// else: the callback is mid-flight; it will see primaryDone and
+	// no-op, and the struct is abandoned to the GC rather than recycled
+	// under a live timer.
+
+	if !hedged {
+		if err == nil && sample {
+			h.ReadObserve(time.Since(start))
+		}
+		return resp, err
+	}
+	if err == nil {
+		// Primary won anyway; cancel the hedge and let it drain into its
+		// buffered channel.
+		hcancel()
+		if sample {
+			h.ReadObserve(time.Since(start))
+		}
+		return resp, nil
+	}
+	// Primary lost — either cancelled by a winning hedge or genuinely
+	// failed. The hedge's result decides.
+	select {
+	case r := <-ch:
+		hcancel()
+		if r.err == nil {
+			h.wins.Inc()
+			if sample {
+				h.ReadObserve(time.Since(start))
+			}
+			return r.resp, nil
+		}
+		// Both failed: the primary's error is the honest one (the hedge
+		// may have died to the same fault or to cancellation).
+		return nil, err
+	case <-ctx.Done():
+		hcancel()
+		return nil, ctx.Err()
+	}
+}

@@ -25,6 +25,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/milana"
 	"repro/internal/obs"
+	"repro/internal/resilience"
 	"repro/internal/storage"
 	"repro/internal/transport"
 	"repro/internal/wal"
@@ -127,6 +128,11 @@ type ServerOptions struct {
 	// server writes a checkpoint and lets the log GC old segments.
 	// 0 means 1024; negative disables automatic checkpoints.
 	CheckpointEvery int
+	// Admission, when set, is this replica's load shedder: every request is
+	// admitted (or shed with a RetryAfter pushback) before dispatch, with
+	// strict priority — control traffic always, prepares under moderate
+	// load, reads first to go. Nil disables admission control.
+	Admission *resilience.Admission
 }
 
 // serverStats holds the replica's operation counters (see wire.StatsResponse).
@@ -172,6 +178,13 @@ type Server struct {
 	replayRecords int64
 	replayNs      int64
 
+	// replJobs hands replication sends to parked sender goroutines. A
+	// fresh goroutine starts on a 2 KiB stack, and one send drives the
+	// whole backup dispatch inline on the in-process bus — deep enough to
+	// pay several stack growths per operation. Reused senders keep their
+	// grown stacks warm; see dispatchRepl.
+	replJobs chan replJob
+
 	mu          sync.Mutex
 	primary     bool
 	leaseUntil  clock.Timestamp // as primary: may serve reads until then
@@ -179,6 +192,55 @@ type Server struct {
 	stopRenewal chan struct{}
 	wg          sync.WaitGroup
 	closed      bool
+}
+
+// replJob is one backup delivery queued on the sender pool.
+type replJob struct {
+	ctx  context.Context
+	addr string
+	env  wire.Replicated
+	acks chan<- error
+	done *sync.WaitGroup
+}
+
+// dispatchRepl hands a send to an idle parked sender, or spawns a new one
+// when all are busy — so a slow backup only ever ties up its own sender,
+// never queues behind one.
+func (s *Server) dispatchRepl(j replJob) {
+	select {
+	case s.replJobs <- j:
+	default:
+		go s.replSender(j)
+	}
+}
+
+// replSenderIdle is how long a parked sender waits for more work before
+// exiting; long enough to stay warm across steady traffic, short enough
+// not to linger after shutdown.
+const replSenderIdle = time.Second
+
+func (s *Server) replSender(j replJob) {
+	s.runRepl(j)
+	t := time.NewTimer(replSenderIdle)
+	defer t.Stop()
+	for {
+		select {
+		case j := <-s.replJobs:
+			s.runRepl(j)
+			if !t.Stop() {
+				<-t.C
+			}
+			t.Reset(replSenderIdle)
+		case <-t.C:
+			return
+		}
+	}
+}
+
+func (s *Server) runRepl(j replJob) {
+	_, err := s.opt.Net.Call(j.ctx, j.addr, j.env)
+	j.acks <- err
+	j.done.Done()
 }
 
 // NewServer builds (but does not register) a replica server.
@@ -198,7 +260,7 @@ func NewServer(opt ServerOptions) (*Server, error) {
 	if opt.Metrics == nil {
 		opt.Metrics = obs.NewRegistry()
 	}
-	s := &Server{opt: opt, wm: clock.NewWatermarkTracker(), stopRenewal: make(chan struct{})}
+	s := &Server{opt: opt, wm: clock.NewWatermarkTracker(), stopRenewal: make(chan struct{}), replJobs: make(chan replJob)}
 	s.reg = opt.Metrics
 	s.om = serverMetrics{
 		get:         s.reg.Histogram(`semel_serve_ns{op="get"}`),
@@ -494,18 +556,28 @@ func (s *Server) ReplicateToBackups(ctx context.Context, msg any) error {
 	if tc, ok := obs.TraceFrom(ctx); ok {
 		base = obs.WithTrace(base, tc)
 	}
-	sendCtx, cancelSends := context.WithTimeout(base, replicationSendTimeout)
+	// The caller's propagated deadline caps the fan-out: once the
+	// coordinator has given up on the write, backups should not keep
+	// burning cycles on its replication (stragglers beyond the f+1 quorum
+	// are repaired by anti-entropy either way).
+	sendTimeout := replicationSendTimeout
+	if dl, ok := ctx.Deadline(); ok {
+		until := time.Until(dl)
+		if until <= 0 {
+			return transport.ErrDeadlineExceeded
+		}
+		if until < sendTimeout {
+			sendTimeout = until
+		}
+	}
+	sendCtx, cancelSends := context.WithTimeout(base, sendTimeout)
 	env := wire.Replicated{Epoch: rs.Epoch, Msg: msg}
 	ackStart := time.Now()
 	acks := make(chan error, len(peers))
 	var sends sync.WaitGroup
 	for _, p := range peers {
 		sends.Add(1)
-		go func(p string) {
-			defer sends.Done()
-			_, err := s.opt.Net.Call(sendCtx, p, env)
-			acks <- err
-		}(p)
+		s.dispatchRepl(replJob{ctx: sendCtx, addr: p, env: env, acks: acks, done: &sends})
 	}
 	go func() {
 		sends.Wait()
@@ -809,6 +881,17 @@ func spanName(req any) string {
 // downstream fan-out (replication) nests beneath this span. Requests slower
 // than SlowRequestThreshold additionally log one line with their trace ID.
 func (s *Server) Serve(ctx context.Context, req any) (any, error) {
+	if a := s.opt.Admission; a != nil {
+		// The Replicated envelope is just routing: admission applies to the
+		// inner message once, on the recursive Serve, so one delivery never
+		// holds two inflight slots.
+		if _, isEnv := req.(wire.Replicated); !isEnv {
+			if err := a.Admit(ctx, req); err != nil {
+				return nil, err
+			}
+			defer a.Done()
+		}
+	}
 	name := spanName(req)
 	tc, traced := obs.TraceFrom(ctx)
 	record := traced && name != "" && s.spans != nil

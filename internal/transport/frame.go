@@ -20,9 +20,14 @@ import (
 //	body     := tag(1) rest
 //	tag      := 0x00 gob fallback | 0x01 binary codec v1
 //
-//	v1 request  := id(uvarint) traceID(uvarint) spanID(uvarint) flags(1) msg
+//	v1 request  := id(uvarint) traceID(uvarint) spanID(uvarint) flags(1)
+//	               [deadlineNs(uvarint)] msg
 //	               flags bit0 = trace sampled
 //	               flags bit1 = caller wants the stage-latency block back
+//	               flags bit2 = an absolute deadline (unix nanoseconds)
+//	                 precedes msg; the server drops the request with
+//	                 ErrDeadlineExceeded if it dequeues it after that
+//	                 instant, and bounds the handler context by it
 //	v1 response := id(uvarint) flags(1) [stages] rest
 //	               flags&0x03 == 0x00: rest = msg
 //	               flags&0x03 == 0x01: rest = error string (uvarint length + bytes)
@@ -31,8 +36,11 @@ import (
 //	                 serveNs(uvarint) count(uvarint) (stageID(1) ns(uvarint))*
 //
 // The stage block is only emitted when the request asked for it (flags
-// bit1), so pre-stage peers never see bit2 and decode exactly the old
-// layout; a pre-stage server simply never answers the bit.
+// bit1), so pre-stage peers never see response bit2 and decode exactly the
+// old layout; a pre-stage server simply never answers the bit. The request
+// deadline block is likewise flag-gated: a client that sets no deadline
+// emits the old layout byte for byte, and the gob fallback carries the
+// deadline as an ordinary new struct field (absent decodes as zero).
 //	gob request  := gob-stream bytes for one wireRequest
 //	gob response := gob-stream bytes for one wireResponse
 //
@@ -271,7 +279,7 @@ func finishFrame(buf []byte) ([]byte, error) {
 // pooled buffer. It returns ErrUnsupportedType (wrapped) when no codec is
 // installed or the codec cannot encode payload; the caller then routes the
 // request through the connection's gob stream instead.
-func encodeRequestV1(id uint64, tc obs.TraceContext, wantStages bool, payload any, m *wireMetrics) (*[]byte, error) {
+func encodeRequestV1(id uint64, tc obs.TraceContext, wantStages bool, deadlineNs int64, payload any, m *wireMetrics) (*[]byte, error) {
 	c := activeCodec()
 	if c == nil {
 		return nil, ErrUnsupportedType
@@ -290,7 +298,13 @@ func encodeRequestV1(id uint64, tc obs.TraceContext, wantStages bool, payload an
 	if wantStages {
 		flags |= 2
 	}
+	if deadlineNs > 0 {
+		flags |= 4
+	}
 	buf = append(buf, flags)
+	if deadlineNs > 0 {
+		buf = binary.AppendUvarint(buf, uint64(deadlineNs))
+	}
 	out, err := c.Append(buf, payload)
 	if err == nil {
 		out, err = finishFrame(out)
@@ -425,7 +439,16 @@ func decodeRequest(body []byte, gd *gobStreamDec, m *wireMetrics) (req wireReque
 		flags := rest[n+n2+n3]
 		req.TC.Sampled = flags&1 != 0
 		req.WantStages = flags&2 != 0
-		req.Payload, err = c.Decode(rest[n+n2+n3+1:])
+		rest = rest[n+n2+n3+1:]
+		if flags&4 != 0 {
+			dl, k := binary.Uvarint(rest)
+			if k <= 0 {
+				return req, tag, errShortFrame
+			}
+			req.DeadlineNs = int64(dl)
+			rest = rest[k:]
+		}
+		req.Payload, err = c.Decode(rest)
 		if err != nil {
 			return req, tag, err
 		}

@@ -31,6 +31,12 @@ type wireRequest struct {
 	// this request (set when the caller's ctx carries an obs.Ledger). Gob
 	// peers without the field decode it as absent/false.
 	WantStages bool
+	// DeadlineNs is the caller's absolute deadline in unix nanoseconds
+	// (0 = none). The server drops the request with ErrDeadlineExceeded if
+	// it dequeues it after this instant and bounds the handler context by
+	// it, so abandoned work dies at dispatch instead of burning the
+	// storage engine. Gob peers without the field decode it as absent.
+	DeadlineNs int64
 	Payload    any
 }
 
@@ -54,6 +60,11 @@ type wireResponse struct {
 // DefaultMaxInflight is the default bound on concurrently executing
 // requests per TCPServer.
 const DefaultMaxInflight = 1024
+
+// DefaultCallTimeout bounds a TCPClient.Call whose context carries no
+// deadline of its own. Before this default existed, such a call could hang
+// forever on a server that accepted the connection but never answered.
+const DefaultCallTimeout = 5 * time.Second
 
 // connBufSize sizes each connection's read and write buffers. Large enough
 // that a coalesced burst of small frames becomes one syscall.
@@ -89,6 +100,9 @@ type TCPServer struct {
 	// stages folds every want-stages request's ledger into
 	// server_stage_ledger_ns{stage=...} (nil without Metrics).
 	stages *obs.StageSet
+	// expired counts requests dropped at dispatch because their propagated
+	// deadline had already passed (nil-safe without Metrics).
+	expired *obs.Counter
 
 	// Request execution runs on a lazily grown pool of reusable worker
 	// goroutines (jobs == nil means unlimited: one goroutine per request).
@@ -116,8 +130,9 @@ type srvJob struct {
 	tag    byte
 	writeq chan<- respItem
 	wg     *sync.WaitGroup // the owning connection's in-flight count
-	// decodedAt is stamped by the read loop only for want-stages requests:
-	// handler-start minus decodedAt is the dispatch-queue wait.
+	// decodedAt is stamped by the read loop at decode time: handler-start
+	// minus decodedAt is the dispatch-queue wait, fed to the stage ledger
+	// and to admission control.
 	decodedAt time.Time
 }
 
@@ -135,6 +150,9 @@ func NewTCPServerOpts(addr string, h Handler, opt TCPServerOptions) (*TCPServer,
 	}
 	s := &TCPServer{h: h, ln: ln, opt: opt, m: newWireMetrics(opt.Metrics), conns: make(map[net.Conn]struct{})}
 	s.stages = obs.NewStageSet(opt.Metrics, "server_stage_ledger")
+	if opt.Metrics != nil {
+		s.expired = opt.Metrics.Counter("transport_deadline_expired_total")
+	}
 	inflight := opt.MaxInflight
 	if inflight == 0 {
 		inflight = DefaultMaxInflight
@@ -193,7 +211,30 @@ func (s *TCPServer) worker() {
 func (s *TCPServer) handle(j srvJob) {
 	defer j.wg.Done()
 	resp := wireResponse{ID: j.req.ID}
+	// Deadline discipline: a request whose propagated deadline has already
+	// passed is answered without ever reaching the handler — the caller gave
+	// up, so validate/flash/WAL work would be pure waste. Live deadlines
+	// bound the handler context so downstream fan-out inherits them.
+	now := time.Now()
+	if j.req.DeadlineNs > 0 && now.UnixNano() >= j.req.DeadlineNs {
+		s.expired.Inc()
+		resp.Err = ErrDeadlineExceeded.Error()
+		s.respond(j, resp)
+		return
+	}
 	ctx := context.Background()
+	if j.req.DeadlineNs > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithDeadline(ctx, time.Unix(0, j.req.DeadlineNs))
+		defer cancel()
+	}
+	if !j.decodedAt.IsZero() {
+		// Expose the dispatch-queue wait to the server's admission control;
+		// sub-100µs waits are noise and not worth the context allocation.
+		if wait := now.Sub(j.decodedAt); wait >= 100*time.Microsecond {
+			ctx = WithQueueWait(ctx, wait)
+		}
+	}
 	if j.req.TC.Sampled {
 		ctx = obs.WithTrace(ctx, j.req.TC)
 	}
@@ -201,7 +242,7 @@ func (s *TCPServer) handle(j srvJob) {
 	if j.req.WantStages {
 		led = obs.NewLedger()
 		if !j.decodedAt.IsZero() {
-			led.Add(obs.StageDispatch, time.Since(j.decodedAt))
+			led.Add(obs.StageDispatch, now.Sub(j.decodedAt))
 		}
 		ctx = obs.WithStageLedger(ctx, led)
 	}
@@ -219,6 +260,12 @@ func (s *TCPServer) handle(j srvJob) {
 		s.stages.Fold(led, time.Duration(resp.ServeNs), j.req.TC.TraceID)
 		led.Release()
 	}
+	s.respond(j, resp)
+}
+
+// respond encodes one response in the request's codec and queues it on the
+// connection's write loop.
+func (s *TCPServer) respond(j srvJob, resp wireResponse) {
 	if j.tag == frameTagV1 && !s.opt.ForceGob {
 		bufp, err := encodeResponseV1(resp, s.m)
 		if err == nil {
@@ -319,10 +366,10 @@ func (s *TCPServer) serveConn(conn net.Conn) {
 		if err != nil {
 			break
 		}
-		j := srvJob{req: req, tag: tag, writeq: writeq, wg: &inflight}
-		if req.WantStages {
-			j.decodedAt = time.Now()
-		}
+		// decodedAt feeds both the stage ledger's dispatch stage and the
+		// admission controller's queueing-delay signal, so it is stamped for
+		// every request, not just want-stages ones.
+		j := srvJob{req: req, tag: tag, writeq: writeq, wg: &inflight, decodedAt: time.Now()}
 		inflight.Add(1)
 		s.dispatch(j)
 	}
@@ -414,6 +461,10 @@ type TCPClientOptions struct {
 	// request used, so a ForceGob client speaks pure gob in both
 	// directions.
 	ForceGob bool
+	// CallTimeout bounds calls whose context has no deadline. 0 means
+	// DefaultCallTimeout; negative disables the bound (restoring the old
+	// hang-forever behavior, for tests that need it).
+	CallTimeout time.Duration
 	// Metrics, when non-nil, receives wire_bytes_total{dir,codec} counters
 	// and wire_encode_ns/wire_decode_ns histograms.
 	Metrics *obs.Registry
@@ -469,10 +520,11 @@ type pendingShard struct {
 // (bufp) or a payload to encode on the connection's gob stream, which only
 // the write loop may touch.
 type sendItem struct {
-	bufp    *[]byte
-	id      uint64
-	tc      obs.TraceContext
-	payload any
+	bufp       *[]byte
+	id         uint64
+	tc         obs.TraceContext
+	deadlineNs int64
+	payload    any
 	// Stage-ledger plumbing (nil/zero unless the caller's ctx carries a
 	// ledger): the write loop stores enqueue→pickup into queueNs at
 	// dequeue. A detached cell, not the ledger itself, because a cancelled
@@ -529,8 +581,26 @@ func (tc *tcpConn) take(id uint64) (chan wireResponse, bool) {
 	return ch, ok
 }
 
-// Call sends req to addr and waits for the response.
+// Call sends req to addr and waits for the response. The context deadline
+// (or the configured default call timeout when the caller set none) is
+// stamped into the wire envelope, so the server can drop the request once
+// the caller has given up on it.
 func (c *TCPClient) Call(ctx context.Context, addr string, req any) (any, error) {
+	deadline, hasDeadline := ctx.Deadline()
+	if !hasDeadline && c.opt.CallTimeout >= 0 {
+		timeout := c.opt.CallTimeout
+		if timeout == 0 {
+			timeout = DefaultCallTimeout
+		}
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+		deadline, hasDeadline = ctx.Deadline()
+	}
+	var deadlineNs int64
+	if hasDeadline {
+		deadlineNs = deadline.UnixNano()
+	}
 	tc, err := c.conn(addr)
 	if err != nil {
 		return nil, err
@@ -547,9 +617,9 @@ func (c *TCPClient) Call(ctx context.Context, addr string, req any) (any, error)
 	// Hot path: encode the v1 frame here, concurrently with other callers.
 	// Payloads the codec cannot express (and everything under ForceGob) are
 	// handed to the write loop raw; it owns the stateful gob stream.
-	item := sendItem{id: id, tc: trace, payload: req}
+	item := sendItem{id: id, tc: trace, deadlineNs: deadlineNs, payload: req}
 	if !c.opt.ForceGob {
-		bufp, err := encodeRequestV1(id, trace, led != nil, req, c.m)
+		bufp, err := encodeRequestV1(id, trace, led != nil, deadlineNs, req, c.m)
 		switch {
 		case err == nil:
 			item = sendItem{bufp: bufp}
@@ -720,7 +790,7 @@ func (c *TCPClient) writeLoop(addr string, tc *tcpConn) {
 			bufp := it.bufp
 			if bufp == nil {
 				var err error
-				bufp, err = ge.encodeFrame(&wireRequest{ID: it.id, TC: it.tc, Payload: it.payload}, c.m)
+				bufp, err = ge.encodeFrame(&wireRequest{ID: it.id, TC: it.tc, DeadlineNs: it.deadlineNs, Payload: it.payload}, c.m)
 				if err != nil {
 					if ch, ok := tc.take(it.id); ok {
 						ch <- wireResponse{ID: it.id, Err: "transport: request encode: " + err.Error()}
